@@ -1,0 +1,33 @@
+// Shared driver for the figure-reproduction benches: applies env overrides,
+// runs the figure's cell matrix in parallel, prints the panel tables, and
+// writes a CSV next to the binary's working directory.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "exp/paper.hpp"
+#include "exp/runner.hpp"
+
+namespace dg::bench {
+
+inline int run_figure_main(exp::FigureSpec spec, const std::string& csv_name) {
+  exp::RunOptions options = exp::RunOptions::from_env();
+  if (auto bots = exp::env_num_bots()) spec.num_bots = *bots;
+
+  std::cout << "dgsched figure reproduction\n"
+            << "  bags/cell: " << spec.num_bots << " (warmup " << spec.warmup_bots << ")"
+            << ", replications: " << options.min_replications << ".."
+            << options.max_replications << ", CI target: "
+            << options.target_relative_error * 100.0 << "%\n"
+            << "  (env: DGSCHED_BOTS, DGSCHED_MIN_REPS, DGSCHED_MAX_REPS, DGSCHED_TRE,"
+            << " DGSCHED_THREADS, DGSCHED_SEED; paper fidelity: DGSCHED_TRE=0.025)\n\n";
+
+  std::ofstream csv(csv_name);
+  exp::run_figure(spec, options, std::cout, csv ? &csv : nullptr);
+  if (csv) std::cout << "CSV written to " << csv_name << "\n";
+  return 0;
+}
+
+}  // namespace dg::bench

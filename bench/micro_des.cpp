@@ -1,0 +1,111 @@
+// Microbenchmarks: DES kernel, RNG, and statistics hot paths.
+#include <benchmark/benchmark.h>
+
+#include "des/simulator.hpp"
+#include "rng/random_stream.hpp"
+#include "stats/online_stats.hpp"
+#include "stats/quantiles.hpp"
+
+namespace {
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    dg::des::Simulator sim;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<double>((i * 7919) % 100000), [&sum] { ++sum; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_EventChain(benchmark::State& state) {
+  // Self-rescheduling event: measures per-event kernel overhead without
+  // heap pressure from a deep queue.
+  for (auto _ : state) {
+    dg::des::Simulator sim;
+    std::uint64_t count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < 100000) sim.schedule_after(1.0, chain);
+    };
+    sim.schedule_after(1.0, chain);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_EventChain);
+
+void BM_CancelHeavy(benchmark::State& state) {
+  // Half the events get cancelled — exercises lazy deletion.
+  for (auto _ : state) {
+    dg::des::Simulator sim;
+    std::vector<dg::des::EventHandle> handles;
+    handles.reserve(50000);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 100000; ++i) {
+      auto handle = sim.schedule_at(static_cast<double>(i), [&sum] { ++sum; });
+      if (i % 2 == 0) handles.push_back(handle);
+    }
+    for (auto& handle : handles) handle.cancel();
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_CancelHeavy);
+
+void BM_Xoshiro256(benchmark::State& state) {
+  dg::rng::Xoshiro256 gen(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Xoshiro256);
+
+void BM_WeibullSample(benchmark::State& state) {
+  dg::rng::RandomStream stream(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.weibull(0.7, 88200.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WeibullSample);
+
+void BM_NormalSample(benchmark::State& state) {
+  dg::rng::RandomStream stream(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.normal(1800.0, 300.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NormalSample);
+
+void BM_OnlineStatsAdd(benchmark::State& state) {
+  dg::stats::OnlineStats stats;
+  double x = 0.0;
+  for (auto _ : state) {
+    stats.add(x += 1.5);
+  }
+  benchmark::DoNotOptimize(stats.mean());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineStatsAdd);
+
+void BM_StudentTQuantile(benchmark::State& state) {
+  double df = 2.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dg::stats::student_t_quantile(0.975, df));
+    df = df < 200.0 ? df + 1.0 : 2.0;
+  }
+}
+BENCHMARK(BM_StudentTQuantile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

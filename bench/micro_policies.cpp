@@ -1,0 +1,89 @@
+// Microbenchmarks: scheduler decision paths and end-to-end simulation
+// throughput (events per second).
+#include <benchmark/benchmark.h>
+
+#include "sim/simulation.hpp"
+
+namespace {
+
+dg::sim::SimulationConfig bench_config(dg::sched::PolicyKind policy, double granularity,
+                                       std::size_t num_bots) {
+  using namespace dg;
+  sim::SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHom,
+                                         grid::AvailabilityLevel::kHigh);
+  config.workload =
+      sim::make_paper_workload(config.grid, granularity, workload::Intensity::kLow, num_bots);
+  config.seed = 11;
+  config.policy = policy;
+  return config;
+}
+
+void run_policy_bench(benchmark::State& state, dg::sched::PolicyKind policy) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = dg::sim::Simulation(bench_config(policy, 5000.0, 20)).run();
+    events += result.events_executed;
+    benchmark::DoNotOptimize(result.turnaround.mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_Simulation_FcfsExcl(benchmark::State& state) {
+  run_policy_bench(state, dg::sched::PolicyKind::kFcfsExcl);
+}
+void BM_Simulation_FcfsShare(benchmark::State& state) {
+  run_policy_bench(state, dg::sched::PolicyKind::kFcfsShare);
+}
+void BM_Simulation_RoundRobin(benchmark::State& state) {
+  run_policy_bench(state, dg::sched::PolicyKind::kRoundRobin);
+}
+void BM_Simulation_RoundRobinNrf(benchmark::State& state) {
+  run_policy_bench(state, dg::sched::PolicyKind::kRoundRobinNrf);
+}
+void BM_Simulation_LongIdle(benchmark::State& state) {
+  run_policy_bench(state, dg::sched::PolicyKind::kLongIdle);
+}
+BENCHMARK(BM_Simulation_FcfsExcl)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Simulation_FcfsShare)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Simulation_RoundRobin)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Simulation_RoundRobinNrf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Simulation_LongIdle)->Unit(benchmark::kMillisecond);
+
+void BM_Simulation_SmallTasks(benchmark::State& state) {
+  // Granularity 1000: 2500 tasks per bag — stresses the per-dispatch paths.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result =
+        dg::sim::Simulation(bench_config(dg::sched::PolicyKind::kFcfsShare, 1000.0, 10)).run();
+    events += result.events_executed;
+    benchmark::DoNotOptimize(result.bots_completed);
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Simulation_SmallTasks)->Unit(benchmark::kMillisecond);
+
+void BM_Simulation_LowAvailChurn(benchmark::State& state) {
+  // Failure-heavy regime: availability events dominate.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto config = bench_config(dg::sched::PolicyKind::kRoundRobin, 25000.0, 10);
+    config.grid = dg::grid::GridConfig::preset(dg::grid::Heterogeneity::kHet,
+                                               dg::grid::AvailabilityLevel::kLow);
+    config.workload = dg::sim::make_paper_workload(config.grid, 25000.0,
+                                                   dg::workload::Intensity::kLow, 10);
+    const auto result = dg::sim::Simulation(config).run();
+    events += result.events_executed;
+    benchmark::DoNotOptimize(result.bots_completed);
+  }
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Simulation_LowAvailChurn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

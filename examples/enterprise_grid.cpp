@@ -1,0 +1,65 @@
+// Enterprise Desktop Grid scenario (the paper's HighAvail regime).
+//
+// Stable corporate desktops (~98% availability) shared by several teams that
+// submit parameter-sweep campaigns of very different task granularities at
+// high load (90% target utilization). Uses the ExperimentRunner to get
+// proper confidence intervals, exactly as the paper's evaluation does, and
+// prints the policy ranking per granularity.
+#include <iostream>
+
+#include "exp/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dg;
+
+  exp::RunOptions options;
+  options.min_replications = 3;
+  options.max_replications = 6;
+  options.target_relative_error = 0.10;
+
+  const grid::GridConfig grid_config =
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kHigh);
+  std::cout << "Enterprise Desktop Grid (" << grid_config.name() << "), high intensity\n"
+            << "Policies ranked per task granularity; 95% confidence intervals.\n\n";
+
+  std::vector<exp::NamedConfig> cells;
+  const double granularities[] = {1000.0, 25000.0};
+  for (double granularity : granularities) {
+    for (sched::PolicyKind policy : sched::paper_policies()) {
+      sim::SimulationConfig config;
+      config.grid = grid_config;
+      config.workload = sim::make_paper_workload(grid_config, granularity,
+                                                 workload::Intensity::kHigh, 50);
+      config.policy = policy;
+      config.warmup_bots = 5;
+      cells.push_back({sched::to_string(policy), config});
+    }
+  }
+
+  exp::ExperimentRunner runner(options);
+  const auto results = runner.run(cells);
+
+  std::size_t index = 0;
+  for (double granularity : granularities) {
+    util::Table table({"policy", "mean turnaround [s]", "95% CI +-", "reps"});
+    // Rank the five policies for this granularity.
+    std::vector<const exp::CellResult*> ranked;
+    for (std::size_t p = 0; p < 5; ++p) ranked.push_back(&results[index++]);
+    std::sort(ranked.begin(), ranked.end(), [](const auto* a, const auto* b) {
+      return a->turnaround.stats().mean() < b->turnaround.stats().mean();
+    });
+    for (const exp::CellResult* cell : ranked) {
+      const auto ci = cell->turnaround_ci();
+      table.add_row({cell->label, util::format_double(ci.mean, 0),
+                     util::format_double(ci.half_width, 0),
+                     std::to_string(cell->replications)});
+    }
+    std::cout << "--- task granularity " << granularity << " s ---\n";
+    table.render(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Note the ranking flip: FCFS-based policies win at 1000 s granularity,\n"
+               "RR-based at 25000 s — the paper's central observation.\n";
+  return 0;
+}

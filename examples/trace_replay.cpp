@@ -1,0 +1,84 @@
+// Trace-driven simulation: record a scenario, replay it bit-for-bit.
+//
+// 1. Synthesizes a machine-availability trace from the paper's LowAvail
+//    model and a workload trace from the paper's workload model.
+// 2. Saves both to CSV (the formats in grid/trace.hpp, workload/trace.hpp).
+// 3. Reloads them and replays the *same* submissions against the *same*
+//    machine up/down timeline under two different policies — the comparison
+//    is then free of sampling noise, a paired experiment.
+// 4. Exports the winning run's event timeline to CSV for plotting.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "grid/trace.hpp"
+#include "sim/simulation.hpp"
+#include "sim/timeline.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace dg;
+
+  const grid::GridConfig grid_config =
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kLow);
+
+  // --- record ---
+  const double horizon = 1.5e6;
+  const grid::AvailabilityTrace trace =
+      grid::AvailabilityTrace::synthesize(grid_config.availability, 100, horizon, 42);
+  std::printf("synthesized availability trace: %zu machines, mean availability %.3f\n",
+              trace.num_machines(), trace.mean_availability(horizon));
+
+  workload::WorkloadConfig workload_config = sim::make_paper_workload(
+      grid_config, 25000.0, workload::Intensity::kLow, 25);
+  workload::WorkloadGenerator generator(workload_config, rng::RandomStream(42));
+  const std::vector<workload::BotSpec> bots = generator.generate();
+
+  {
+    std::ofstream avail_csv("availability_trace.csv");
+    trace.save_csv(avail_csv);
+    std::ofstream bots_csv("workload_trace.csv");
+    workload::save_workload_csv(bots_csv, bots);
+  }
+  std::printf("saved availability_trace.csv and workload_trace.csv\n\n");
+
+  // --- reload ---
+  std::ifstream avail_in("availability_trace.csv");
+  auto loaded_trace =
+      std::make_shared<grid::AvailabilityTrace>(grid::AvailabilityTrace::load_csv(avail_in));
+  std::ifstream bots_in("workload_trace.csv");
+  auto loaded_bots = std::make_shared<std::vector<workload::BotSpec>>(
+      workload::load_workload_csv(bots_in));
+  std::printf("reloaded: %zu machines, %zu bags\n", loaded_trace->num_machines(),
+              loaded_bots->size());
+
+  // --- paired replay ---
+  for (sched::PolicyKind policy :
+       {sched::PolicyKind::kFcfsShare, sched::PolicyKind::kRoundRobin}) {
+    sim::SimulationConfig config;
+    config.grid = grid_config;
+    config.workload = workload_config;  // reporting only; bags come from the trace
+    config.trace_bots = loaded_bots;
+    config.availability_trace = loaded_trace;
+    config.policy = policy;
+    config.seed = 7;
+
+    sim::TimelineRecorder timeline;
+    const sim::SimulationResult result = sim::Simulation(config).run(&timeline);
+    std::printf("%-10s: mean turnaround %8.0f s, %zu/%zu bags, %llu machine failures\n",
+                sched::to_string(policy).c_str(), result.turnaround.mean(),
+                result.bots_completed, result.bots.size(),
+                static_cast<unsigned long long>(result.machine_failures));
+    if (policy == sched::PolicyKind::kRoundRobin) {
+      std::ofstream timeline_csv("timeline_rr.csv");
+      timeline.write_csv(timeline_csv);
+      std::printf("  timeline (%zu events) written to timeline_rr.csv\n",
+                  timeline.events().size());
+    }
+  }
+  std::printf("\nBoth runs saw the identical submissions and machine downtime —\n"
+              "any turnaround difference is purely the policy.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "analysis/queueing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dg::analysis {
+
+QueueingPrediction mg1_fcfs(double arrival_rate, const ServiceModel& service) {
+  if (arrival_rate < 0.0 || service.mean <= 0.0) {
+    throw std::invalid_argument("mg1_fcfs: need arrival_rate >= 0 and mean service > 0");
+  }
+  QueueingPrediction prediction;
+  prediction.utilization = arrival_rate * service.mean;
+  prediction.stable = prediction.utilization < 1.0;
+  if (!prediction.stable) {
+    prediction.mean_waiting = std::numeric_limits<double>::infinity();
+    prediction.mean_response = std::numeric_limits<double>::infinity();
+    return prediction;
+  }
+  prediction.mean_waiting =
+      arrival_rate * service.second_moment / (2.0 * (1.0 - prediction.utilization));
+  prediction.mean_response = prediction.mean_waiting + service.mean;
+  return prediction;
+}
+
+QueueingPrediction mg1_ps(double arrival_rate, const ServiceModel& service) {
+  if (arrival_rate < 0.0 || service.mean <= 0.0) {
+    throw std::invalid_argument("mg1_ps: need arrival_rate >= 0 and mean service > 0");
+  }
+  QueueingPrediction prediction;
+  prediction.utilization = arrival_rate * service.mean;
+  prediction.stable = prediction.utilization < 1.0;
+  if (!prediction.stable) {
+    prediction.mean_waiting = std::numeric_limits<double>::infinity();
+    prediction.mean_response = std::numeric_limits<double>::infinity();
+    return prediction;
+  }
+  prediction.mean_response = service.mean / (1.0 - prediction.utilization);
+  prediction.mean_waiting = prediction.mean_response - service.mean;
+  return prediction;
+}
+
+QueueingPrediction mm1(double arrival_rate, double mean_service) {
+  ServiceModel service;
+  service.mean = mean_service;
+  service.second_moment = 2.0 * mean_service * mean_service;  // exponential: E[S^2] = 2/mu^2
+  return mg1_fcfs(arrival_rate, service);
+}
+
+ServiceModel bag_service_model(const grid::GridConfig& grid_config,
+                               const workload::WorkloadConfig& workload_config) {
+  if (workload_config.types.size() != 1) {
+    throw std::invalid_argument(
+        "bag_service_model: analytic model covers single-type workloads");
+  }
+  const workload::BotType& type = workload_config.types.front();
+  const double effective_power = workload::effective_grid_power(grid_config);
+  const double bag_size = workload_config.bag_size;
+
+  // Bulk regime: the bag saturates the grid; service ~ total demand.
+  const double n_tasks = bag_size / type.granularity;
+  const double bulk_mean = bag_size / effective_power;
+  // Bag total work = sum of ~n uniform tasks; its variance transfers through
+  // the grid power.
+  const double task_var =
+      (type.spread * type.granularity) * (type.spread * type.granularity) / 3.0;
+  const double bulk_var = n_tasks * task_var / (effective_power * effective_power);
+
+  // Straggler regime: fewer tasks than machines; the longest task gates the
+  // makespan. Effective per-machine speed carries the same availability /
+  // checkpoint discount as the grid aggregate.
+  const double num_machines = grid_config.total_power /
+                              (grid_config.heterogeneity == grid::Heterogeneity::kHom
+                                   ? grid_config.hom_power
+                                   : 0.5 * (grid_config.het_power_lo + grid_config.het_power_hi));
+  const double per_machine_power = effective_power / num_machines;
+  const double lo = (1.0 - type.spread) * type.granularity;
+  const double hi = (1.0 + type.spread) * type.granularity;
+  // E[max of n U(lo,hi)] = hi - (hi-lo)/(n+1); Var = n (hi-lo)^2 / ((n+1)^2 (n+2)).
+  const double max_work = hi - (hi - lo) / (n_tasks + 1.0);
+  const double straggler_mean = max_work / per_machine_power;
+  const double straggler_var = n_tasks * (hi - lo) * (hi - lo) /
+                               ((n_tasks + 1.0) * (n_tasks + 1.0) * (n_tasks + 2.0)) /
+                               (per_machine_power * per_machine_power);
+
+  ServiceModel service;
+  // The two regimes overlap in time; the slower one dominates the makespan.
+  service.mean = std::max(bulk_mean, straggler_mean);
+  const double variance = bulk_mean >= straggler_mean ? bulk_var : straggler_var;
+  service.second_moment = service.mean * service.mean + variance;
+  return service;
+}
+
+}  // namespace dg::analysis

@@ -1,0 +1,61 @@
+// Analytical queueing approximations for multi-BoT Desktop Grid scheduling.
+//
+// The paper derives its arrival rates from the operational law U = lambda * D
+// (Menasce et al.); this module goes further and predicts mean turnaround
+// for the limiting regimes of the policies, giving an independent check of
+// the simulator:
+//
+//  * FCFS-Excl serves whole bags one at a time: the grid is a single server
+//    with service time ~ the bag's makespan in isolation -> M/G/1 FCFS,
+//    mean waiting from Pollaczek-Khinchine.
+//  * RR interleaves all bags fairly: -> M/G/1 processor sharing, whose mean
+//    response time E[S]/(1 - rho) is insensitive to the service distribution.
+//
+// These are approximations (they ignore stragglers, replication overhead and
+// task granularity); the model-validation bench quantifies where they hold.
+#pragma once
+
+#include "grid/desktop_grid.hpp"
+#include "workload/generator.hpp"
+
+namespace dg::analysis {
+
+struct ServiceModel {
+  /// Mean bag service time E[S] on the whole grid (seconds).
+  double mean = 0.0;
+  /// Second moment E[S^2].
+  double second_moment = 0.0;
+
+  [[nodiscard]] double variance() const noexcept { return second_moment - mean * mean; }
+  /// Squared coefficient of variation.
+  [[nodiscard]] double scv() const noexcept {
+    return mean > 0.0 ? variance() / (mean * mean) : 0.0;
+  }
+};
+
+struct QueueingPrediction {
+  double utilization = 0.0;  // rho = lambda * E[S]
+  double mean_waiting = 0.0;
+  double mean_response = 0.0;  // waiting + service
+  bool stable = true;          // rho < 1
+};
+
+/// Pollaczek-Khinchine for M/G/1 FCFS: W = lambda E[S^2] / (2 (1 - rho)).
+[[nodiscard]] QueueingPrediction mg1_fcfs(double arrival_rate, const ServiceModel& service);
+
+/// M/G/1 processor sharing: E[T] = E[S] / (1 - rho) (distribution-insensitive).
+[[nodiscard]] QueueingPrediction mg1_ps(double arrival_rate, const ServiceModel& service);
+
+/// M/M/1 mean response (exponential service with the given mean) — sanity
+/// anchor: mg1_fcfs with scv=1 must agree with this.
+[[nodiscard]] QueueingPrediction mm1(double arrival_rate, double mean_service);
+
+/// Service model of one paper-style bag executed in isolation on the whole
+/// grid: S ~ D = bag_size / P_eff, plus a straggler tail of roughly one task
+/// duration when the bag has fewer tasks than machines. E[S^2] follows from
+/// the (small) variability of the bag's total work; the dominant effect is
+/// the near-deterministic service (scv << 1).
+[[nodiscard]] ServiceModel bag_service_model(const grid::GridConfig& grid_config,
+                                             const workload::WorkloadConfig& workload_config);
+
+}  // namespace dg::analysis

@@ -1,0 +1,61 @@
+// Event records and cancellable handles for the DES kernel.
+//
+// Events are heap-allocated records shared between the simulator's priority
+// queue and the EventHandles held by model code (e.g. a replica's pending
+// completion event, cancelled when its machine fails). Cancellation is lazy:
+// the record is flagged and skipped when popped, which keeps cancel() O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace dg::des {
+
+/// Simulation time in seconds since simulation start.
+using SimTime = double;
+
+namespace detail {
+struct EventRecord {
+  SimTime time = 0.0;
+  std::uint64_t sequence = 0;  // deterministic FIFO tie-break at equal times
+  std::function<void()> action;
+  bool cancelled = false;
+};
+}  // namespace detail
+
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it is still pending. Returns true if this call
+  /// performed the cancellation (false if already run, cancelled, or empty).
+  bool cancel() noexcept {
+    auto record = record_.lock();
+    if (!record || record->cancelled) return false;
+    record->cancelled = true;
+    record->action = nullptr;  // release captures eagerly
+    return true;
+  }
+
+  /// True while the event is scheduled and not cancelled or executed.
+  [[nodiscard]] bool pending() const noexcept {
+    auto record = record_.lock();
+    return record && !record->cancelled;
+  }
+
+  /// Scheduled firing time; only meaningful while pending().
+  [[nodiscard]] SimTime time() const noexcept {
+    auto record = record_.lock();
+    return record ? record->time : 0.0;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<detail::EventRecord> record) noexcept
+      : record_(std::move(record)) {}
+
+  std::weak_ptr<detail::EventRecord> record_;
+};
+
+}  // namespace dg::des

@@ -1,0 +1,127 @@
+// Coroutine processes for the DES kernel (C++20).
+//
+// Event-callback style (Simulator::schedule_*) is what dgsched's engine uses
+// internally; for sequential model logic — a maintenance cycle, a closed-loop
+// user, a protocol handshake — a process coroutine reads far more naturally:
+//
+//   des::Process user(des::Simulator& sim, Grid& grid) {
+//     for (int i = 0; i < 10; ++i) {
+//       submit_job(grid);
+//       co_await des::delay(sim, think_time());
+//     }
+//   }
+//
+// Processes are *detached*: calling the coroutine starts it immediately; it
+// runs until its first co_await, then resumes from simulator events until it
+// finishes, at which point its frame self-destructs. There is no handle to
+// cancel a running process — model state should make the process return when
+// its work is obsolete (checked via guards after each await). This keeps the
+// facility allocation-minimal and avoids dangling-handle classes of bugs.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace dg::des {
+
+/// Return type for detached simulation processes.
+struct Process {
+  struct promise_type {
+    Process get_return_object() noexcept { return {}; }
+    /// Run eagerly until the first co_await.
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    /// Self-destruct on completion (detached).
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    /// Model code must not leak exceptions into the event loop.
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+/// Awaitable that suspends the process for `dt` simulated seconds.
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Simulator& sim, SimTime dt) noexcept : sim_(sim), dt_(dt) {}
+
+  /// Always suspend — even dt == 0 goes through the event queue so that
+  /// same-time ordering stays deterministic (FIFO with other events).
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    sim_.schedule_after(dt_, [handle] { handle.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  SimTime dt_;
+};
+
+/// Awaitable that suspends the process until absolute time `when`
+/// (>= now; asserts otherwise, same contract as schedule_at).
+class UntilAwaiter {
+ public:
+  UntilAwaiter(Simulator& sim, SimTime when) noexcept : sim_(sim), when_(when) {}
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> handle) {
+    sim_.schedule_at(when_, [handle] { handle.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  SimTime when_;
+};
+
+/// co_await des::delay(sim, 10.0): advance this process 10 simulated seconds.
+[[nodiscard]] inline DelayAwaiter delay(Simulator& sim, SimTime dt) noexcept {
+  return DelayAwaiter(sim, dt);
+}
+
+/// co_await des::until(sim, t): resume this process at absolute time t.
+[[nodiscard]] inline UntilAwaiter until(Simulator& sim, SimTime when) noexcept {
+  return UntilAwaiter(sim, when);
+}
+
+/// One-shot signal other code can trigger; any number of processes can
+/// co_await it. Waiters resume through the event queue at the trigger time
+/// (deterministic FIFO order). Re-arming after a trigger is allowed.
+class Signal {
+ public:
+  explicit Signal(Simulator& sim) noexcept : sim_(sim) {}
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  /// Wakes all current waiters (at the current simulation time) and marks
+  /// the signal triggered: subsequent awaits resume immediately (via the
+  /// queue) until rearm().
+  void trigger() {
+    triggered_ = true;
+    for (std::coroutine_handle<> handle : waiters_) {
+      sim_.schedule_after(0.0, [handle] { handle.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  /// Clears the triggered state so future awaits block again.
+  void rearm() noexcept { triggered_ = false; }
+
+  [[nodiscard]] bool triggered() const noexcept { return triggered_; }
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
+  // --- awaitable protocol ---
+  [[nodiscard]] bool await_ready() const noexcept { return triggered_; }
+  void await_suspend(std::coroutine_handle<> handle) { waiters_.push_back(handle); }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+  bool triggered_ = false;
+};
+
+}  // namespace dg::des

@@ -1,0 +1,71 @@
+#include "des/simulator.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace dg::des {
+
+EventHandle Simulator::schedule_at(SimTime time, std::function<void()> action) {
+  DG_ASSERT_MSG(std::isfinite(time), "event time must be finite");
+  DG_ASSERT_MSG(time >= now_, "cannot schedule an event in the past");
+  DG_ASSERT(action != nullptr);
+  auto record = std::make_shared<Record>();
+  record->time = time;
+  record->sequence = next_sequence_++;
+  record->action = std::move(action);
+  EventHandle handle{std::weak_ptr<Record>(record)};
+  queue_.push(std::move(record));
+  ++pending_;
+  return handle;
+}
+
+std::shared_ptr<Simulator::Record> Simulator::pop_next() {
+  while (!queue_.empty()) {
+    std::shared_ptr<Record> record = queue_.top();
+    queue_.pop();
+    DG_ASSERT(pending_ > 0);
+    --pending_;
+    if (record->cancelled) continue;
+    return record;
+  }
+  return nullptr;
+}
+
+bool Simulator::step() {
+  if (stopped_) return false;
+  std::shared_ptr<Record> record = pop_next();
+  if (!record) return false;
+  DG_ASSERT(record->time >= now_);
+  now_ = record->time;
+  ++executed_;
+  // Mark executed before invoking so the action's own handle reads !pending().
+  record->cancelled = true;
+  std::function<void()> action = std::move(record->action);
+  action();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime horizon) {
+  DG_ASSERT(horizon >= now_);
+  while (!stopped_ && !queue_.empty()) {
+    // Peek through cancelled records without committing to execution.
+    while (!queue_.empty() && queue_.top()->cancelled) {
+      queue_.pop();
+      DG_ASSERT(pending_ > 0);
+      --pending_;
+    }
+    if (queue_.empty()) break;
+    if (queue_.top()->time > horizon) break;
+    step();
+  }
+  if (!stopped_ && now_ < horizon) now_ = horizon;
+}
+
+}  // namespace dg::des

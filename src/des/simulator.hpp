@@ -1,0 +1,82 @@
+// Sequential discrete-event simulation kernel.
+//
+// A binary heap of (time, sequence) ordered events; ties break in scheduling
+// order so runs are bitwise deterministic. The kernel is deliberately
+// single-threaded — parallelism in dgsched lives one level up, across
+// independent replications (see exp::ExperimentRunner).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "des/event.hpp"
+
+namespace dg::des {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time `time` (>= now). Returns a handle
+  /// that can cancel the event while pending.
+  EventHandle schedule_at(SimTime time, std::function<void()> action);
+
+  /// Schedules `action` after `delay` (>= 0) from now.
+  EventHandle schedule_after(SimTime delay, std::function<void()> action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Executes the next pending event. Returns false when the queue is empty
+  /// or the simulation was stopped.
+  bool step();
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs all events with time <= horizon, then advances the clock to
+  /// horizon (if it is past the last executed event).
+  void run_until(SimTime horizon);
+
+  /// Stops the run/run_until loop after the current event returns.
+  void stop() noexcept { stopped_ = true; }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  /// Re-arms a stopped simulator so run()/run_until() can continue.
+  void clear_stop() noexcept { stopped_ = false; }
+
+  /// Number of events executed so far (cancelled events are not counted).
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+  /// Number of events ever scheduled.
+  [[nodiscard]] std::uint64_t scheduled_events() const noexcept { return next_sequence_; }
+  /// Records still in the queue. Cancelled-but-unpopped events are included
+  /// (lazy deletion), so this is an upper bound on live pending events.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return pending_; }
+  [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
+
+ private:
+  using Record = detail::EventRecord;
+  struct Later {
+    bool operator()(const std::shared_ptr<Record>& a, const std::shared_ptr<Record>& b) const noexcept {
+      if (a->time != b->time) return a->time > b->time;
+      return a->sequence > b->sequence;
+    }
+  };
+
+  /// Pops the next non-cancelled record, or nullptr if none.
+  std::shared_ptr<Record> pop_next();
+
+  std::priority_queue<std::shared_ptr<Record>, std::vector<std::shared_ptr<Record>>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t pending_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace dg::des

@@ -1,0 +1,134 @@
+#include "exp/paper.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace dg::exp {
+
+namespace {
+
+std::string panel_name(const FigureSpec& spec, const PanelSpec& panel) {
+  return grid::to_string(panel.heterogeneity) + "-" +
+         grid::to_string(spec.availability) + " / " +
+         workload::to_string(panel.intensity) + " intensity";
+}
+
+std::string cell_label(const FigureSpec& spec, const PanelSpec& panel, double granularity,
+                       sched::PolicyKind policy) {
+  std::ostringstream oss;
+  oss << grid::to_string(panel.heterogeneity) << "-" << grid::to_string(spec.availability) << "/"
+      << workload::to_string(panel.intensity) << "/g=" << granularity << "/"
+      << sched::to_string(policy);
+  return oss.str();
+}
+
+}  // namespace
+
+FigureSpec figure1_spec() {
+  FigureSpec spec;
+  spec.title = "Figure 1: results for high availability configurations";
+  spec.availability = grid::AvailabilityLevel::kHigh;
+  spec.panels = {{grid::Heterogeneity::kHom, workload::Intensity::kLow},
+                 {grid::Heterogeneity::kHet, workload::Intensity::kLow},
+                 {grid::Heterogeneity::kHom, workload::Intensity::kHigh},
+                 {grid::Heterogeneity::kHet, workload::Intensity::kHigh}};
+  return spec;
+}
+
+FigureSpec figure2_spec() {
+  FigureSpec spec = figure1_spec();
+  spec.title = "Figure 2: results for low availability configurations";
+  spec.availability = grid::AvailabilityLevel::kLow;
+  return spec;
+}
+
+FigureSpec unreported_spec() {
+  FigureSpec spec;
+  spec.title = "Unreported configurations: medium availability / medium intensity";
+  spec.availability = grid::AvailabilityLevel::kMed;
+  spec.panels = {{grid::Heterogeneity::kHom, workload::Intensity::kMed},
+                 {grid::Heterogeneity::kHet, workload::Intensity::kMed}};
+  return spec;
+}
+
+std::vector<NamedConfig> figure_cells(const FigureSpec& spec) {
+  std::vector<NamedConfig> cells;
+  cells.reserve(spec.panels.size() * spec.granularities.size() * spec.policies.size());
+  for (const PanelSpec& panel : spec.panels) {
+    const grid::GridConfig grid_config =
+        grid::GridConfig::preset(panel.heterogeneity, spec.availability);
+    for (double granularity : spec.granularities) {
+      const workload::WorkloadConfig workload_config = sim::make_paper_workload(
+          grid_config, granularity, panel.intensity, spec.num_bots, spec.bag_size);
+      for (sched::PolicyKind policy : spec.policies) {
+        sim::SimulationConfig config;
+        config.grid = grid_config;
+        config.workload = workload_config;
+        config.policy = policy;
+        config.warmup_bots = spec.warmup_bots;
+        cells.push_back(NamedConfig{cell_label(spec, panel, granularity, policy), config});
+      }
+    }
+  }
+  return cells;
+}
+
+void render_figure(const FigureSpec& spec, const std::vector<CellResult>& results,
+                   std::ostream& os, std::ostream* csv) {
+  os << "=== " << spec.title << " ===\n";
+  os << "(mean BoT turnaround [s] with 95% CI half-width; 'SAT' = saturated:\n"
+     << " bags left incomplete at the horizon, value is a lower bound)\n\n";
+
+  std::size_t index = 0;
+  util::Table csv_table({"panel", "heterogeneity", "availability", "intensity", "granularity",
+                         "policy", "mean_turnaround", "ci_half_width", "replications",
+                         "saturated", "mean_waiting", "mean_makespan", "utilization",
+                         "wasted_fraction"});
+  for (const PanelSpec& panel : spec.panels) {
+    std::vector<std::string> header{"granularity [s]"};
+    for (sched::PolicyKind policy : spec.policies) header.push_back(sched::to_string(policy));
+    util::Table table(std::move(header));
+    for (double granularity : spec.granularities) {
+      std::vector<std::string> row{util::format_double(granularity, 0)};
+      for (sched::PolicyKind policy : spec.policies) {
+        const CellResult& cell = results.at(index++);
+        const stats::ConfidenceInterval ci = cell.turnaround_ci();
+        std::string text = util::format_double(ci.mean, 0);
+        if (cell.saturated()) {
+          text = ">=" + text + " SAT";
+        } else {
+          text += " +-" + util::format_double(ci.half_width, 0);
+        }
+        row.push_back(text);
+
+        csv_table.add_row({panel_name(spec, panel), grid::to_string(panel.heterogeneity),
+                           grid::to_string(spec.availability),
+                           workload::to_string(panel.intensity),
+                           util::format_double(granularity, 0), sched::to_string(policy),
+                           util::format_double(ci.mean, 1), util::format_double(ci.half_width, 1),
+                           std::to_string(cell.replications),
+                           cell.saturated() ? "1" : "0",
+                           util::format_double(cell.waiting.mean(), 1),
+                           util::format_double(cell.makespan.mean(), 1),
+                           util::format_double(cell.utilization.mean(), 3),
+                           util::format_double(cell.wasted_fraction.mean(), 3)});
+      }
+      table.add_row(std::move(row));
+    }
+    os << "--- " << panel_name(spec, panel) << " ---\n";
+    table.render(os);
+    os << "\n";
+  }
+  if (csv != nullptr) csv_table.write_csv(*csv);
+}
+
+void run_figure(const FigureSpec& spec, const RunOptions& options, std::ostream& os,
+                std::ostream* csv) {
+  ExperimentRunner runner(options);
+  const std::vector<CellResult> results = runner.run(figure_cells(spec));
+  render_figure(spec, results, os, csv);
+}
+
+}  // namespace dg::exp

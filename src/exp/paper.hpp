@@ -1,0 +1,63 @@
+// Paper experiment definitions (Figures 1 and 2 plus the unreported
+// configurations) and their table renderers.
+//
+// Every figure panel plots mean BoT turnaround vs task granularity, one bar
+// per bag-selection policy. run_figure() regenerates a figure's four panels
+// as aligned ASCII tables (and optionally CSV): same rows, same series, same
+// saturation markers ("the histogram bar went over the frame of the graph").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "grid/desktop_grid.hpp"
+#include "sched/policy.hpp"
+#include "workload/generator.hpp"
+
+namespace dg::exp {
+
+struct PanelSpec {
+  grid::Heterogeneity heterogeneity;
+  workload::Intensity intensity;
+};
+
+struct FigureSpec {
+  std::string title;
+  grid::AvailabilityLevel availability;
+  std::vector<PanelSpec> panels;
+  std::vector<double> granularities{1000.0, 5000.0, 25000.0, 125000.0};
+  std::vector<sched::PolicyKind> policies{sched::PolicyKind::kFcfsExcl,
+                                          sched::PolicyKind::kFcfsShare,
+                                          sched::PolicyKind::kRoundRobin,
+                                          sched::PolicyKind::kRoundRobinNrf,
+                                          sched::PolicyKind::kLongIdle};
+  std::size_t num_bots = 100;
+  std::size_t warmup_bots = 10;
+  double bag_size = 2.5e6;
+};
+
+/// Figure 1: Hom/Het x Low/High intensity at ~98% availability.
+[[nodiscard]] FigureSpec figure1_spec();
+/// Figure 2: same panels at ~50% availability.
+[[nodiscard]] FigureSpec figure2_spec();
+/// The configurations the paper measured but did not plot (MedAvail and
+/// medium intensity); the paper states they "do not significantly differ".
+[[nodiscard]] FigureSpec unreported_spec();
+
+/// Builds the cell matrix for a figure (panel-major, then granularity, then
+/// policy). Labels are "<Het>-<Avail>/<intensity>/g=<granularity>/<policy>".
+[[nodiscard]] std::vector<NamedConfig> figure_cells(const FigureSpec& spec);
+
+/// Runs a whole figure and renders one table per panel to `os`; when `csv`
+/// is non-null also writes machine-readable rows.
+void run_figure(const FigureSpec& spec, const RunOptions& options, std::ostream& os,
+                std::ostream* csv = nullptr);
+
+/// Renders the per-panel tables for already-computed results (cells must be
+/// in figure_cells() order).
+void render_figure(const FigureSpec& spec, const std::vector<CellResult>& results,
+                   std::ostream& os, std::ostream* csv = nullptr);
+
+}  // namespace dg::exp

@@ -1,0 +1,123 @@
+#include "exp/runner.hpp"
+
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "rng/splitmix64.hpp"
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dg::exp {
+
+namespace {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::optional<double> env_double(const char* name) {
+  if (auto text = env_string(name)) return std::stod(*text);
+  return std::nullopt;
+}
+
+std::optional<std::size_t> env_size(const char* name) {
+  if (auto text = env_string(name)) return static_cast<std::size_t>(std::stoull(*text));
+  return std::nullopt;
+}
+
+}  // namespace
+
+RunOptions RunOptions::from_env(RunOptions defaults) {
+  if (auto v = env_size("DGSCHED_MIN_REPS")) defaults.min_replications = *v;
+  if (auto v = env_size("DGSCHED_MAX_REPS")) defaults.max_replications = *v;
+  if (auto v = env_double("DGSCHED_TRE")) defaults.target_relative_error = *v;
+  if (auto v = env_size("DGSCHED_THREADS")) defaults.threads = *v;
+  if (auto v = env_size("DGSCHED_SEED")) defaults.base_seed = *v;
+  if (defaults.max_replications < defaults.min_replications) {
+    defaults.max_replications = defaults.min_replications;
+  }
+  return defaults;
+}
+
+std::optional<std::size_t> env_num_bots() { return env_size("DGSCHED_BOTS"); }
+
+std::vector<CellResult> ExperimentRunner::run(const std::vector<NamedConfig>& cells) {
+  std::vector<CellResult> results;
+  results.reserve(cells.size());
+  for (const NamedConfig& cell : cells) {
+    CellResult result;
+    result.label = cell.label;
+    result.config = cell.config;
+    result.turnaround = stats::ReplicationAnalyzer(options_.ci_level,
+                                                   options_.target_relative_error,
+                                                   options_.min_replications);
+    results.push_back(std::move(result));
+  }
+
+  util::ThreadPool pool(options_.threads);
+  struct Pending {
+    std::size_t cell_index;
+    std::future<sim::SimulationResult> future;
+  };
+
+  auto launch = [&](std::size_t cell_index, std::size_t replication) {
+    sim::SimulationConfig config = results[cell_index].config;
+    // Seeds depend only on (base_seed, replication): common random numbers
+    // across cells that differ only in scheduling policy.
+    config.seed = rng::mix_seed(options_.base_seed, replication);
+    return Pending{cell_index,
+                   pool.submit([config]() { return sim::Simulation(config).run(); })};
+  };
+
+  // Round 0: the minimum replications for every cell, all in flight at once.
+  std::vector<std::size_t> reps_launched(cells.size(), 0);
+  std::vector<Pending> in_flight;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t r = 0; r < options_.min_replications; ++r) {
+      in_flight.push_back(launch(c, reps_launched[c]++));
+    }
+  }
+
+  // Subsequent rounds: whichever cells are still imprecise get one more
+  // replication each, until precise or capped.
+  while (!in_flight.empty()) {
+    std::vector<Pending> next_round;
+    for (Pending& pending : in_flight) {
+      const sim::SimulationResult sim_result = pending.future.get();
+      CellResult& cell = results[pending.cell_index];
+      cell.turnaround.add(sim_result.turnaround.mean());
+      cell.waiting.add(sim_result.waiting.mean());
+      cell.makespan.add(sim_result.makespan.mean());
+      cell.utilization.add(sim_result.utilization);
+      cell.wasted_fraction.add(sim_result.wasted_fraction());
+      cell.lost_work.add(sim_result.lost_work);
+      ++cell.replications;
+      if (sim_result.saturated) ++cell.saturated_replications;
+    }
+    in_flight.clear();
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      CellResult& cell = results[c];
+      const bool all_back = cell.replications == reps_launched[c];
+      if (!all_back) continue;
+      // Saturated cells never converge (censored means); stop at minimum.
+      if (cell.saturated()) continue;
+      if (cell.turnaround.precise_enough()) continue;
+      if (reps_launched[c] >= options_.max_replications) continue;
+      next_round.push_back(launch(c, reps_launched[c]++));
+    }
+    in_flight = std::move(next_round);
+  }
+
+  for (const CellResult& cell : results) {
+    util::log_info("cell '", cell.label, "': mean turnaround ", cell.turnaround.stats().mean(),
+                   " (", cell.replications, " reps",
+                   cell.saturated() ? ", SATURATED" : "", ")");
+  }
+  return results;
+}
+
+}  // namespace dg::exp

@@ -1,0 +1,45 @@
+#include "exp/steady_state.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace dg::exp {
+
+SteadyStateResult run_steady_state(sim::SimulationConfig config,
+                                   const SteadyStateOptions& options) {
+  config.workload.num_bots = options.num_bots;
+  config.warmup_bots = 0;  // truncation is data-driven here
+
+  SteadyStateResult result;
+  result.simulation = sim::Simulation(config).run();
+  result.saturated = result.simulation.saturated;
+
+  std::vector<double> turnarounds;
+  turnarounds.reserve(result.simulation.bots.size());
+  for (const sim::BotRecord& bot : result.simulation.bots) {
+    turnarounds.push_back(bot.turnaround);
+  }
+
+  const stats::MserResult truncation =
+      stats::mser5_truncation(turnarounds, options.mser_batch);
+  result.truncated_bots = truncation.truncation_index;
+
+  stats::BatchMeans batches(options.batch_size);
+  for (std::size_t i = truncation.truncation_index; i < turnarounds.size(); ++i) {
+    batches.add(turnarounds[i]);
+  }
+  // Coarsen until batch means decorrelate (or batches run out).
+  while (std::fabs(batches.lag1_autocorrelation()) > options.max_lag1 &&
+         batches.completed_batches() >= 2 * options.min_batches) {
+    batches.coarsen();
+  }
+
+  result.measured_bots = turnarounds.size() - truncation.truncation_index;
+  result.batches = batches.completed_batches();
+  result.final_batch_size = batches.batch_size();
+  result.lag1_autocorrelation = batches.lag1_autocorrelation();
+  result.turnaround = batches.interval(options.ci_level);
+  return result;
+}
+
+}  // namespace dg::exp

@@ -1,0 +1,51 @@
+// Steady-state estimation from one long run (batch means + MSER warmup).
+//
+// The paper (and ExperimentRunner) use independent replications; the classic
+// alternative simulates one long run, deletes the initial transient with
+// MSER-5, and builds the confidence interval from batch means, coarsening
+// batches until they decorrelate. This estimator is cheaper per unit of
+// precision for stable systems and is exposed both as a library facility and
+// through the `methodology` bench comparing the two approaches.
+#pragma once
+
+#include "sim/simulation.hpp"
+#include "stats/batch_means.hpp"
+#include "stats/confidence.hpp"
+#include "stats/mser.hpp"
+
+namespace dg::exp {
+
+struct SteadyStateOptions {
+  /// Bags simulated in the single long run (overrides the config's count).
+  std::size_t num_bots = 600;
+  /// Bags per batch before decorrelation coarsening.
+  std::size_t batch_size = 20;
+  /// MSER pre-batching (MSER-5 by default).
+  std::size_t mser_batch = 5;
+  double ci_level = 0.95;
+  /// Coarsen (double batch size) while |lag-1 autocorrelation| exceeds this
+  /// and at least `min_batches` remain.
+  double max_lag1 = 0.2;
+  std::size_t min_batches = 10;
+};
+
+struct SteadyStateResult {
+  /// Bags deleted as warmup (MSER truncation).
+  std::size_t truncated_bots = 0;
+  /// Bags contributing to the estimate.
+  std::size_t measured_bots = 0;
+  std::size_t batches = 0;
+  std::size_t final_batch_size = 0;
+  double lag1_autocorrelation = 0.0;
+  stats::ConfidenceInterval turnaround;
+  bool saturated = false;
+  /// The underlying simulation result (per-bag records etc.).
+  sim::SimulationResult simulation;
+};
+
+/// Runs `config` once with `options.num_bots` bags and produces a
+/// steady-state mean-turnaround estimate.
+[[nodiscard]] SteadyStateResult run_steady_state(sim::SimulationConfig config,
+                                                 const SteadyStateOptions& options = {});
+
+}  // namespace dg::exp

@@ -1,0 +1,103 @@
+#include "grid/availability.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace dg::grid {
+
+std::string to_string(AvailabilityLevel level) {
+  switch (level) {
+    case AvailabilityLevel::kHigh: return "HighAvail";
+    case AvailabilityLevel::kMed: return "MedAvail";
+    case AvailabilityLevel::kLow: return "LowAvail";
+    case AvailabilityLevel::kAlways: return "AlwaysAvail";
+  }
+  return "?";
+}
+
+std::optional<AvailabilityLevel> parse_availability_level(std::string_view name) {
+  std::string lower;
+  for (char c : name) lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  if (lower == "highavail" || lower == "high") return AvailabilityLevel::kHigh;
+  if (lower == "medavail" || lower == "med" || lower == "medium") return AvailabilityLevel::kMed;
+  if (lower == "lowavail" || lower == "low") return AvailabilityLevel::kLow;
+  if (lower == "alwaysavail" || lower == "always" || lower == "none") {
+    return AvailabilityLevel::kAlways;
+  }
+  return std::nullopt;
+}
+
+double AvailabilityModel::availability() const noexcept {
+  if (!failures_enabled) return 1.0;
+  const double up = mttf();
+  const double down = mttr();
+  return up / (up + down);
+}
+
+AvailabilityModel AvailabilityModel::from_availability(double target, double weibull_shape,
+                                                       double repair_mean, double repair_sd) {
+  if (!(target > 0.0 && target < 1.0)) {
+    throw std::invalid_argument("AvailabilityModel: target availability must be in (0, 1)");
+  }
+  AvailabilityModel model;
+  const double mttf = target / (1.0 - target) * repair_mean;
+  model.time_to_failure =
+      rng::WeibullDist{weibull_shape, rng::WeibullDist::scale_for_mean(mttf, weibull_shape)};
+  model.time_to_repair = rng::TruncatedNormalDist{repair_mean, repair_sd, 1.0, 1e9};
+  model.failures_enabled = true;
+  return model;
+}
+
+AvailabilityModel AvailabilityModel::for_level(AvailabilityLevel level) {
+  switch (level) {
+    case AvailabilityLevel::kHigh: return from_availability(0.98);
+    case AvailabilityLevel::kMed: return from_availability(0.75);
+    case AvailabilityLevel::kLow: return from_availability(0.50);
+    case AvailabilityLevel::kAlways: {
+      AvailabilityModel model;
+      model.failures_enabled = false;
+      return model;
+    }
+  }
+  throw std::invalid_argument("AvailabilityModel: unknown level");
+}
+
+AvailabilityProcess::AvailabilityProcess(des::Simulator& sim, Machine& machine,
+                                         AvailabilityModel model, rng::RandomStream stream)
+    : sim_(sim), machine_(machine), model_(model), stream_(stream) {}
+
+void AvailabilityProcess::start(TransitionCallback on_failure, TransitionCallback on_repair) {
+  DG_ASSERT_MSG(!started_, "AvailabilityProcess started twice");
+  started_ = true;
+  on_failure_ = std::move(on_failure);
+  on_repair_ = std::move(on_repair);
+  if (!model_.failures_enabled) return;
+  const double ttf = model_.time_to_failure.sample(stream_);
+  sim_.schedule_after(ttf, [this] { fail(); });
+}
+
+void AvailabilityProcess::fail() {
+  ++failure_count_;
+  // Only an up -> down edge notifies listeners; the machine may already be
+  // down for another reason (e.g. a correlated outage).
+  if (machine_.force_down(sim_.now())) {
+    if (on_failure_) on_failure_(machine_);
+  }
+  const double ttr = model_.time_to_repair.sample(stream_);
+  sim_.schedule_after(ttr, [this] { repair(); });
+}
+
+void AvailabilityProcess::repair() {
+  if (machine_.release_down(sim_.now())) {
+    if (on_repair_) on_repair_(machine_);
+  }
+  const double ttf = model_.time_to_failure.sample(stream_);
+  sim_.schedule_after(ttf, [this] { fail(); });
+}
+
+double AvailabilityProcess::measured_availability(des::SimTime now) const noexcept {
+  return machine_.measured_availability(now);
+}
+
+}  // namespace dg::grid

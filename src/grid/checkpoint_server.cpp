@@ -1,0 +1,11 @@
+#include "grid/checkpoint_server.hpp"
+
+#include <cmath>
+
+namespace dg::grid {
+
+double young_checkpoint_interval(double mean_checkpoint_cost, double mttf) noexcept {
+  return std::sqrt(2.0 * mean_checkpoint_cost * mttf);
+}
+
+}  // namespace dg::grid

@@ -1,0 +1,82 @@
+// Checkpoint Server model.
+//
+// The paper assumes one or more checkpoint servers storing task checkpoints;
+// transferring a checkpoint to or from the server takes Uniform[240, 720]
+// seconds. Checkpoint frequency follows Young's first-order formula
+// tau = sqrt(2 * C * MTBF) with C the mean checkpoint save cost.
+//
+// Beyond the paper, the server optionally models *contention*: with a finite
+// number of transfer slots, concurrent checkpoint traffic queues FIFO and
+// transfers stretch accordingly. capacity == 0 (default) reproduces the
+// paper's pure-delay behaviour. Slot reservations are not cancelled when the
+// requesting machine dies mid-transfer — the server cannot know the client is
+// gone — which slightly overstates contention under churn (documented).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/random_stream.hpp"
+
+namespace dg::grid {
+
+class CheckpointServer {
+ public:
+  explicit CheckpointServer(rng::UniformDist transfer_time = rng::UniformDist{240.0, 720.0},
+                            std::size_t capacity = 0)
+      : transfer_time_(transfer_time), capacity_(capacity) {}
+
+  /// Schedules a checkpoint save starting no earlier than `now`; returns the
+  /// absolute completion time (includes any queueing for a transfer slot).
+  [[nodiscard]] double schedule_save(double now, rng::RandomStream& stream) {
+    ++saves_;
+    return schedule_transfer(now, transfer_time_.sample(stream));
+  }
+
+  /// Schedules a checkpoint retrieval; returns the absolute completion time.
+  [[nodiscard]] double schedule_retrieve(double now, rng::RandomStream& stream) {
+    ++retrievals_;
+    return schedule_transfer(now, transfer_time_.sample(stream));
+  }
+
+  [[nodiscard]] double mean_transfer_time() const noexcept { return transfer_time_.mean(); }
+  /// Transfer slots (0 = unlimited, the paper's model).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t saves() const noexcept { return saves_; }
+  [[nodiscard]] std::uint64_t retrievals() const noexcept { return retrievals_; }
+  /// Total time transfers spent queued for a slot.
+  [[nodiscard]] double total_queueing_time() const noexcept { return total_queueing_; }
+
+ private:
+  /// Core contention model: with finite capacity, a transfer starts when the
+  /// earliest slot frees (min-heap over slot free times).
+  [[nodiscard]] double schedule_transfer(double now, double duration) {
+    if (capacity_ == 0) return now + duration;
+    if (slots_.size() < capacity_) {
+      slots_.push(now + duration);
+      return now + duration;
+    }
+    double start = slots_.top();
+    if (start < now) start = now;
+    slots_.pop();
+    total_queueing_ += start - now;
+    slots_.push(start + duration);
+    return start + duration;
+  }
+
+  rng::UniformDist transfer_time_;
+  std::size_t capacity_;
+  std::uint64_t saves_ = 0;
+  std::uint64_t retrievals_ = 0;
+  double total_queueing_ = 0.0;
+  // Min-heap of slot free times (only used when capacity_ > 0).
+  std::priority_queue<double, std::vector<double>, std::greater<>> slots_;
+};
+
+/// Young's first-order optimal checkpoint interval: sqrt(2 * C * MTBF).
+/// `mean_checkpoint_cost` is the mean save time, `mttf` the machine MTTF.
+[[nodiscard]] double young_checkpoint_interval(double mean_checkpoint_cost, double mttf) noexcept;
+
+}  // namespace dg::grid

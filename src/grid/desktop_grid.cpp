@@ -1,0 +1,96 @@
+#include "grid/desktop_grid.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace dg::grid {
+
+std::string to_string(Heterogeneity het) {
+  return het == Heterogeneity::kHom ? "Hom" : "Het";
+}
+
+GridConfig GridConfig::preset(Heterogeneity het, AvailabilityLevel level) {
+  GridConfig config;
+  config.heterogeneity = het;
+  config.availability = AvailabilityModel::for_level(level);
+  return config;
+}
+
+std::string GridConfig::name() const {
+  std::string avail;
+  if (!availability.failures_enabled) {
+    avail = "AlwaysAvail";
+  } else {
+    const double a = availability.availability();
+    if (a >= 0.90) avail = "HighAvail";
+    else if (a >= 0.65) avail = "MedAvail";
+    else avail = "LowAvail";
+  }
+  return to_string(heterogeneity) + "-" + avail;
+}
+
+DesktopGrid::DesktopGrid(const GridConfig& config, des::Simulator& sim, std::uint64_t seed)
+    : config_(config), sim_(sim),
+      checkpoint_server_(config.checkpoint_transfer, config.checkpoint_server_capacity) {
+  DG_ASSERT(config.total_power > 0.0);
+  rng::RandomStream power_stream = rng::RandomStream::derive(seed, "grid.machine_power");
+  MachineId next_id = 0;
+  while (total_power_ < config_.total_power) {
+    const double power = config_.heterogeneity == Heterogeneity::kHom
+                             ? config_.hom_power
+                             : power_stream.uniform(config_.het_power_lo, config_.het_power_hi);
+    machines_.push_back(std::make_unique<Machine>(next_id, power));
+    total_power_ += power;
+    ++next_id;
+  }
+  processes_.reserve(machines_.size());
+  for (const auto& machine : machines_) {
+    processes_.push_back(std::make_unique<AvailabilityProcess>(
+        sim_, *machine, config_.availability,
+        rng::RandomStream::derive(seed, "grid.availability", machine->id())));
+  }
+  outages_ = std::make_unique<OutageProcess>(sim_, *this, config_.outages,
+                                             rng::RandomStream::derive(seed, "grid.outages"));
+}
+
+void DesktopGrid::start(TransitionCallback on_failure, TransitionCallback on_repair) {
+  for (auto& process : processes_) {
+    process->start(on_failure, on_repair);
+  }
+  outages_->start(on_failure, on_repair);
+}
+
+std::vector<Machine*> DesktopGrid::available_machines() {
+  std::vector<Machine*> result;
+  for (auto& machine : machines_) {
+    if (machine->available()) result.push_back(machine.get());
+  }
+  return result;
+}
+
+std::size_t DesktopGrid::up_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& machine : machines_) {
+    if (machine->up()) ++count;
+  }
+  return count;
+}
+
+std::uint64_t DesktopGrid::total_failures() const noexcept {
+  // Summed from the machines themselves so it also covers trace-driven
+  // failures that bypass the stochastic availability processes.
+  std::uint64_t count = 0;
+  for (const auto& machine : machines_) count += machine->failures();
+  return count;
+}
+
+double DesktopGrid::measured_availability(des::SimTime now) const noexcept {
+  double weighted = 0.0;
+  for (const auto& machine : machines_) {
+    weighted += machine->power() * machine->measured_availability(now);
+  }
+  return total_power_ > 0.0 ? weighted / total_power_ : 1.0;
+}
+
+}  // namespace dg::grid

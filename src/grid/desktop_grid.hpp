@@ -1,0 +1,98 @@
+// Desktop Grid: a population of independently-owned machines.
+//
+// Grid construction follows the paper: fix a total computing power (P = 1000),
+// then add machines until their powers sum to it. Hom grids use P_i = 10
+// (exactly 100 machines); Het grids draw P_i ~ Uniform[2.3, 17.7] (about 100
+// machines). Every machine gets an independent availability process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "grid/availability.hpp"
+#include "grid/checkpoint_server.hpp"
+#include "grid/machine.hpp"
+#include "grid/outage.hpp"
+#include "rng/random_stream.hpp"
+
+namespace dg::grid {
+
+enum class Heterogeneity : std::uint8_t { kHom, kHet };
+
+[[nodiscard]] std::string to_string(Heterogeneity het);
+
+struct GridConfig {
+  Heterogeneity heterogeneity = Heterogeneity::kHom;
+  AvailabilityModel availability = AvailabilityModel::for_level(AvailabilityLevel::kHigh);
+  /// Target total computing power; machines are added until reached.
+  double total_power = 1000.0;
+  /// Hom machine power.
+  double hom_power = 10.0;
+  /// Het power range (uniform).
+  double het_power_lo = 2.3;
+  double het_power_hi = 17.7;
+  /// Checkpoint transfer time to/from the checkpoint server.
+  rng::UniformDist checkpoint_transfer{240.0, 720.0};
+  /// Concurrent transfer slots at the checkpoint server (0 = unlimited, the
+  /// paper's pure-delay model).
+  std::size_t checkpoint_server_capacity = 0;
+  /// Correlated outages (disabled by default); composes with the
+  /// per-machine availability model.
+  OutageModel outages{};
+
+  /// Paper preset, e.g. preset(kHet, kLow) = "Het-LowAvail".
+  [[nodiscard]] static GridConfig preset(Heterogeneity het, AvailabilityLevel level);
+  [[nodiscard]] std::string name() const;
+};
+
+class DesktopGrid {
+ public:
+  using TransitionCallback = std::function<void(Machine&)>;
+
+  /// Builds the machine population deterministically from `seed`.
+  DesktopGrid(const GridConfig& config, des::Simulator& sim, std::uint64_t seed);
+
+  DesktopGrid(const DesktopGrid&) = delete;
+  DesktopGrid& operator=(const DesktopGrid&) = delete;
+
+  /// Starts every machine's availability process; transition callbacks fire
+  /// on each failure/repair. Call once, before running the simulation.
+  void start(TransitionCallback on_failure, TransitionCallback on_repair);
+
+  [[nodiscard]] std::size_t size() const noexcept { return machines_.size(); }
+  [[nodiscard]] Machine& machine(std::size_t i) { return *machines_[i]; }
+  [[nodiscard]] const Machine& machine(std::size_t i) const { return *machines_[i]; }
+
+  /// Sum of machine powers (>= config.total_power by construction).
+  [[nodiscard]] double total_power() const noexcept { return total_power_; }
+  [[nodiscard]] const GridConfig& config() const noexcept { return config_; }
+  [[nodiscard]] CheckpointServer& checkpoint_server() noexcept { return checkpoint_server_; }
+
+  /// Machines currently up and idle, in id order (deterministic dispatch).
+  [[nodiscard]] std::vector<Machine*> available_machines();
+  [[nodiscard]] std::size_t up_count() const noexcept;
+
+  [[nodiscard]] const AvailabilityProcess& availability_process(std::size_t i) const {
+    return *processes_[i];
+  }
+  /// The correlated-outage process (present even when disabled).
+  [[nodiscard]] const OutageProcess& outage_process() const noexcept { return *outages_; }
+  [[nodiscard]] std::uint64_t total_failures() const noexcept;
+  /// Power-weighted mean of measured per-machine availability.
+  [[nodiscard]] double measured_availability(des::SimTime now) const noexcept;
+
+ private:
+  GridConfig config_;
+  des::Simulator& sim_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<std::unique_ptr<AvailabilityProcess>> processes_;
+  std::unique_ptr<OutageProcess> outages_;
+  CheckpointServer checkpoint_server_;
+  double total_power_ = 0.0;
+};
+
+}  // namespace dg::grid

@@ -1,0 +1,58 @@
+#include "grid/outage.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "grid/desktop_grid.hpp"
+#include "util/assert.hpp"
+
+namespace dg::grid {
+
+OutageProcess::OutageProcess(des::Simulator& sim, DesktopGrid& grid, OutageModel model,
+                             rng::RandomStream stream)
+    : sim_(sim), grid_(grid), model_(model), stream_(stream) {
+  DG_ASSERT(model.mean_interarrival > 0.0);
+  DG_ASSERT(model.fraction > 0.0 && model.fraction <= 1.0);
+}
+
+void OutageProcess::start(TransitionCallback on_failure, TransitionCallback on_repair) {
+  if (!model_.enabled) return;
+  on_failure_ = std::move(on_failure);
+  on_repair_ = std::move(on_repair);
+  sim_.schedule_after(stream_.exponential_mean(model_.mean_interarrival), [this] { strike(); });
+}
+
+void OutageProcess::strike() {
+  ++outages_;
+  const std::size_t total = grid_.size();
+  std::size_t count = static_cast<std::size_t>(model_.fraction * static_cast<double>(total));
+  count = std::clamp<std::size_t>(count, 1, total);
+
+  // Sample `count` distinct machines (partial Fisher-Yates over the ids).
+  std::vector<std::size_t> ids(total);
+  for (std::size_t i = 0; i < total; ++i) ids[i] = i;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(stream_.uniform_int(0, total - 1 - i));
+    std::swap(ids[i], ids[j]);
+  }
+
+  const double duration = std::max(1.0, model_.duration.sample(stream_));
+  for (std::size_t i = 0; i < count; ++i) {
+    Machine& machine = grid_.machine(ids[i]);
+    ++machines_hit_;
+    if (machine.force_down(sim_.now())) {
+      if (on_failure_) on_failure_(machine);
+    }
+    // All hit machines come back together; each releases its own cause.
+    sim_.schedule_after(duration, [this, &machine] {
+      if (machine.release_down(sim_.now())) {
+        if (on_repair_) on_repair_(machine);
+      }
+    });
+  }
+
+  sim_.schedule_after(stream_.exponential_mean(model_.mean_interarrival), [this] { strike(); });
+}
+
+}  // namespace dg::grid

@@ -1,0 +1,40 @@
+#include "rng/distributions.hpp"
+
+#include <sstream>
+
+namespace dg::rng {
+
+namespace {
+struct Describer {
+  std::string operator()(const UniformDist& d) const {
+    std::ostringstream oss;
+    oss << "Uniform[" << d.lo << ", " << d.hi << ")";
+    return oss.str();
+  }
+  std::string operator()(const ExponentialDist& d) const {
+    std::ostringstream oss;
+    oss << "Exponential(mean=" << d.mean_value << ")";
+    return oss.str();
+  }
+  std::string operator()(const TruncatedNormalDist& d) const {
+    std::ostringstream oss;
+    oss << "TruncNormal(mu=" << d.mu << ", sigma=" << d.sigma << ", [" << d.lo << ", " << d.hi
+        << "])";
+    return oss.str();
+  }
+  std::string operator()(const WeibullDist& d) const {
+    std::ostringstream oss;
+    oss << "Weibull(shape=" << d.shape << ", scale=" << d.scale << ")";
+    return oss.str();
+  }
+  std::string operator()(const ConstantDist& d) const {
+    std::ostringstream oss;
+    oss << "Constant(" << d.value << ")";
+    return oss.str();
+  }
+};
+}  // namespace
+
+std::string Distribution::describe() const { return std::visit(Describer{}, dist_); }
+
+}  // namespace dg::rng

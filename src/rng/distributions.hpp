@@ -1,0 +1,89 @@
+// Value-semantic distribution descriptors.
+//
+// Model parameters (task sizes, transfer times, failure/repair processes) are
+// carried around as small descriptor objects that know their analytical mean
+// and can sample from a RandomStream. Keeping them as data (rather than bound
+// closures) makes configurations printable, comparable and testable.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <variant>
+
+#include "rng/random_stream.hpp"
+
+namespace dg::rng {
+
+struct UniformDist {
+  double lo = 0.0;
+  double hi = 1.0;
+  [[nodiscard]] double mean() const noexcept { return 0.5 * (lo + hi); }
+  [[nodiscard]] double sample(RandomStream& stream) const noexcept {
+    return stream.uniform(lo, hi);
+  }
+};
+
+struct ExponentialDist {
+  double mean_value = 1.0;
+  [[nodiscard]] double mean() const noexcept { return mean_value; }
+  [[nodiscard]] double sample(RandomStream& stream) const noexcept {
+    return stream.exponential_mean(mean_value);
+  }
+};
+
+struct TruncatedNormalDist {
+  double mu = 0.0;
+  double sigma = 1.0;
+  double lo = 0.0;
+  double hi = 1e300;
+  /// Approximate (untruncated) mean; accurate for mild truncation.
+  [[nodiscard]] double mean() const noexcept { return mu; }
+  [[nodiscard]] double sample(RandomStream& stream) const noexcept {
+    return stream.truncated_normal(mu, sigma, lo, hi);
+  }
+};
+
+struct WeibullDist {
+  double shape = 1.0;
+  double scale = 1.0;
+  [[nodiscard]] double mean() const noexcept {
+    return scale * std::tgamma(1.0 + 1.0 / shape);
+  }
+  [[nodiscard]] double sample(RandomStream& stream) const noexcept {
+    return stream.weibull(shape, scale);
+  }
+  /// Scale that yields the requested mean for this shape.
+  [[nodiscard]] static double scale_for_mean(double mean, double shape) noexcept {
+    return mean / std::tgamma(1.0 + 1.0 / shape);
+  }
+};
+
+struct ConstantDist {
+  double value = 0.0;
+  [[nodiscard]] double mean() const noexcept { return value; }
+  [[nodiscard]] double sample(RandomStream&) const noexcept { return value; }
+};
+
+/// Closed set of distributions usable in model configuration.
+class Distribution {
+ public:
+  Distribution() : dist_(ConstantDist{0.0}) {}
+  Distribution(UniformDist d) : dist_(d) {}                  // NOLINT(google-explicit-constructor)
+  Distribution(ExponentialDist d) : dist_(d) {}              // NOLINT(google-explicit-constructor)
+  Distribution(TruncatedNormalDist d) : dist_(d) {}          // NOLINT(google-explicit-constructor)
+  Distribution(WeibullDist d) : dist_(d) {}                  // NOLINT(google-explicit-constructor)
+  Distribution(ConstantDist d) : dist_(d) {}                 // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] double mean() const noexcept {
+    return std::visit([](const auto& d) { return d.mean(); }, dist_);
+  }
+  [[nodiscard]] double sample(RandomStream& stream) const noexcept {
+    return std::visit([&stream](const auto& d) { return d.sample(stream); }, dist_);
+  }
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::variant<UniformDist, ExponentialDist, TruncatedNormalDist, WeibullDist, ConstantDist> dist_;
+};
+
+}  // namespace dg::rng

@@ -1,0 +1,85 @@
+#include "rng/random_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace dg::rng {
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+RandomStream RandomStream::derive(std::uint64_t parent_seed, std::string_view name,
+                                  std::uint64_t index) noexcept {
+  return RandomStream(mix_seed(mix_seed(parent_seed, fnv1a64(name)), index));
+}
+
+double RandomStream::uniform(double lo, double hi) noexcept {
+  DG_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t RandomStream::uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+  DG_ASSERT(lo <= hi);
+  const std::uint64_t range = hi - lo;  // inclusive width - 1
+  if (range == ~0ULL) return bits();
+  const std::uint64_t span = range + 1;
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % span + 1) % span;
+  std::uint64_t draw = bits();
+  while (draw > limit) draw = bits();
+  return lo + draw % span;
+}
+
+double RandomStream::exponential_mean(double mean) noexcept {
+  DG_ASSERT(mean > 0.0);
+  return -mean * std::log(uniform01_open_left());
+}
+
+double RandomStream::standard_normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double RandomStream::normal(double mu, double sigma) noexcept {
+  DG_ASSERT(sigma >= 0.0);
+  return mu + sigma * standard_normal();
+}
+
+double RandomStream::truncated_normal(double mu, double sigma, double lo, double hi) noexcept {
+  DG_ASSERT(lo < hi);
+  // Rejection sampling is exact and fast for the mild truncations we use
+  // (repair times cut at 6-sigma); cap iterations to stay total.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double x = normal(mu, sigma);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mu, lo, hi);
+}
+
+double RandomStream::weibull(double shape, double scale) noexcept {
+  DG_ASSERT(shape > 0.0);
+  DG_ASSERT(scale > 0.0);
+  return scale * std::pow(-std::log(uniform01_open_left()), 1.0 / shape);
+}
+
+}  // namespace dg::rng

@@ -1,0 +1,86 @@
+// RandomStream — a named, independently-seeded random source.
+//
+// Every stochastic element of a simulation (each machine's failure process,
+// task-size sampling, arrivals, ...) owns its own RandomStream derived from
+// the replication seed and a stable stream id. This gives (a) bitwise
+// reproducibility for a given (seed, config), and (b) common-random-numbers
+// variance reduction across policies: changing the scheduler does not perturb
+// the sampled failure times or task sizes.
+//
+// Distribution sampling is implemented here (inverse-CDF / polar methods)
+// instead of via <random> distributions, whose output is implementation-
+// defined and would break cross-compiler determinism.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace dg::rng {
+
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed) noexcept : engine_(seed) {}
+
+  /// Derives an independent child stream; `stream_id` must be stable across
+  /// runs (e.g. machine index) for reproducibility.
+  [[nodiscard]] static RandomStream derive(std::uint64_t parent_seed,
+                                           std::uint64_t stream_id) noexcept {
+    return RandomStream(mix_seed(parent_seed, stream_id));
+  }
+
+  /// Derives a child keyed by a name (FNV-1a hashed) and an index.
+  [[nodiscard]] static RandomStream derive(std::uint64_t parent_seed, std::string_view name,
+                                           std::uint64_t index = 0) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() noexcept { return engine_.next(); }
+
+  /// Uniform in [0, 1) with 53-bit resolution.
+  double uniform01() noexcept {
+    return static_cast<double>(engine_.next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in (0, 1] — safe to pass to log().
+  double uniform01_open_left() noexcept { return 1.0 - uniform01(); }
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive (unbiased via rejection).
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Exponential with the given mean (mean = 1/rate). Requires mean > 0.
+  double exponential_mean(double mean) noexcept;
+
+  /// Standard normal via Marsaglia's polar method.
+  double standard_normal() noexcept;
+
+  /// Normal(mu, sigma).
+  double normal(double mu, double sigma) noexcept;
+
+  /// Normal(mu, sigma) resampled until the value falls in [lo, hi].
+  /// Used for repair times: Normal(1800, 300) truncated positive.
+  double truncated_normal(double mu, double sigma, double lo, double hi) noexcept;
+
+  /// Weibull with the given shape k and scale lambda (inverse CDF).
+  double weibull(double shape, double scale) noexcept;
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  [[nodiscard]] Xoshiro256& engine() noexcept { return engine_; }
+
+ private:
+  Xoshiro256 engine_;
+  // Cached second variate from the polar method.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// FNV-1a 64-bit hash of a string; used to key named streams.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+}  // namespace dg::rng

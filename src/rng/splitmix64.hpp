@@ -1,0 +1,41 @@
+// SplitMix64 (Steele, Lea, Flood 2014) — used only to expand seeds and derive
+// independent sub-streams. Its full-period 64-bit state walk guarantees that
+// distinct stream ids never produce overlapping xoshiro seeds.
+#pragma once
+
+#include <cstdint>
+
+namespace dg::rng {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of two 64-bit values into one; used to derive the seed of a
+/// named sub-stream from a parent seed (e.g. per-replication, per-machine).
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream_id) noexcept {
+  SplitMix64 mixer(seed ^ (0x6a09e667f3bcc909ULL + stream_id * 0x9e3779b97f4a7c15ULL));
+  // Two rounds decorrelate adjacent stream ids.
+  mixer.next();
+  return mixer.next();
+}
+
+}  // namespace dg::rng

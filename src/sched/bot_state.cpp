@@ -1,0 +1,124 @@
+#include "sched/bot_state.hpp"
+
+#include <algorithm>
+
+namespace dg::sched {
+
+BotState::BotState(const workload::BotSpec& spec, TaskOrder order)
+    : id_(spec.id), arrival_time_(spec.arrival_time), granularity_(spec.granularity),
+      order_(order) {
+  tasks_.reserve(spec.tasks.size());
+  for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
+    tasks_.push_back(std::make_unique<TaskState>(*this, static_cast<workload::TaskIndex>(i),
+                                                 spec.tasks[i].work, spec.arrival_time));
+    total_work_ += spec.tasks[i].work;
+  }
+  unstarted_order_.reserve(tasks_.size());
+  for (const auto& task : tasks_) unstarted_order_.push_back(task.get());
+  if (order_ == TaskOrder::kDescendingWork) {
+    std::stable_sort(unstarted_order_.begin(), unstarted_order_.end(),
+                     [](const TaskState* a, const TaskState* b) { return a->work() > b->work(); });
+  }
+}
+
+TaskState* BotState::peek_unstarted() {
+  while (unstarted_cursor_ < unstarted_order_.size()) {
+    TaskState* task = unstarted_order_[unstarted_cursor_];
+    if (!task->ever_started() && !task->completed()) return task;
+    ++unstarted_cursor_;
+  }
+  return nullptr;
+}
+
+TaskState* BotState::peek_resubmission() {
+  while (!resubmission_queue_.empty()) {
+    TaskState* task = resubmission_queue_.front();
+    if (task->needs_resubmission() && !task->completed() && task->running_replicas() == 0) {
+      return task;
+    }
+    resubmission_queue_.pop_front();
+  }
+  return nullptr;
+}
+
+TaskState* BotState::peek_requeued() {
+  while (!requeue_.empty()) {
+    TaskState* task = requeue_.front();
+    if (task->needs_resubmission() && !task->completed() && task->running_replicas() == 0) {
+      return task;
+    }
+    requeue_.pop_front();
+  }
+  return nullptr;
+}
+
+void BotState::push_resubmission(TaskState& task) {
+  task.set_needs_resubmission(true);
+  resubmission_queue_.push_back(&task);
+}
+
+void BotState::push_requeue(TaskState& task) {
+  task.set_needs_resubmission(true);
+  requeue_.push_back(&task);
+}
+
+bool BotState::has_pending() {
+  return peek_resubmission() != nullptr || peek_unstarted() != nullptr ||
+         peek_requeued() != nullptr;
+}
+
+TaskState* BotState::least_replicated_below(int threshold) {
+  for (const auto& [count, tasks] : buckets_) {
+    if (count >= threshold) break;
+    if (!tasks.empty()) return *tasks.begin();
+  }
+  return nullptr;
+}
+
+void BotState::bucket_insert(TaskState& task, int count) {
+  auto it = buckets_.find(count);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .emplace(count, std::set<TaskState*, OrderedLess>(
+                                 OrderedLess{order_ == TaskOrder::kDescendingWork}))
+             .first;
+  }
+  const bool inserted = it->second.insert(&task).second;
+  DG_ASSERT_MSG(inserted, "task already present in replica bucket");
+}
+
+void BotState::bucket_erase(TaskState& task, int count) {
+  auto bucket = buckets_.find(count);
+  DG_ASSERT_MSG(bucket != buckets_.end(), "missing replica bucket");
+  const std::size_t erased = bucket->second.erase(&task);
+  DG_ASSERT_MSG(erased == 1, "task missing from replica bucket");
+  if (bucket->second.empty()) buckets_.erase(bucket);
+}
+
+void BotState::after_replica_started(TaskState& task) {
+  DG_ASSERT(!task.completed());
+  const int count = task.running_replicas();
+  DG_ASSERT(count >= 1);
+  if (count > 1) bucket_erase(task, count - 1);
+  bucket_insert(task, count);
+  ++total_running_;
+}
+
+void BotState::after_replica_stopped(TaskState& task) {
+  --total_running_;
+  DG_ASSERT(total_running_ >= 0);
+  if (task.completed()) return;  // buckets were cleared at completion
+  const int count = task.running_replicas();
+  bucket_erase(task, count + 1);
+  if (count >= 1) bucket_insert(task, count);
+}
+
+void BotState::on_task_completed(TaskState& task) {
+  const int count = task.running_replicas();
+  if (count >= 1) bucket_erase(task, count);
+  ++completed_count_;
+  completed_work_ += task.work();
+  DG_ASSERT(completed_count_ <= tasks_.size());
+}
+
+}  // namespace dg::sched

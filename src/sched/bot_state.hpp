@@ -1,0 +1,149 @@
+// Runtime state of one BoT application: its per-bag queue in the scheduler.
+//
+// Maintains the dispatch structures the individual-bag schedulers draw from:
+//   * an ordered cursor over never-started tasks (arrival order, or
+//     descending-work order for the knowledge-based extension),
+//   * a priority FIFO of failed tasks awaiting resubmission (WQR-FT),
+//   * a plain re-queue for fault re-execution without priority (WQR/WorkQueue),
+//   * replica-count buckets answering "least-replicated incomplete task below
+//     the replication threshold" in O(log) time.
+// All structures are deterministic (ordered containers, stable tie-breaks).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sched/task_state.hpp"
+#include "workload/bot.hpp"
+
+namespace dg::sched {
+
+/// Ordering used for the unstarted-task cursor and replication tie-breaks.
+enum class TaskOrder : std::uint8_t {
+  kArrival,         // task index order (knowledge-free; the paper's setting)
+  kDescendingWork,  // longest task first (knowledge-based extension)
+};
+
+class BotState {
+ public:
+  BotState(const workload::BotSpec& spec, TaskOrder order = TaskOrder::kArrival);
+
+  BotState(const BotState&) = delete;
+  BotState& operator=(const BotState&) = delete;
+
+  [[nodiscard]] workload::BotId id() const noexcept { return id_; }
+  [[nodiscard]] double arrival_time() const noexcept { return arrival_time_; }
+  [[nodiscard]] double granularity() const noexcept { return granularity_; }
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return tasks_.size(); }
+  [[nodiscard]] TaskState& task(std::size_t i) { return *tasks_[i]; }
+  [[nodiscard]] const TaskState& task(std::size_t i) const { return *tasks_[i]; }
+
+  // --- pending pools ---
+
+  /// Next never-started task in this bag's order, or nullptr.
+  [[nodiscard]] TaskState* peek_unstarted();
+  /// Oldest failed task awaiting priority resubmission (WQR-FT), or nullptr.
+  [[nodiscard]] TaskState* peek_resubmission();
+  /// Oldest task re-queued without priority (WQR / WorkQueue), or nullptr.
+  [[nodiscard]] TaskState* peek_requeued();
+
+  void push_resubmission(TaskState& task);
+  void push_requeue(TaskState& task);
+
+  /// True if any pending (zero-replica, incomplete) task exists.
+  [[nodiscard]] bool has_pending();
+
+  // --- replication candidates ---
+
+  /// Incomplete task with >= 1 and < `threshold` running replicas, fewest
+  /// replicas first (ties by the bag's TaskOrder). nullptr if none.
+  [[nodiscard]] TaskState* least_replicated_below(int threshold);
+
+  // --- bookkeeping driven by the scheduler ---
+
+  /// Call after a replica of `task` started (its count already incremented).
+  void after_replica_started(TaskState& task);
+  /// Call after a replica of `task` stopped (count already decremented).
+  /// No-op for completed tasks.
+  void after_replica_stopped(TaskState& task);
+  /// Call when `task` completes, BEFORE its sibling replicas are stopped
+  /// (the bucket entry is keyed by the still-current replica count).
+  void on_task_completed(TaskState& task);
+
+  // --- bag-level status ---
+
+  [[nodiscard]] std::size_t completed_tasks() const noexcept { return completed_count_; }
+  [[nodiscard]] bool completed() const noexcept { return completed_count_ == tasks_.size(); }
+  [[nodiscard]] int total_running() const noexcept { return total_running_; }
+  [[nodiscard]] double total_work() const noexcept { return total_work_; }
+  /// Work of the not-yet-completed tasks (knowledge-based policies only —
+  /// a knowledge-free scheduler must not consult this).
+  [[nodiscard]] double remaining_work() const noexcept { return total_work_ - completed_work_; }
+
+  /// Time the first replica of any task started (the makespan origin).
+  [[nodiscard]] bool ever_dispatched() const noexcept { return ever_dispatched_; }
+  [[nodiscard]] double first_dispatch_time() const noexcept { return first_dispatch_time_; }
+  [[nodiscard]] double completion_time() const noexcept { return completion_time_; }
+  void note_dispatch(double now) noexcept {
+    if (!ever_dispatched_) {
+      ever_dispatched_ = true;
+      first_dispatch_time_ = now;
+    }
+  }
+  void note_completion(double now) noexcept { completion_time_ = now; }
+
+  // --- turnaround decomposition (paper Section 3) ---
+
+  [[nodiscard]] double turnaround() const noexcept { return completion_time_ - arrival_time_; }
+  [[nodiscard]] double makespan() const noexcept {
+    return completion_time_ - first_dispatch_time_;
+  }
+  [[nodiscard]] double waiting_time() const noexcept {
+    return first_dispatch_time_ - arrival_time_;
+  }
+
+ private:
+  struct OrderedLess {
+    // Comparison by the bag's dispatch order; pointers carry the key data.
+    bool operator()(const TaskState* a, const TaskState* b) const noexcept {
+      if (descending_work) {
+        if (a->work() != b->work()) return a->work() > b->work();
+      }
+      return a->index() < b->index();
+    }
+    bool descending_work = false;
+  };
+
+  void bucket_insert(TaskState& task, int count);
+  void bucket_erase(TaskState& task, int count);
+
+  workload::BotId id_;
+  double arrival_time_;
+  double granularity_;
+  double total_work_ = 0.0;
+  TaskOrder order_;
+  std::vector<std::unique_ptr<TaskState>> tasks_;
+
+  // Unstarted cursor: precomputed dispatch order, advanced lazily.
+  std::vector<TaskState*> unstarted_order_;
+  std::size_t unstarted_cursor_ = 0;
+
+  std::deque<TaskState*> resubmission_queue_;
+  std::deque<TaskState*> requeue_;
+
+  // running-replica-count -> candidate tasks (counts >= 1 only).
+  std::map<int, std::set<TaskState*, OrderedLess>> buckets_;
+
+  std::size_t completed_count_ = 0;
+  double completed_work_ = 0.0;
+  int total_running_ = 0;
+  bool ever_dispatched_ = false;
+  double first_dispatch_time_ = 0.0;
+  double completion_time_ = 0.0;
+};
+
+}  // namespace dg::sched

@@ -1,0 +1,58 @@
+#include "sched/individual.hpp"
+
+#include <stdexcept>
+
+namespace dg::sched {
+
+std::string to_string(IndividualSchedulerKind kind) {
+  switch (kind) {
+    case IndividualSchedulerKind::kWorkQueue: return "WorkQueue";
+    case IndividualSchedulerKind::kWqr: return "WQR";
+    case IndividualSchedulerKind::kWqrFt: return "WQR-FT";
+    case IndividualSchedulerKind::kKnowledgeBased: return "KB-LTF";
+  }
+  return "?";
+}
+
+std::optional<IndividualSchedulerKind> parse_individual_kind(std::string_view name) {
+  auto lower = [](std::string_view text) {
+    std::string out;
+    for (char c : text) out.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+    return out;
+  };
+  static constexpr IndividualSchedulerKind kAll[] = {
+      IndividualSchedulerKind::kWorkQueue, IndividualSchedulerKind::kWqr,
+      IndividualSchedulerKind::kWqrFt, IndividualSchedulerKind::kKnowledgeBased};
+  const std::string needle = lower(name);
+  for (IndividualSchedulerKind kind : kAll) {
+    if (needle == lower(to_string(kind))) return kind;
+  }
+  return std::nullopt;
+}
+
+TaskState* IndividualScheduler::pick(BotState& bot, int threshold) const {
+  if (resubmission_priority()) {
+    if (TaskState* task = bot.peek_resubmission()) return task;
+  }
+  if (TaskState* task = bot.peek_unstarted()) return task;
+  // Non-priority fault re-queue (WQR / WorkQueue semantics). For schedulers
+  // with priority resubmission the re-queue is never fed, so this is a no-op.
+  if (TaskState* task = bot.peek_requeued()) return task;
+  if (threshold > 1) {
+    if (TaskState* task = bot.least_replicated_below(threshold)) return task;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<IndividualScheduler> IndividualScheduler::make(IndividualSchedulerKind kind) {
+  switch (kind) {
+    case IndividualSchedulerKind::kWorkQueue: return std::make_unique<WorkQueueScheduler>();
+    case IndividualSchedulerKind::kWqr: return std::make_unique<WqrScheduler>();
+    case IndividualSchedulerKind::kWqrFt: return std::make_unique<WqrFtScheduler>();
+    case IndividualSchedulerKind::kKnowledgeBased:
+      return std::make_unique<KnowledgeBasedScheduler>();
+  }
+  throw std::invalid_argument("IndividualScheduler::make: unknown kind");
+}
+
+}  // namespace dg::sched

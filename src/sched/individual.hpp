@@ -1,0 +1,96 @@
+// Individual-bag schedulers: which task of a chosen bag runs next.
+//
+// The paper delegates individual-bag scheduling to WQR-FT (Anglano & Canonico
+// 2005): WorkQueue order for never-started tasks, replication of running
+// tasks once the bag has no pending work, checkpointing, and automatic
+// priority resubmission of failed tasks. We also implement its ancestors
+// (WorkQueue, WQR) as baselines/ablations and a knowledge-based variant
+// (longest-task-first) for the paper's future-work direction 2(b).
+//
+// Pick order:
+//   WQR-FT:  priority resubmissions -> unstarted -> least-replicated(<R)
+//   WQR:     unstarted -> non-priority re-queue -> least-replicated(<R)
+//   WorkQueue: unstarted -> non-priority re-queue  (threshold fixed at 1)
+//   KB:      like WQR-FT but tasks ordered by descending work
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sched/bot_state.hpp"
+
+namespace dg::sched {
+
+enum class IndividualSchedulerKind : std::uint8_t {
+  kWorkQueue,
+  kWqr,
+  kWqrFt,
+  kKnowledgeBased,
+};
+
+[[nodiscard]] std::string to_string(IndividualSchedulerKind kind);
+/// Inverse of to_string (case-insensitive); nullopt for unknown names.
+[[nodiscard]] std::optional<IndividualSchedulerKind> parse_individual_kind(
+    std::string_view name);
+
+class IndividualScheduler {
+ public:
+  virtual ~IndividualScheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Whether replicas checkpoint to the checkpoint server.
+  [[nodiscard]] virtual bool checkpointing() const = 0;
+  /// Whether failed tasks are resubmitted with priority over unstarted ones.
+  [[nodiscard]] virtual bool resubmission_priority() const = 0;
+  /// Baseline replication threshold (policies may override upward).
+  [[nodiscard]] virtual int default_threshold() const = 0;
+  /// Task ordering for the bag's dispatch structures.
+  [[nodiscard]] virtual TaskOrder task_order() const { return TaskOrder::kArrival; }
+
+  /// Picks the next task of `bot` to start a replica of, honoring the
+  /// replication threshold. Returns nullptr when nothing is dispatchable.
+  [[nodiscard]] virtual TaskState* pick(BotState& bot, int threshold) const;
+
+  [[nodiscard]] static std::unique_ptr<IndividualScheduler> make(IndividualSchedulerKind kind);
+};
+
+class WorkQueueScheduler final : public IndividualScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "WorkQueue"; }
+  [[nodiscard]] bool checkpointing() const override { return false; }
+  [[nodiscard]] bool resubmission_priority() const override { return false; }
+  [[nodiscard]] int default_threshold() const override { return 1; }
+};
+
+class WqrScheduler final : public IndividualScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "WQR"; }
+  [[nodiscard]] bool checkpointing() const override { return false; }
+  [[nodiscard]] bool resubmission_priority() const override { return false; }
+  [[nodiscard]] int default_threshold() const override { return 2; }
+};
+
+class WqrFtScheduler final : public IndividualScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "WQR-FT"; }
+  [[nodiscard]] bool checkpointing() const override { return true; }
+  [[nodiscard]] bool resubmission_priority() const override { return true; }
+  [[nodiscard]] int default_threshold() const override { return 2; }
+};
+
+/// Knowledge-based extension: assumes task execution times are known and
+/// serves the longest remaining tasks first (reduces the tail of the bag's
+/// makespan). Keeps WQR-FT's fault tolerance.
+class KnowledgeBasedScheduler final : public IndividualScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "KB-LTF"; }
+  [[nodiscard]] bool checkpointing() const override { return true; }
+  [[nodiscard]] bool resubmission_priority() const override { return true; }
+  [[nodiscard]] int default_threshold() const override { return 2; }
+  [[nodiscard]] TaskOrder task_order() const override { return TaskOrder::kDescendingWork; }
+};
+
+}  // namespace dg::sched

@@ -1,0 +1,261 @@
+#include "sched/policies.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace dg::sched {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFcfsExcl: return "FCFS-Excl";
+    case PolicyKind::kFcfsShare: return "FCFS-Share";
+    case PolicyKind::kRoundRobin: return "RR";
+    case PolicyKind::kRoundRobinNrf: return "RR-NRF";
+    case PolicyKind::kLongIdle: return "LongIdle";
+    case PolicyKind::kRandom: return "Random";
+    case PolicyKind::kShortestBagFirst: return "SJF-Bag";
+    case PolicyKind::kPendingFirst: return "PF-RR";
+  }
+  return "?";
+}
+
+namespace {
+std::string ascii_lower(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) out.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  return out;
+}
+}  // namespace
+
+std::optional<PolicyKind> parse_policy_kind(std::string_view name) {
+  static constexpr PolicyKind kAll[] = {
+      PolicyKind::kFcfsExcl,   PolicyKind::kFcfsShare,        PolicyKind::kRoundRobin,
+      PolicyKind::kRoundRobinNrf, PolicyKind::kLongIdle,      PolicyKind::kRandom,
+      PolicyKind::kShortestBagFirst, PolicyKind::kPendingFirst};
+  const std::string lower = ascii_lower(name);
+  for (PolicyKind kind : kAll) {
+    if (lower == ascii_lower(to_string(kind))) return kind;
+  }
+  return std::nullopt;
+}
+
+std::span<const PolicyKind> paper_policies() noexcept {
+  static constexpr std::array<PolicyKind, 5> kPolicies = {
+      PolicyKind::kFcfsExcl, PolicyKind::kFcfsShare, PolicyKind::kRoundRobin,
+      PolicyKind::kRoundRobinNrf, PolicyKind::kLongIdle};
+  return kPolicies;
+}
+
+std::unique_ptr<BagSelectionPolicy> make_policy(PolicyKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kFcfsExcl: return std::make_unique<FcfsExclPolicy>();
+    case PolicyKind::kFcfsShare: return std::make_unique<FcfsSharePolicy>();
+    case PolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::kRoundRobinNrf: return std::make_unique<RoundRobinNrfPolicy>();
+    case PolicyKind::kLongIdle: return std::make_unique<LongIdlePolicy>();
+    case PolicyKind::kRandom: return std::make_unique<RandomPolicy>(seed);
+    case PolicyKind::kShortestBagFirst: return std::make_unique<ShortestBagFirstPolicy>();
+    case PolicyKind::kPendingFirst: return std::make_unique<PendingFirstPolicy>();
+  }
+  throw std::invalid_argument("make_policy: unknown policy kind");
+}
+
+// --- FCFS-Excl ---
+
+TaskState* FcfsExclPolicy::select(SchedulerContext& ctx) {
+  if (ctx.bots.empty()) return nullptr;
+  return ctx.pick_from(*ctx.bots.front());
+}
+
+// --- FCFS-Share ---
+
+TaskState* FcfsSharePolicy::select(SchedulerContext& ctx) {
+  // Bags are served fully (pending first, then replication up to the
+  // threshold — the WQR-FT order) strictly in arrival order: a machine goes
+  // to the next bag only when every older bag has no use for it. In
+  // particular a resubmitted replica of a failed task of the first BoT has
+  // priority over tasks of the second BoT, as the paper requires.
+  for (BotState* bot : ctx.bots) {
+    if (TaskState* task = ctx.pick_from(*bot)) return task;
+  }
+  return nullptr;
+}
+
+// --- RR ---
+
+TaskState* RoundRobinPolicy::round_robin_pick(SchedulerContext& ctx) {
+  const std::size_t n = ctx.bots.size();
+  if (n == 0) return nullptr;
+  // Bags are in arrival order with increasing ids; resume after the cursor.
+  std::size_t start = 0;
+  while (start < n && static_cast<std::uint64_t>(ctx.bots[start]->id()) <= cursor_) ++start;
+  if (start == n) start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    BotState* bot = ctx.bots[(start + i) % n];
+    if (TaskState* task = ctx.pick_from(*bot)) {
+      cursor_ = bot->id();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+TaskState* RoundRobinPolicy::select(SchedulerContext& ctx) { return round_robin_pick(ctx); }
+
+// --- RR-NRF ---
+
+TaskState* RoundRobinNrfPolicy::select(SchedulerContext& ctx) {
+  // Bags with no running task instance first; the circular cursor is
+  // suspended (not advanced) while serving them.
+  for (BotState* bot : ctx.bots) {
+    if (bot->total_running() == 0) {
+      if (TaskState* task = ctx.pick_from(*bot)) return task;
+    }
+  }
+  return round_robin_pick(ctx);
+}
+
+// --- LongIdle ---
+
+void LongIdlePolicy::on_bot_arrival(BotState& bot, double /*now*/) {
+  BagIndex& index = bags_[bot.id()];
+  index.bot = &bot;
+  // One sentinel covers all never-started tasks: each has frozen_idle = 0 and
+  // idle_since = arrival, hence the shared key -arrival_time.
+  index.idle.push(Entry{-bot.arrival_time(), nullptr});
+}
+
+void LongIdlePolicy::on_bot_completion(BotState& bot, double /*now*/) { bags_.erase(bot.id()); }
+
+void LongIdlePolicy::on_task_transition(TaskState& task, double /*now*/) {
+  if (task.completed()) return;
+  auto it = bags_.find(task.bot().id());
+  if (it == bags_.end()) return;
+  BagIndex& index = it->second;
+  if (task.running_replicas() == 0) {
+    index.idle.push(Entry{task.frozen_idle() - task.idle_since(), &task});
+  } else {
+    index.frozen.push(Entry{task.frozen_idle(), &task});
+  }
+}
+
+double LongIdlePolicy::bag_priority(BagIndex& index, double now) {
+  double best = -std::numeric_limits<double>::infinity();
+  // Idle side: entry valid iff the task is still idle with an unchanged key.
+  while (!index.idle.empty()) {
+    const Entry& top = index.idle.top();
+    if (top.task == nullptr) {
+      if (index.bot->peek_unstarted() != nullptr) {
+        best = std::max(best, top.key + now);
+        break;
+      }
+      index.idle.pop();
+      continue;
+    }
+    const TaskState& task = *top.task;
+    const bool valid = !task.completed() && task.running_replicas() == 0 &&
+                       task.frozen_idle() - task.idle_since() == top.key;
+    if (valid) {
+      best = std::max(best, top.key + now);
+      break;
+    }
+    index.idle.pop();
+  }
+  // Frozen side: entry valid iff the task is running with an unchanged key.
+  while (!index.frozen.empty()) {
+    const Entry& top = index.frozen.top();
+    const TaskState& task = *top.task;
+    const bool valid =
+        !task.completed() && task.running_replicas() > 0 && task.frozen_idle() == top.key;
+    if (valid) {
+      best = std::max(best, top.key);
+      break;
+    }
+    index.frozen.pop();
+  }
+  return best;
+}
+
+TaskState* LongIdlePolicy::select(SchedulerContext& ctx) {
+  // Rank bags by the largest waiting time among their incomplete tasks;
+  // ties (and equal priorities) resolve to the older bag.
+  std::vector<std::pair<double, std::size_t>> ranked;
+  ranked.reserve(ctx.bots.size());
+  for (std::size_t i = 0; i < ctx.bots.size(); ++i) {
+    auto it = bags_.find(ctx.bots[i]->id());
+    DG_ASSERT_MSG(it != bags_.end(), "LongIdle missing bag index (arrival hook not called?)");
+    ranked.emplace_back(bag_priority(it->second, ctx.now), i);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (const auto& [priority, i] : ranked) {
+    if (TaskState* task = ctx.pick_from(*ctx.bots[i])) return task;
+  }
+  return nullptr;
+}
+
+// --- PF-RR (hybrid extension) ---
+
+TaskState* PendingFirstPolicy::select(SchedulerContext& ctx) {
+  // Pass 1: pending work (priority resubmissions, then unstarted tasks)
+  // strictly in bag-arrival order.
+  for (BotState* bot : ctx.bots) {
+    if (bot->has_pending()) return ctx.pick_from(*bot);
+  }
+  // Pass 2: every task everywhere has a replica — replicate, but spread
+  // across bags with a persistent circular cursor instead of favouring the
+  // oldest bag.
+  const std::size_t n = ctx.bots.size();
+  if (n == 0) return nullptr;
+  std::size_t start = 0;
+  while (start < n && static_cast<std::uint64_t>(ctx.bots[start]->id()) <= replication_cursor_) {
+    ++start;
+  }
+  if (start == n) start = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    BotState* bot = ctx.bots[(start + i) % n];
+    if (TaskState* task = ctx.pick_from(*bot)) {
+      replication_cursor_ = bot->id();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+// --- SJF-Bag (knowledge-based baseline) ---
+
+TaskState* ShortestBagFirstPolicy::select(SchedulerContext& ctx) {
+  // Bags sorted by remaining work ascending; ties resolve to the older bag
+  // (ctx.bots is in arrival order, stable_sort preserves it).
+  std::vector<BotState*> ranked(ctx.bots.begin(), ctx.bots.end());
+  std::stable_sort(ranked.begin(), ranked.end(), [](const BotState* a, const BotState* b) {
+    return a->remaining_work() < b->remaining_work();
+  });
+  for (BotState* bot : ranked) {
+    if (TaskState* task = ctx.pick_from(*bot)) return task;
+  }
+  return nullptr;
+}
+
+// --- Random ---
+
+TaskState* RandomPolicy::select(SchedulerContext& ctx) {
+  std::vector<BotState*> dispatchable;
+  dispatchable.reserve(ctx.bots.size());
+  for (BotState* bot : ctx.bots) {
+    if (ctx.pick_from(*bot) != nullptr) dispatchable.push_back(bot);
+  }
+  if (dispatchable.empty()) return nullptr;
+  const auto choice =
+      static_cast<std::size_t>(stream_.uniform_int(0, dispatchable.size() - 1));
+  return ctx.pick_from(*dispatchable[choice]);
+}
+
+}  // namespace dg::sched

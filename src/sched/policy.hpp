@@ -1,0 +1,84 @@
+// Bag selection: the paper's contribution.
+//
+// Whenever a machine frees up, the MultiBotScheduler asks the policy which
+// task to dispatch next. The policy sees the active (incomplete) bags in
+// arrival order plus the individual-bag scheduler and the effective
+// replication threshold; it returns a task (typically by choosing a bag and
+// delegating the within-bag choice to the individual scheduler) or nullptr
+// when nothing is dispatchable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sched/bot_state.hpp"
+#include "sched/individual.hpp"
+
+namespace dg::sched {
+
+enum class PolicyKind : std::uint8_t {
+  // The paper's five knowledge-free policies:
+  kFcfsExcl,
+  kFcfsShare,
+  kRoundRobin,
+  kRoundRobinNrf,
+  kLongIdle,
+  // Baselines and extensions beyond the paper:
+  kRandom,            // uniform choice among dispatchable bags (Cirne et al.)
+  kShortestBagFirst,  // knowledge-based: least remaining work first (SJF)
+  kPendingFirst,      // hybrid: pending tasks FCFS, replication round-robin
+};
+
+[[nodiscard]] std::string to_string(PolicyKind kind);
+/// Inverse of to_string (also accepts lowercase); nullopt for unknown names.
+[[nodiscard]] std::optional<PolicyKind> parse_policy_kind(std::string_view name);
+
+/// All paper policies, in the order the figures plot them.
+[[nodiscard]] std::span<const PolicyKind> paper_policies() noexcept;
+
+/// Everything a policy may consult when selecting.
+struct SchedulerContext {
+  double now = 0.0;
+  /// Incomplete bags in arrival order.
+  std::span<BotState* const> bots;
+  const IndividualScheduler* individual = nullptr;
+  /// Effective replication threshold for this dispatch decision.
+  int threshold = 2;
+
+  /// Within-bag choice via the individual scheduler.
+  [[nodiscard]] TaskState* pick_from(BotState& bot) const {
+    return individual->pick(bot, threshold);
+  }
+};
+
+class BagSelectionPolicy {
+ public:
+  virtual ~BagSelectionPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Chooses the next task to dispatch, or nullptr if no bag has work under
+  /// the current threshold. Called once per free machine.
+  [[nodiscard]] virtual TaskState* select(SchedulerContext& ctx) = 0;
+
+  /// FCFS-Excl raises the WQR-FT threshold to "potentially unlimited".
+  [[nodiscard]] virtual bool unlimited_replication() const { return false; }
+
+  // Lifecycle hooks (default no-ops). on_task_transition fires after any
+  // change to a task's replica count or completion state — LongIdle uses it
+  // to maintain its waiting-time indices.
+  virtual void on_bot_arrival(BotState& /*bot*/, double /*now*/) {}
+  virtual void on_bot_completion(BotState& /*bot*/, double /*now*/) {}
+  virtual void on_task_transition(TaskState& /*task*/, double /*now*/) {}
+};
+
+/// Factory for the built-in policies. `seed` feeds stochastic policies
+/// (kRandom); deterministic policies ignore it.
+[[nodiscard]] std::unique_ptr<BagSelectionPolicy> make_policy(PolicyKind kind,
+                                                              std::uint64_t seed = 0);
+
+}  // namespace dg::sched

@@ -1,0 +1,72 @@
+// Replication-threshold control.
+//
+// The paper fixes WQR-FT's replication threshold at 2 (higher static values
+// buy little and waste cycles). Its future-work direction 2(a) proposes
+// *dynamic* replication; DynamicReplication is our instantiation: it tracks
+// an exponentially-weighted failure fraction over observed replica outcomes
+// (knowledge-free — the scheduler only watches its own dispatches) and picks
+// the smallest r with p_fail^r below a target loss probability.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+namespace dg::sched {
+
+class ReplicationController {
+ public:
+  virtual ~ReplicationController() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual int threshold() const = 0;
+  virtual void on_replica_failure() {}
+  virtual void on_replica_success() {}
+};
+
+class StaticReplication final : public ReplicationController {
+ public:
+  explicit StaticReplication(int threshold) : threshold_(std::max(1, threshold)) {}
+  [[nodiscard]] std::string name() const override {
+    return "static(" + std::to_string(threshold_) + ")";
+  }
+  [[nodiscard]] int threshold() const override { return threshold_; }
+
+ private:
+  int threshold_;
+};
+
+class DynamicReplication final : public ReplicationController {
+ public:
+  /// `target_loss`: acceptable probability that all replicas of a task fail.
+  /// `alpha`: EWMA weight of each new observation. `max_threshold` caps r.
+  explicit DynamicReplication(double target_loss = 0.05, double alpha = 0.02,
+                              int max_threshold = 4)
+      : target_loss_(target_loss), alpha_(alpha), max_threshold_(max_threshold) {}
+
+  [[nodiscard]] std::string name() const override { return "dynamic"; }
+
+  [[nodiscard]] int threshold() const override {
+    if (failure_fraction_ <= target_loss_) return 1;
+    if (failure_fraction_ >= 1.0) return max_threshold_;
+    const double r = std::log(target_loss_) / std::log(failure_fraction_);
+    return std::clamp(static_cast<int>(std::ceil(r)), 1, max_threshold_);
+  }
+
+  void on_replica_failure() override { observe(1.0); }
+  void on_replica_success() override { observe(0.0); }
+
+  [[nodiscard]] double failure_fraction() const noexcept { return failure_fraction_; }
+
+ private:
+  void observe(double outcome) noexcept {
+    failure_fraction_ = (1.0 - alpha_) * failure_fraction_ + alpha_ * outcome;
+  }
+
+  double target_loss_;
+  double alpha_;
+  int max_threshold_;
+  double failure_fraction_ = 0.0;
+};
+
+}  // namespace dg::sched

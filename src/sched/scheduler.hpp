@@ -1,0 +1,108 @@
+// MultiBotScheduler: the paper's two-step centralized scheduler.
+//
+// On every trigger (bag arrival, machine freed, machine repaired, replica
+// failure) it runs the dispatch loop: while an up-and-idle machine exists,
+// ask the bag-selection policy for the next task (step 1), which delegates
+// the within-bag choice to the individual scheduler (step 2), and hand the
+// (task, machine) pair to the execution engine via DispatchSink.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "grid/desktop_grid.hpp"
+#include "sched/bot_state.hpp"
+#include "sched/individual.hpp"
+#include "sched/policy.hpp"
+#include "sched/replication.hpp"
+
+namespace dg::sched {
+
+/// Where dispatch decisions go: implemented by sim::ExecutionEngine.
+class DispatchSink {
+ public:
+  virtual ~DispatchSink() = default;
+  virtual void start_replica(TaskState& task, grid::Machine& machine) = 0;
+};
+
+class MultiBotScheduler {
+ public:
+  MultiBotScheduler(des::Simulator& sim, grid::DesktopGrid& grid,
+                    std::unique_ptr<BagSelectionPolicy> policy,
+                    std::unique_ptr<IndividualScheduler> individual,
+                    std::unique_ptr<ReplicationController> replication);
+
+  MultiBotScheduler(const MultiBotScheduler&) = delete;
+  MultiBotScheduler& operator=(const MultiBotScheduler&) = delete;
+
+  void set_sink(DispatchSink& sink) noexcept { sink_ = &sink; }
+  /// Invoked when a bag's last task completes (Simulation records metrics).
+  void set_bot_completed_callback(std::function<void(BotState&)> callback) {
+    on_bot_completed_ = std::move(callback);
+  }
+
+  /// Registers an arriving bag (caller keeps ownership) and dispatches.
+  void submit(BotState& bot);
+
+  /// Dispatch loop; re-entrancy safe.
+  void trigger();
+
+  // --- engine notifications (see sim/execution_engine.cpp for call order) ---
+
+  /// After task.on_replica_started().
+  void notify_replica_started(TaskState& task);
+
+  enum class StopReason : std::uint8_t {
+    kFailed,     // host machine failed
+    kCancelled,  // sibling replica won
+    kWinner,     // this replica completed the task
+  };
+  /// After task.on_replica_stopped().
+  void notify_replica_stopped(TaskState& task, StopReason reason);
+
+  /// After task.mark_completed(), BEFORE sibling replicas are stopped.
+  void notify_task_completed(TaskState& task);
+
+  /// A machine came back up (or otherwise became available).
+  void notify_capacity_change() { trigger(); }
+
+  // --- queries ---
+
+  [[nodiscard]] const std::vector<BotState*>& active_bots() const noexcept {
+    return active_bots_;
+  }
+  [[nodiscard]] const BagSelectionPolicy& policy() const noexcept { return *policy_; }
+  [[nodiscard]] const IndividualScheduler& individual() const noexcept { return *individual_; }
+  [[nodiscard]] const ReplicationController& replication() const noexcept {
+    return *replication_;
+  }
+  /// Threshold in force for the next dispatch decision.
+  [[nodiscard]] int effective_threshold() const;
+
+  [[nodiscard]] std::uint64_t replicas_started() const noexcept { return replicas_started_; }
+  [[nodiscard]] std::uint64_t tasks_completed() const noexcept { return tasks_completed_; }
+  [[nodiscard]] std::uint64_t bots_completed() const noexcept { return bots_completed_; }
+  [[nodiscard]] std::uint64_t replica_failures() const noexcept { return replica_failures_; }
+
+ private:
+  des::Simulator& sim_;
+  grid::DesktopGrid& grid_;
+  std::unique_ptr<BagSelectionPolicy> policy_;
+  std::unique_ptr<IndividualScheduler> individual_;
+  std::unique_ptr<ReplicationController> replication_;
+  DispatchSink* sink_ = nullptr;
+  std::function<void(BotState&)> on_bot_completed_;
+
+  std::vector<BotState*> active_bots_;  // incomplete, arrival order
+  bool in_trigger_ = false;
+
+  std::uint64_t replicas_started_ = 0;
+  std::uint64_t tasks_completed_ = 0;
+  std::uint64_t bots_completed_ = 0;
+  std::uint64_t replica_failures_ = 0;
+};
+
+}  // namespace dg::sched

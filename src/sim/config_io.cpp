@@ -1,0 +1,251 @@
+#include "sim/config_io.hpp"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/ini.hpp"
+
+namespace dg::sim {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("simulation config: " + message);
+}
+
+void check_known_keys(const util::IniFile& ini, std::string_view section,
+                      const std::set<std::string>& known) {
+  for (const std::string& key : ini.keys(section)) {
+    if (!known.contains(key)) {
+      fail("unknown key '" + key + "' in section [" + std::string(section) + "]");
+    }
+  }
+}
+
+std::vector<double> parse_number_list(const std::string& text) {
+  std::vector<double> values;
+  std::istringstream iss(text);
+  std::string item;
+  while (std::getline(iss, item, ',')) {
+    const std::string trimmed{util::trim(item)};
+    if (trimmed.empty()) continue;
+    values.push_back(std::stod(trimmed));
+  }
+  return values;
+}
+
+}  // namespace
+
+SimulationConfig load_simulation_config(std::istream& is) {
+  const util::IniFile ini = util::IniFile::parse(is);
+  for (const std::string& section : ini.sections()) {
+    if (section != "grid" && section != "workload" && section != "scheduler" &&
+        section != "run" && !section.empty()) {
+      fail("unknown section [" + section + "]");
+    }
+  }
+  SimulationConfig config;
+
+  // --- [grid] ---
+  check_known_keys(ini, "grid",
+                   {"heterogeneity", "availability", "total_power", "hom_power",
+                    "het_power_lo", "het_power_hi", "outages", "outage_fraction",
+                    "outage_interarrival", "outage_duration_lo", "outage_duration_hi",
+                    "checkpoint_server_capacity"});
+  if (auto text = ini.get("grid", "heterogeneity")) {
+    if (*text == "Hom" || *text == "hom") {
+      config.grid.heterogeneity = grid::Heterogeneity::kHom;
+    } else if (*text == "Het" || *text == "het") {
+      config.grid.heterogeneity = grid::Heterogeneity::kHet;
+    } else {
+      fail("heterogeneity must be Hom or Het, got '" + *text + "'");
+    }
+  }
+  if (auto text = ini.get("grid", "availability")) {
+    if (auto level = grid::parse_availability_level(*text)) {
+      config.grid.availability = grid::AvailabilityModel::for_level(*level);
+    } else {
+      try {
+        const double target = std::stod(*text);
+        config.grid.availability = grid::AvailabilityModel::from_availability(target);
+      } catch (const std::invalid_argument&) {
+        fail("availability must be high|med|low|always or a number in (0,1), got '" + *text +
+             "'");
+      }
+    }
+  }
+  if (auto v = ini.get_double("grid", "total_power")) config.grid.total_power = *v;
+  if (auto v = ini.get_double("grid", "hom_power")) config.grid.hom_power = *v;
+  if (auto v = ini.get_double("grid", "het_power_lo")) config.grid.het_power_lo = *v;
+  if (auto v = ini.get_double("grid", "het_power_hi")) config.grid.het_power_hi = *v;
+  if (auto v = ini.get_bool("grid", "outages")) config.grid.outages.enabled = *v;
+  if (auto v = ini.get_double("grid", "outage_fraction")) config.grid.outages.fraction = *v;
+  if (auto v = ini.get_double("grid", "outage_interarrival")) {
+    config.grid.outages.mean_interarrival = *v;
+  }
+  if (auto v = ini.get_int("grid", "checkpoint_server_capacity")) {
+    config.grid.checkpoint_server_capacity = static_cast<std::size_t>(*v);
+  }
+  {
+    const auto lo = ini.get_double("grid", "outage_duration_lo");
+    const auto hi = ini.get_double("grid", "outage_duration_hi");
+    if (lo.has_value() != hi.has_value()) {
+      fail("outage_duration_lo and outage_duration_hi must be given together");
+    }
+    if (lo) config.grid.outages.duration = rng::UniformDist{*lo, *hi};
+  }
+
+  // --- [workload] ---
+  check_known_keys(ini, "workload",
+                   {"granularity", "granularities", "spread", "bag_size", "num_bots",
+                    "utilization", "arrival_rate", "arrivals", "burst_intensity",
+                    "burst_fraction"});
+  const double spread = ini.get_double("workload", "spread").value_or(0.5);
+  if (ini.get("workload", "granularity") && ini.get("workload", "granularities")) {
+    fail("give either granularity or granularities, not both");
+  }
+  if (auto v = ini.get_double("workload", "granularity")) {
+    config.workload.types = {workload::BotType{*v, spread}};
+  } else if (auto text = ini.get("workload", "granularities")) {
+    config.workload.types.clear();
+    for (double g : parse_number_list(*text)) {
+      config.workload.types.push_back(workload::BotType{g, spread});
+    }
+    if (config.workload.types.empty()) fail("granularities list is empty");
+  } else {
+    config.workload.types = {workload::BotType{5000.0, spread}};
+  }
+  if (auto v = ini.get_double("workload", "bag_size")) config.workload.bag_size = *v;
+  if (auto v = ini.get_int("workload", "num_bots")) {
+    config.workload.num_bots = static_cast<std::size_t>(*v);
+  }
+  if (ini.get("workload", "utilization") && ini.get("workload", "arrival_rate")) {
+    fail("give either utilization or arrival_rate, not both");
+  }
+  if (auto v = ini.get_double("workload", "utilization")) {
+    config.workload.arrival_rate = workload::arrival_rate_for_utilization(
+        *v, config.workload.bag_size, workload::effective_grid_power(config.grid));
+  } else if (auto v2 = ini.get_double("workload", "arrival_rate")) {
+    config.workload.arrival_rate = *v2;
+  } else {
+    config.workload.arrival_rate = workload::arrival_rate_for_utilization(
+        0.5, config.workload.bag_size, workload::effective_grid_power(config.grid));
+  }
+  if (auto text = ini.get("workload", "arrivals")) {
+    if (auto process = workload::parse_arrival_process(*text)) {
+      config.workload.arrivals = *process;
+    } else {
+      fail("arrivals must be Poisson|UniformJitter|Bursty, got '" + *text + "'");
+    }
+  }
+  if (auto v = ini.get_double("workload", "burst_intensity")) {
+    config.workload.burst_intensity = *v;
+  }
+  if (auto v = ini.get_double("workload", "burst_fraction")) config.workload.burst_fraction = *v;
+
+  // --- [scheduler] ---
+  check_known_keys(ini, "scheduler",
+                   {"policy", "individual", "replication_threshold", "dynamic_replication"});
+  if (auto text = ini.get("scheduler", "policy")) {
+    if (auto kind = sched::parse_policy_kind(*text)) {
+      config.policy = *kind;
+    } else {
+      fail("unknown policy '" + *text + "'");
+    }
+  }
+  if (auto text = ini.get("scheduler", "individual")) {
+    if (auto kind = sched::parse_individual_kind(*text)) {
+      config.individual = *kind;
+    } else {
+      fail("unknown individual scheduler '" + *text + "'");
+    }
+  }
+  if (auto v = ini.get_int("scheduler", "replication_threshold")) {
+    config.replication_threshold = static_cast<int>(*v);
+  }
+  if (auto v = ini.get_bool("scheduler", "dynamic_replication")) {
+    config.dynamic_replication = *v;
+  }
+
+  // --- [run] ---
+  check_known_keys(ini, "run", {"seed", "warmup_bots", "max_sim_time", "monitor_interval"});
+  if (auto v = ini.get_int("run", "seed")) config.seed = static_cast<std::uint64_t>(*v);
+  if (auto v = ini.get_int("run", "warmup_bots")) {
+    config.warmup_bots = static_cast<std::size_t>(*v);
+  }
+  if (auto v = ini.get_double("run", "max_sim_time")) config.max_sim_time = *v;
+  if (auto v = ini.get_double("run", "monitor_interval")) config.monitor_interval = *v;
+
+  return config;
+}
+
+void save_simulation_config(std::ostream& os, const SimulationConfig& config) {
+  util::IniFile ini;
+  auto number = [](double v) {
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << v;
+    return oss.str();
+  };
+
+  ini.set("grid", "heterogeneity", grid::to_string(config.grid.heterogeneity));
+  if (config.grid.availability.failures_enabled) {
+    ini.set("grid", "availability", number(config.grid.availability.availability()));
+  } else {
+    ini.set("grid", "availability", "always");
+  }
+  ini.set("grid", "total_power", number(config.grid.total_power));
+  ini.set("grid", "hom_power", number(config.grid.hom_power));
+  ini.set("grid", "het_power_lo", number(config.grid.het_power_lo));
+  ini.set("grid", "het_power_hi", number(config.grid.het_power_hi));
+  if (config.grid.outages.enabled) {
+    ini.set("grid", "outages", "true");
+    ini.set("grid", "outage_fraction", number(config.grid.outages.fraction));
+    ini.set("grid", "outage_interarrival", number(config.grid.outages.mean_interarrival));
+  }
+  if (config.grid.checkpoint_server_capacity != 0) {
+    ini.set("grid", "checkpoint_server_capacity",
+            std::to_string(config.grid.checkpoint_server_capacity));
+  }
+
+  if (config.workload.types.size() == 1) {
+    ini.set("workload", "granularity", number(config.workload.types[0].granularity));
+  } else {
+    std::string list;
+    for (std::size_t i = 0; i < config.workload.types.size(); ++i) {
+      if (i != 0) list += ", ";
+      list += number(config.workload.types[i].granularity);
+    }
+    ini.set("workload", "granularities", list);
+  }
+  if (!config.workload.types.empty()) {
+    ini.set("workload", "spread", number(config.workload.types[0].spread));
+  }
+  ini.set("workload", "bag_size", number(config.workload.bag_size));
+  ini.set("workload", "num_bots", std::to_string(config.workload.num_bots));
+  ini.set("workload", "arrival_rate", number(config.workload.arrival_rate));
+  ini.set("workload", "arrivals", workload::to_string(config.workload.arrivals));
+  if (config.workload.arrivals == workload::ArrivalProcess::kBursty) {
+    ini.set("workload", "burst_intensity", number(config.workload.burst_intensity));
+    ini.set("workload", "burst_fraction", number(config.workload.burst_fraction));
+  }
+
+  ini.set("scheduler", "policy", sched::to_string(config.policy));
+  ini.set("scheduler", "individual", sched::to_string(config.individual));
+  ini.set("scheduler", "replication_threshold", std::to_string(config.replication_threshold));
+  ini.set("scheduler", "dynamic_replication", config.dynamic_replication ? "true" : "false");
+
+  ini.set("run", "seed", std::to_string(config.seed));
+  ini.set("run", "warmup_bots", std::to_string(config.warmup_bots));
+  if (config.max_sim_time > 0.0) ini.set("run", "max_sim_time", number(config.max_sim_time));
+  if (config.monitor_interval > 0.0) {
+    ini.set("run", "monitor_interval", number(config.monitor_interval));
+  }
+
+  os << ini.to_string();
+}
+
+}  // namespace dg::sim

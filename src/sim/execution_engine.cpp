@@ -1,0 +1,200 @@
+#include "sim/execution_engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace dg::sim {
+
+ExecutionEngine::ExecutionEngine(des::Simulator& sim, grid::DesktopGrid& grid,
+                                 sched::MultiBotScheduler& scheduler, EngineConfig config,
+                                 std::uint64_t seed)
+    : sim_(sim), grid_(grid), scheduler_(scheduler), config_(config),
+      transfer_stream_(rng::RandomStream::derive(seed, "engine.transfer")),
+      replicas_(grid.size()) {
+  if (config_.checkpointing) {
+    DG_ASSERT_MSG(config_.checkpoint_interval > 0.0,
+                  "checkpointing requires a positive checkpoint interval");
+  }
+  scheduler_.set_sink(*this);
+}
+
+ExecutionEngine::~ExecutionEngine() = default;
+
+void ExecutionEngine::set_machine_busy(grid::Machine& machine, bool busy) {
+  if (machine.busy() == busy) return;
+  machine.set_busy(busy);
+  busy_power_now_ += busy ? machine.power() : -machine.power();
+  busy_power_.update(sim_.now(), busy_power_now_);
+}
+
+void ExecutionEngine::start_replica(sched::TaskState& task, grid::Machine& machine) {
+  DG_ASSERT_MSG(machine.available(), "dispatch to a busy or down machine");
+  DG_ASSERT(!task.completed());
+  set_machine_busy(machine, true);
+  task.on_replica_started(sim_.now());
+  scheduler_.notify_replica_started(task);
+  for (SimulationObserver* observer : observers_) {
+    observer->on_replica_started(task, machine, sim_.now());
+  }
+
+  auto replica = std::make_unique<Replica>();
+  replica->task = &task;
+  replica->machine = &machine;
+  replica->progress_base = config_.checkpointing ? task.checkpointed_work() : 0.0;
+  Replica& ref = *replica;
+  DG_ASSERT_MSG(replicas_[machine.id()] == nullptr, "machine already hosts a replica");
+  replicas_[machine.id()] = std::move(replica);
+
+  if (config_.checkpointing && ref.progress_base > 0.0) {
+    // Restart: fetch the latest checkpoint from the server first.
+    ref.phase = Phase::kRetrieving;
+    const double completion =
+        grid_.checkpoint_server().schedule_retrieve(sim_.now(), transfer_stream_);
+    const grid::MachineId id = machine.id();
+    ref.next_event = sim_.schedule_at(completion, [this, id] { on_retrieve_done(id); });
+  } else {
+    begin_compute(ref);
+  }
+}
+
+void ExecutionEngine::begin_compute(Replica& replica) {
+  replica.phase = Phase::kComputing;
+  replica.leg_start = sim_.now();
+  const double power = replica.machine->power();
+  const double remaining = replica.task->work() - replica.progress_base;
+  DG_ASSERT_MSG(remaining > 0.0, "compute leg with no remaining work");
+  const double time_to_complete = remaining / power;
+  const grid::MachineId id = replica.machine->id();
+  if (config_.checkpointing && time_to_complete > config_.checkpoint_interval) {
+    replica.next_event = sim_.schedule_after(config_.checkpoint_interval,
+                                             [this, id] { on_checkpoint_begin(id); });
+  } else {
+    replica.next_event = sim_.schedule_after(time_to_complete, [this, id] { on_complete(id); });
+  }
+}
+
+void ExecutionEngine::on_retrieve_done(grid::MachineId machine_id) {
+  Replica* replica = replicas_[machine_id].get();
+  DG_ASSERT(replica != nullptr && replica->phase == Phase::kRetrieving);
+  ++retrievals_;  // counted on completion; a failure mid-transfer doesn't count
+  for (SimulationObserver* observer : observers_) {
+    observer->on_checkpoint_retrieved(*replica->task, *replica->machine, sim_.now());
+  }
+  begin_compute(*replica);
+}
+
+void ExecutionEngine::on_checkpoint_begin(grid::MachineId machine_id) {
+  Replica* replica = replicas_[machine_id].get();
+  DG_ASSERT(replica != nullptr && replica->phase == Phase::kComputing);
+  const double leg = sim_.now() - replica->leg_start;
+  replica->compute_invested += leg;
+  replica->progress_base += leg * replica->machine->power();
+  replica->phase = Phase::kCheckpointing;
+  const double completion =
+      grid_.checkpoint_server().schedule_save(sim_.now(), transfer_stream_);
+  replica->next_event =
+      sim_.schedule_at(completion, [this, machine_id] { on_checkpoint_end(machine_id); });
+}
+
+void ExecutionEngine::on_checkpoint_end(grid::MachineId machine_id) {
+  Replica* replica = replicas_[machine_id].get();
+  DG_ASSERT(replica != nullptr && replica->phase == Phase::kCheckpointing);
+  replica->task->commit_checkpoint(replica->progress_base);
+  ++checkpoints_saved_;
+  for (SimulationObserver* observer : observers_) {
+    observer->on_checkpoint_saved(*replica->task, *replica->machine, replica->progress_base,
+                                  sim_.now());
+  }
+  begin_compute(*replica);
+}
+
+std::unique_ptr<ExecutionEngine::Replica> ExecutionEngine::detach_replica(
+    grid::MachineId machine_id) {
+  std::unique_ptr<Replica> replica = std::move(replicas_[machine_id]);
+  DG_ASSERT(replica != nullptr);
+  set_machine_busy(*replica->machine, false);
+  return replica;
+}
+
+void ExecutionEngine::on_complete(grid::MachineId machine_id) {
+  Replica* winner = replicas_[machine_id].get();
+  DG_ASSERT(winner != nullptr && winner->phase == Phase::kComputing);
+  winner->compute_invested += sim_.now() - winner->leg_start;
+  winner->progress_base = winner->task->work();
+  sched::TaskState& task = *winner->task;
+
+  task.mark_completed(sim_.now());
+  scheduler_.notify_task_completed(task);
+  for (SimulationObserver* observer : observers_) {
+    observer->on_task_completed(task, sim_.now());
+  }
+
+  // Stop the winner and every sibling replica (freeing their machines).
+  for (grid::MachineId id = 0; id < replicas_.size(); ++id) {
+    Replica* candidate = replicas_[id].get();
+    if (candidate == nullptr || candidate->task != &task) continue;
+    const bool is_winner = candidate == winner;
+    if (!is_winner) {
+      candidate->next_event.cancel();
+      if (candidate->phase == Phase::kComputing) {
+        candidate->compute_invested += sim_.now() - candidate->leg_start;
+      }
+      ++cancelled_replicas_;
+      wasted_compute_time_ += candidate->compute_invested;
+    } else {
+      useful_compute_time_ += candidate->compute_invested;
+    }
+    std::unique_ptr<Replica> owned = detach_replica(id);
+    task.on_replica_stopped(sim_.now());
+    scheduler_.notify_replica_stopped(task, is_winner
+                                                ? sched::MultiBotScheduler::StopReason::kWinner
+                                                : sched::MultiBotScheduler::StopReason::kCancelled);
+    for (SimulationObserver* observer : observers_) {
+      observer->on_replica_stopped(
+          task, *owned->machine,
+          is_winner ? ReplicaStopKind::kCompleted : ReplicaStopKind::kCancelled, sim_.now());
+    }
+  }
+  DG_ASSERT(task.running_replicas() == 0);
+  scheduler_.trigger();
+}
+
+void ExecutionEngine::on_machine_failure(grid::Machine& machine) {
+  for (SimulationObserver* observer : observers_) {
+    observer->on_machine_failed(machine, sim_.now());
+  }
+  Replica* replica = replica_on(machine);
+  if (replica == nullptr) return;  // idle machine went down
+  replica->next_event.cancel();
+  sched::TaskState& task = *replica->task;
+  double progress = replica->progress_base;
+  if (replica->phase == Phase::kComputing) {
+    const double leg = sim_.now() - replica->leg_start;
+    replica->compute_invested += leg;
+    progress += leg * machine.power();
+  }
+  // Everything past the task's last committed checkpoint is lost.
+  lost_work_ += std::max(0.0, progress - task.checkpointed_work());
+  wasted_compute_time_ += replica->compute_invested;
+  ++failed_replicas_;
+  std::unique_ptr<Replica> owned = detach_replica(machine.id());
+  task.on_replica_stopped(sim_.now());
+  scheduler_.notify_replica_stopped(task, sched::MultiBotScheduler::StopReason::kFailed);
+  for (SimulationObserver* observer : observers_) {
+    observer->on_replica_stopped(task, machine, ReplicaStopKind::kFailed, sim_.now());
+  }
+  // A resubmission candidate may now be dispatchable on other idle machines.
+  scheduler_.trigger();
+}
+
+void ExecutionEngine::on_machine_repair(grid::Machine& machine) {
+  DG_ASSERT(machine.up());
+  DG_ASSERT(replica_on(machine) == nullptr);
+  for (SimulationObserver* observer : observers_) {
+    observer->on_machine_repaired(machine, sim_.now());
+  }
+  scheduler_.notify_capacity_change();
+}
+
+}  // namespace dg::sim

@@ -1,0 +1,133 @@
+// Replica execution on Desktop Grid machines.
+//
+// A replica advances through compute legs separated by checkpoint saves
+// (Young-interval spaced, when checkpointing is on). Restarted replicas first
+// retrieve the task's latest checkpoint from the checkpoint server. A machine
+// failure kills the replica on it, losing all progress since the last
+// committed checkpoint. When a replica finishes its task, every sibling
+// replica is cancelled and its machine freed.
+//
+// Call-order contract with MultiBotScheduler (the scheduler's bucket and
+// policy indices rely on it):
+//   start:      machine.set_busy -> task.on_replica_started
+//               -> scheduler.notify_replica_started
+//   completion: task.mark_completed -> scheduler.notify_task_completed
+//               -> per replica (winner + siblings): free machine,
+//                  task.on_replica_stopped, scheduler.notify_replica_stopped
+//               -> scheduler.trigger
+//   failure:    free machine -> task.on_replica_stopped
+//               -> scheduler.notify_replica_stopped(kFailed)
+//               -> scheduler.trigger
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "grid/desktop_grid.hpp"
+#include "rng/random_stream.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/observer.hpp"
+#include "stats/online_stats.hpp"
+
+namespace dg::sim {
+
+struct EngineConfig {
+  /// Replicas checkpoint to the checkpoint server (WQR-FT).
+  bool checkpointing = true;
+  /// Compute seconds between checkpoint saves (Young's formula); must be
+  /// positive when checkpointing is enabled.
+  double checkpoint_interval = 0.0;
+};
+
+class ExecutionEngine final : public sched::DispatchSink {
+ public:
+  ExecutionEngine(des::Simulator& sim, grid::DesktopGrid& grid,
+                  sched::MultiBotScheduler& scheduler, EngineConfig config, std::uint64_t seed);
+
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+  ~ExecutionEngine() override;
+
+  // DispatchSink
+  void start_replica(sched::TaskState& task, grid::Machine& machine) override;
+
+  // Wire these into DesktopGrid::start().
+  void on_machine_failure(grid::Machine& machine);
+  void on_machine_repair(grid::Machine& machine);
+
+  /// Registers an observer for replica/checkpoint/machine events (the
+  /// caller keeps ownership; lifetime must cover the run).
+  void add_observer(SimulationObserver& observer) { observers_.push_back(&observer); }
+
+  // --- statistics ---
+
+  [[nodiscard]] std::uint64_t checkpoints_saved() const noexcept { return checkpoints_saved_; }
+  /// Completed checkpoint retrievals (transfers cut short by a machine
+  /// failure are not counted).
+  [[nodiscard]] std::uint64_t checkpoint_retrievals() const noexcept { return retrievals_; }
+  [[nodiscard]] std::uint64_t replicas_killed_by_failure() const noexcept {
+    return failed_replicas_;
+  }
+  [[nodiscard]] std::uint64_t replicas_cancelled() const noexcept { return cancelled_replicas_; }
+  /// Compute time invested in replicas that did not win their task.
+  [[nodiscard]] double wasted_compute_time() const noexcept { return wasted_compute_time_; }
+  /// Compute time invested in winning replicas.
+  [[nodiscard]] double useful_compute_time() const noexcept { return useful_compute_time_; }
+  /// Work units lost to failures (progress past the last checkpoint).
+  [[nodiscard]] double lost_work() const noexcept { return lost_work_; }
+  /// Time-averaged fraction of total grid power busy with replicas.
+  [[nodiscard]] double utilization(des::SimTime now) const noexcept {
+    return busy_power_.time_average(now) / grid_.total_power();
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kRetrieving, kComputing, kCheckpointing };
+
+  struct Replica {
+    sched::TaskState* task = nullptr;
+    grid::Machine* machine = nullptr;
+    Phase phase = Phase::kComputing;
+    /// Work completed by this replica up to the start of the current leg.
+    double progress_base = 0.0;
+    /// Simulation time the current compute leg started (kComputing only).
+    double leg_start = 0.0;
+    /// Total compute time this replica has accumulated.
+    double compute_invested = 0.0;
+    des::EventHandle next_event;
+  };
+
+  [[nodiscard]] Replica* replica_on(const grid::Machine& machine) noexcept {
+    return replicas_[machine.id()].get();
+  }
+  void begin_compute(Replica& replica);
+  void on_checkpoint_begin(grid::MachineId machine_id);
+  void on_checkpoint_end(grid::MachineId machine_id);
+  void on_retrieve_done(grid::MachineId machine_id);
+  void on_complete(grid::MachineId machine_id);
+  /// Frees the machine and removes the replica record (event must already be
+  /// cancelled / expired). Returns the owned record.
+  std::unique_ptr<Replica> detach_replica(grid::MachineId machine_id);
+  void set_machine_busy(grid::Machine& machine, bool busy);
+
+  des::Simulator& sim_;
+  grid::DesktopGrid& grid_;
+  sched::MultiBotScheduler& scheduler_;
+  EngineConfig config_;
+  rng::RandomStream transfer_stream_;
+  std::vector<std::unique_ptr<Replica>> replicas_;  // indexed by machine id
+  std::vector<SimulationObserver*> observers_;
+
+  std::uint64_t checkpoints_saved_ = 0;
+  std::uint64_t retrievals_ = 0;
+  std::uint64_t failed_replicas_ = 0;
+  std::uint64_t cancelled_replicas_ = 0;
+  double wasted_compute_time_ = 0.0;
+  double useful_compute_time_ = 0.0;
+  double lost_work_ = 0.0;
+  stats::TimeWeightedStats busy_power_;
+  double busy_power_now_ = 0.0;
+};
+
+}  // namespace dg::sim

@@ -1,0 +1,66 @@
+// Online invariant checking.
+//
+// Mirrors the engine's state from observer events alone and cross-checks
+// every transition against the model's contracts (DESIGN.md "Key
+// invariants"). Violations are collected as human-readable strings rather
+// than aborting, so tests can assert emptiness and print everything that
+// went wrong. Used by the property/stress test matrix over all
+// policy x availability x scheduler combinations.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace dg::sim {
+
+class InvariantChecker final : public SimulationObserver {
+ public:
+  void on_bot_submitted(const sched::BotState& bot, double now) override;
+  void on_bot_completed(const sched::BotState& bot, double now) override;
+  void on_replica_started(const sched::TaskState& task, const grid::Machine& machine,
+                          double now) override;
+  void on_replica_stopped(const sched::TaskState& task, const grid::Machine& machine,
+                          ReplicaStopKind kind, double now) override;
+  void on_task_completed(const sched::TaskState& task, double now) override;
+  void on_checkpoint_saved(const sched::TaskState& task, const grid::Machine& machine,
+                           double progress, double now) override;
+  void on_machine_failed(const grid::Machine& machine, double now) override;
+  void on_machine_repaired(const grid::Machine& machine, double now) override;
+
+  [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
+  /// All violations joined, for gtest failure messages.
+  [[nodiscard]] std::string report() const;
+
+  /// Maximum replica count ever observed for any task (threshold audits).
+  [[nodiscard]] int max_observed_replicas() const noexcept { return max_replicas_; }
+
+ private:
+  void violation(std::string message);
+  [[nodiscard]] static std::string task_name(const sched::TaskState& task);
+
+  struct TaskShadow {
+    int running = 0;
+    bool completed = false;
+    double checkpointed = 0.0;
+    double work = 0.0;
+  };
+
+  std::map<const sched::TaskState*, TaskShadow> tasks_;
+  std::map<grid::MachineId, const sched::TaskState*> machine_occupancy_;
+  std::set<grid::MachineId> down_machines_;
+  std::set<const sched::BotState*> submitted_bots_;
+  std::set<const sched::BotState*> completed_bots_;
+  std::vector<std::string> violations_;
+  double last_time_ = 0.0;
+  int max_replicas_ = 0;
+  static constexpr std::size_t kMaxViolations = 50;
+};
+
+}  // namespace dg::sim

@@ -1,0 +1,49 @@
+// Simulation observation hooks.
+//
+// Observers receive every externally-meaningful event of a run: bag
+// submissions/completions, replica starts/stops, checkpoint traffic, machine
+// failures/repairs. They power the timeline exporter (visualization /
+// debugging), the invariant checker (used heavily by the stress tests), and
+// any user-side instrumentation, without the engine knowing about any of
+// them. All hooks are no-ops by default.
+#pragma once
+
+#include <cstdint>
+
+#include "grid/machine.hpp"
+#include "sched/bot_state.hpp"
+#include "sched/task_state.hpp"
+
+namespace dg::sim {
+
+enum class ReplicaStopKind : std::uint8_t {
+  kCompleted,  // this replica finished the task
+  kCancelled,  // a sibling finished first
+  kFailed,     // host machine went down
+};
+
+class SimulationObserver {
+ public:
+  virtual ~SimulationObserver() = default;
+
+  virtual void on_bot_submitted(const sched::BotState& /*bot*/, double /*now*/) {}
+  virtual void on_bot_completed(const sched::BotState& /*bot*/, double /*now*/) {}
+
+  virtual void on_replica_started(const sched::TaskState& /*task*/,
+                                  const grid::Machine& /*machine*/, double /*now*/) {}
+  virtual void on_replica_stopped(const sched::TaskState& /*task*/,
+                                  const grid::Machine& /*machine*/, ReplicaStopKind /*kind*/,
+                                  double /*now*/) {}
+  virtual void on_task_completed(const sched::TaskState& /*task*/, double /*now*/) {}
+
+  virtual void on_checkpoint_saved(const sched::TaskState& /*task*/,
+                                   const grid::Machine& /*machine*/, double /*progress*/,
+                                   double /*now*/) {}
+  virtual void on_checkpoint_retrieved(const sched::TaskState& /*task*/,
+                                       const grid::Machine& /*machine*/, double /*now*/) {}
+
+  virtual void on_machine_failed(const grid::Machine& /*machine*/, double /*now*/) {}
+  virtual void on_machine_repaired(const grid::Machine& /*machine*/, double /*now*/) {}
+};
+
+}  // namespace dg::sim

@@ -1,0 +1,25 @@
+// SimulationResult exporters.
+//
+// Per-bag records and the queue-monitor time series as CSV, ready for any
+// plotting tool, plus a compact human-readable summary. Complements the
+// event-level TimelineRecorder (sim/timeline.hpp) which captures *how* a run
+// unfolded; these capture *what came out*.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/simulation.hpp"
+
+namespace dg::sim {
+
+/// One row per bag: id, arrival, dispatch, completion, turnaround, waiting,
+/// makespan, slowdown, granularity, tasks, total_work, completed.
+void write_bot_records_csv(std::ostream& os, const SimulationResult& result);
+
+/// One row per monitor sample: time, active_bots, busy_machines, up_machines.
+void write_monitor_csv(std::ostream& os, const SimulationResult& result);
+
+/// Multi-line human-readable digest of the aggregate metrics.
+void write_summary(std::ostream& os, const SimulationResult& result);
+
+}  // namespace dg::sim

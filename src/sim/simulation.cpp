@@ -1,0 +1,258 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "des/simulator.hpp"
+#include "grid/checkpoint_server.hpp"
+#include "sched/policies.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/execution_engine.hpp"
+#include "sim/observer.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace dg::sim {
+
+double SimulationResult::slowdown_fairness() const noexcept {
+  const double n = static_cast<double>(slowdown.count());
+  if (n == 0.0) return 1.0;
+  const double sum = slowdown.sum();
+  // E[X^2] reconstructed from the sample variance and mean.
+  const double mean = slowdown.mean();
+  const double second_moment =
+      slowdown.variance() * (n - 1.0) / n + mean * mean;
+  const double sum_sq = n * second_moment;
+  return sum_sq > 0.0 ? (sum * sum) / (n * sum_sq) : 1.0;
+}
+
+workload::WorkloadConfig make_paper_workload(const grid::GridConfig& grid_config,
+                                             double granularity, workload::Intensity intensity,
+                                             std::size_t num_bots, double bag_size) {
+  workload::WorkloadConfig config;
+  config.types = {workload::BotType{granularity, 0.5}};
+  config.bag_size = bag_size;
+  config.num_bots = num_bots;
+  const double power = workload::effective_grid_power(grid_config);
+  config.arrival_rate =
+      workload::arrival_rate_for_utilization(workload::utilization_for(intensity), bag_size, power);
+  return config;
+}
+
+SimulationResult Simulation::run(SimulationObserver* observer) {
+  des::Simulator sim;
+  const bool trace_driven_grid = config_.availability_trace != nullptr;
+  grid::GridConfig grid_config = config_.grid;
+  if (trace_driven_grid) {
+    // Machine up/down comes from the trace; disable the stochastic processes.
+    grid_config.availability = grid::AvailabilityModel::for_level(grid::AvailabilityLevel::kAlways);
+  }
+  grid::DesktopGrid grid(grid_config, sim, config_.seed);
+
+  // --- scheduler stack ---
+  auto individual = sched::IndividualScheduler::make(config_.individual);
+  std::unique_ptr<sched::ReplicationController> replication;
+  if (config_.dynamic_replication) {
+    replication = std::make_unique<sched::DynamicReplication>();
+  } else {
+    const int threshold = config_.replication_threshold > 0 ? config_.replication_threshold
+                                                            : individual->default_threshold();
+    replication = std::make_unique<sched::StaticReplication>(threshold);
+  }
+  const sched::TaskOrder task_order = individual->task_order();
+  const bool resubmission_priority = individual->resubmission_priority();
+  (void)resubmission_priority;
+  sched::MultiBotScheduler scheduler(sim, grid, sched::make_policy(config_.policy, config_.seed),
+                                     std::move(individual), std::move(replication));
+
+  // --- execution engine ---
+  EngineConfig engine_config;
+  const bool failures_possible =
+      config_.grid.availability.failures_enabled || trace_driven_grid;
+  engine_config.checkpointing = scheduler.individual().checkpointing() && failures_possible;
+  if (engine_config.checkpointing) {
+    // With a trace, config_.grid.availability is the caller-provided model of
+    // the trace's statistics (see SimulationConfig::availability_trace docs);
+    // fall back to the MedAvail MTTF if the caller left failures disabled.
+    const double mttf = config_.grid.availability.failures_enabled
+                            ? config_.grid.availability.mttf()
+                            : grid::AvailabilityModel::for_level(grid::AvailabilityLevel::kMed).mttf();
+    engine_config.checkpoint_interval =
+        grid::young_checkpoint_interval(config_.grid.checkpoint_transfer.mean(), mttf);
+  }
+  ExecutionEngine engine(sim, grid, scheduler, engine_config, config_.seed);
+  if (observer != nullptr) engine.add_observer(*observer);
+
+  std::unique_ptr<grid::TraceAvailabilityDriver> trace_driver;
+  auto on_failure = [&engine](grid::Machine& machine) { engine.on_machine_failure(machine); };
+  auto on_repair = [&engine](grid::Machine& machine) { engine.on_machine_repair(machine); };
+  if (trace_driven_grid) {
+    trace_driver = std::make_unique<grid::TraceAvailabilityDriver>(sim, grid,
+                                                                   *config_.availability_trace);
+    trace_driver->start(on_failure, on_repair);
+    grid.start(nullptr, nullptr);  // processes disabled; keeps uptime stats coherent
+  } else {
+    grid.start(on_failure, on_repair);
+  }
+
+  // --- workload ---
+  std::vector<workload::BotSpec> specs;
+  if (config_.trace_bots != nullptr) {
+    specs = *config_.trace_bots;
+  } else {
+    workload::WorkloadGenerator generator(config_.workload,
+                                          rng::RandomStream::derive(config_.seed, "workload"));
+    specs = generator.generate();
+  }
+  DG_ASSERT(!specs.empty());
+
+  std::vector<std::unique_ptr<sched::BotState>> bots;
+  bots.reserve(specs.size());
+  for (const workload::BotSpec& spec : specs) {
+    bots.push_back(std::make_unique<sched::BotState>(spec, task_order));
+  }
+
+  std::size_t completed = 0;
+  const std::size_t total = bots.size();
+  scheduler.set_bot_completed_callback(
+      [&completed, total, &sim, observer](sched::BotState& bot) {
+        ++completed;
+        if (observer != nullptr) observer->on_bot_completed(bot, sim.now());
+        if (completed == total) sim.stop();  // availability events would run forever
+      });
+
+  for (std::size_t i = 0; i < bots.size(); ++i) {
+    sched::BotState* bot = bots[i].get();
+    sim.schedule_at(bot->arrival_time(), [&scheduler, bot, observer, &sim] {
+      if (observer != nullptr) observer->on_bot_submitted(*bot, sim.now());
+      scheduler.submit(*bot);
+    });
+  }
+
+  // --- horizon ---
+  double horizon = config_.max_sim_time;
+  if (horizon <= 0.0) {
+    const double last_arrival = specs.back().arrival_time;
+    double bag_size = config_.workload.bag_size;
+    if (config_.trace_bots != nullptr) {
+      double trace_work = 0.0;
+      for (const workload::BotSpec& spec : specs) trace_work += spec.total_work();
+      bag_size = trace_work / static_cast<double>(specs.size());
+    }
+    const double demand_per_bot = bag_size / workload::effective_grid_power(config_.grid);
+    horizon = last_arrival + 300.0 * demand_per_bot + 86400.0;
+  }
+
+  // --- queue monitor ---
+  std::vector<MonitorSample> monitor_samples;
+  const double monitor_interval =
+      config_.monitor_interval > 0.0 ? config_.monitor_interval : horizon / 512.0;
+  std::function<void()> take_sample = [&] {
+    MonitorSample sample;
+    sample.time = sim.now();
+    sample.active_bots = scheduler.active_bots().size();
+    for (std::size_t m = 0; m < grid.size(); ++m) {
+      if (grid.machine(m).busy()) ++sample.busy_machines;
+      if (grid.machine(m).up()) ++sample.up_machines;
+    }
+    monitor_samples.push_back(sample);
+    if (!sim.stopped()) sim.schedule_after(monitor_interval, take_sample);
+  };
+  sim.schedule_after(monitor_interval, take_sample);
+
+  sim.run_until(horizon);
+  const bool saturated = completed < total;
+  const double end_time = sim.now();
+
+  // --- results ---
+  SimulationResult result;
+  result.saturated = saturated;
+  result.bots_completed = completed;
+  result.end_time = end_time;
+  result.utilization = engine.utilization(end_time);
+  result.measured_availability = trace_driven_grid
+                                     ? config_.availability_trace->mean_availability(end_time)
+                                     : grid.measured_availability(end_time);
+  result.num_machines = grid.size();
+  result.machine_failures = grid.total_failures();
+  result.replica_failures = scheduler.replica_failures();
+  result.replicas_started = scheduler.replicas_started();
+  result.tasks_completed = scheduler.tasks_completed();
+  result.checkpoints_saved = engine.checkpoints_saved();
+  result.checkpoint_retrievals = engine.checkpoint_retrievals();
+  result.wasted_compute_time = engine.wasted_compute_time();
+  result.useful_compute_time = engine.useful_compute_time();
+  result.lost_work = engine.lost_work();
+  result.events_executed = sim.executed_events();
+
+  result.bots.reserve(bots.size());
+  for (std::size_t i = 0; i < bots.size(); ++i) {
+    const sched::BotState& bot = *bots[i];
+    BotRecord record;
+    record.id = bot.id();
+    record.arrival_time = bot.arrival_time();
+    record.granularity = bot.granularity();
+    record.num_tasks = bot.num_tasks();
+    record.total_work = bot.total_work();
+    record.completed = bot.completed();
+    if (bot.completed()) {
+      record.first_dispatch_time = bot.first_dispatch_time();
+      record.completion_time = bot.completion_time();
+      record.turnaround = bot.turnaround();
+      record.waiting_time = bot.waiting_time();
+      record.makespan = bot.makespan();
+    } else {
+      // Censored at the horizon: a lower bound on the true turnaround.
+      record.first_dispatch_time = bot.ever_dispatched() ? bot.first_dispatch_time() : end_time;
+      record.completion_time = end_time;
+      record.turnaround = end_time - bot.arrival_time();
+      record.waiting_time = record.first_dispatch_time - bot.arrival_time();
+      record.makespan = record.turnaround - record.waiting_time;
+    }
+    const double ideal_service =
+        record.total_work / workload::effective_grid_power(config_.grid);
+    record.slowdown = ideal_service > 0.0 ? record.turnaround / ideal_service : 0.0;
+    if (i >= config_.warmup_bots) {
+      result.turnaround.add(record.turnaround);
+      result.waiting.add(record.waiting_time);
+      result.makespan.add(record.makespan);
+      result.slowdown.add(record.slowdown);
+    }
+    result.bots.push_back(record);
+  }
+  result.monitor = std::move(monitor_samples);
+  {
+    // Queue stability is judged while load is still being offered: compare
+    // the active-bag level early vs late within the arrival window (after
+    // the last arrival the queue always drains in a finite-workload run).
+    const double first_arrival = specs.front().arrival_time;
+    const double last_arrival = specs.back().arrival_time;
+    std::vector<const MonitorSample*> window;
+    for (const MonitorSample& sample : result.monitor) {
+      if (sample.time >= first_arrival && sample.time <= last_arrival) {
+        window.push_back(&sample);
+      }
+    }
+    if (window.size() >= 8) {
+      const std::size_t quarter = window.size() / 4;
+      double first = 0.0, last = 0.0;
+      for (std::size_t i = 0; i < quarter; ++i) {
+        first += static_cast<double>(window[i]->active_bots);
+        last += static_cast<double>(window[window.size() - 1 - i]->active_bots);
+      }
+      if (first > 0.0) {
+        result.queue_growth_ratio = last / first;
+      } else if (last > 0.0) {
+        result.queue_growth_ratio = std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+  if (saturated) {
+    util::log_debug("simulation saturated: ", completed, "/", total, " bags completed by t=",
+                    end_time, " (policy ", sched::to_string(config_.policy), ")");
+  }
+  return result;
+}
+
+}  // namespace dg::sim

@@ -1,0 +1,153 @@
+// One complete simulation run: grid + workload + scheduler + engine.
+//
+// Simulation owns every component, wires the notification paths, schedules
+// bag submissions as arrival events, runs to completion (or to the saturation
+// horizon) and returns a SimulationResult with per-bag records and aggregate
+// metrics. Runs are bitwise deterministic for a given (config, seed), and the
+// workload / machine processes depend only on the seed — not on the policy —
+// so policies can be compared under common random numbers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/desktop_grid.hpp"
+#include "grid/trace.hpp"
+#include "sched/individual.hpp"
+#include "sched/policy.hpp"
+#include "stats/online_stats.hpp"
+#include "workload/generator.hpp"
+
+namespace dg::sim {
+
+struct SimulationConfig {
+  grid::GridConfig grid;
+  workload::WorkloadConfig workload;
+  sched::PolicyKind policy = sched::PolicyKind::kFcfsShare;
+  sched::IndividualSchedulerKind individual = sched::IndividualSchedulerKind::kWqrFt;
+  /// Replication threshold override; 0 keeps the individual scheduler's
+  /// default (2 for WQR/WQR-FT). Ignored by FCFS-Excl (unlimited).
+  int replication_threshold = 0;
+  /// Use the adaptive threshold controller (future-work extension 2a).
+  bool dynamic_replication = false;
+  std::uint64_t seed = 1;
+  /// Hard stop; 0 = auto (comfortably past the last arrival plus drain time).
+  /// Hitting it with incomplete bags marks the run saturated.
+  double max_sim_time = 0.0;
+  /// Bags (in arrival order) excluded from the aggregate statistics to damp
+  /// the empty-system transient.
+  std::size_t warmup_bots = 0;
+
+  /// Replay this submission stream instead of sampling from `workload`
+  /// (which then only matters for reporting). See workload/trace.hpp.
+  std::shared_ptr<const std::vector<workload::BotSpec>> trace_bots;
+  /// Replay machine availability from this trace instead of the stochastic
+  /// Weibull/normal processes. `grid.availability` should still describe the
+  /// trace's statistics — it sizes the checkpoint interval and arrival-rate
+  /// math. See grid/trace.hpp.
+  std::shared_ptr<const grid::AvailabilityTrace> availability_trace;
+
+  /// Sampling period of the queue monitor (active bags / busy machines time
+  /// series); 0 = auto (~512 samples across the horizon).
+  double monitor_interval = 0.0;
+};
+
+struct BotRecord {
+  workload::BotId id = 0;
+  double arrival_time = 0.0;
+  double first_dispatch_time = 0.0;
+  double completion_time = 0.0;
+  double turnaround = 0.0;  // censored at the horizon when !completed
+  double waiting_time = 0.0;
+  double makespan = 0.0;
+  double granularity = 0.0;
+  std::size_t num_tasks = 0;
+  double total_work = 0.0;
+  /// turnaround / ideal service time (bag work / effective grid power) —
+  /// a slowdown of 1 means the bag ran as if it owned the whole grid.
+  double slowdown = 0.0;
+  bool completed = false;
+};
+
+/// One sample of the queue monitor time series.
+struct MonitorSample {
+  double time = 0.0;
+  std::size_t active_bots = 0;    // submitted, not yet completed
+  std::size_t busy_machines = 0;
+  std::size_t up_machines = 0;
+};
+
+struct SimulationResult {
+  /// All generated bags in arrival order.
+  std::vector<BotRecord> bots;
+  /// Aggregates over measured bags (arrival index >= warmup). Censored
+  /// turnarounds of unfinished bags are included, so under saturation the
+  /// means are lower bounds.
+  stats::OnlineStats turnaround;
+  stats::OnlineStats waiting;
+  stats::OnlineStats makespan;
+  stats::OnlineStats slowdown;
+  /// True when the horizon was reached with incomplete bags — the paper's
+  /// "turnaround grew beyond any reasonable limit".
+  bool saturated = false;
+  /// Mean active-bag count in the last quarter of the run over the first
+  /// quarter (values >> 1 indicate an unstable, growing queue even when the
+  /// run nominally finished). 1 when the monitor has too few samples.
+  double queue_growth_ratio = 1.0;
+  /// Periodic samples of system state (bounded; ~512 across the run).
+  std::vector<MonitorSample> monitor;
+  std::size_t bots_completed = 0;
+  double end_time = 0.0;
+  double utilization = 0.0;
+  double measured_availability = 0.0;
+  std::size_t num_machines = 0;
+  std::uint64_t machine_failures = 0;
+  std::uint64_t replica_failures = 0;
+  std::uint64_t replicas_started = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t checkpoints_saved = 0;
+  std::uint64_t checkpoint_retrievals = 0;
+  double wasted_compute_time = 0.0;
+  double useful_compute_time = 0.0;
+  double lost_work = 0.0;
+  std::uint64_t events_executed = 0;
+
+  /// Wasted / (wasted + useful) replica compute time.
+  [[nodiscard]] double wasted_fraction() const noexcept {
+    const double total = wasted_compute_time + useful_compute_time;
+    return total > 0.0 ? wasted_compute_time / total : 0.0;
+  }
+
+  /// Jain's fairness index over the measured bags' slowdowns:
+  /// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly equal slowdowns.
+  [[nodiscard]] double slowdown_fairness() const noexcept;
+};
+
+class SimulationObserver;
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig config) : config_(std::move(config)) {}
+
+  /// Runs the simulation to completion (or saturation horizon). When an
+  /// observer is passed it receives every bag/replica/checkpoint/machine
+  /// event (see sim/observer.hpp); its lifetime must cover the call.
+  [[nodiscard]] SimulationResult run(SimulationObserver* observer = nullptr);
+
+  [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
+
+ private:
+  SimulationConfig config_;
+};
+
+/// Convenience: builds the paper's workload for (granularity, intensity) on
+/// `grid_config` — arrival rate from the target utilization via Eq. (1).
+[[nodiscard]] workload::WorkloadConfig make_paper_workload(const grid::GridConfig& grid_config,
+                                                           double granularity,
+                                                           workload::Intensity intensity,
+                                                           std::size_t num_bots,
+                                                           double bag_size = 2.5e6);
+
+}  // namespace dg::sim

@@ -1,0 +1,102 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dg::sim {
+
+std::string_view to_string(TimelineEventKind kind) noexcept {
+  switch (kind) {
+    case TimelineEventKind::kBotSubmitted: return "bot_submitted";
+    case TimelineEventKind::kBotCompleted: return "bot_completed";
+    case TimelineEventKind::kReplicaStarted: return "replica_started";
+    case TimelineEventKind::kReplicaCompleted: return "replica_completed";
+    case TimelineEventKind::kReplicaCancelled: return "replica_cancelled";
+    case TimelineEventKind::kReplicaFailed: return "replica_failed";
+    case TimelineEventKind::kTaskCompleted: return "task_completed";
+    case TimelineEventKind::kCheckpointSaved: return "checkpoint_saved";
+    case TimelineEventKind::kCheckpointRetrieved: return "checkpoint_retrieved";
+    case TimelineEventKind::kMachineFailed: return "machine_failed";
+    case TimelineEventKind::kMachineRepaired: return "machine_repaired";
+  }
+  return "?";
+}
+
+void TimelineRecorder::record(TimelineEvent event) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void TimelineRecorder::on_bot_submitted(const sched::BotState& bot, double now) {
+  record({now, TimelineEventKind::kBotSubmitted, bot.id(), -1, -1,
+          static_cast<double>(bot.num_tasks())});
+}
+
+void TimelineRecorder::on_bot_completed(const sched::BotState& bot, double now) {
+  record({now, TimelineEventKind::kBotCompleted, bot.id(), -1, -1, bot.turnaround()});
+}
+
+void TimelineRecorder::on_replica_started(const sched::TaskState& task,
+                                          const grid::Machine& machine, double now) {
+  record({now, TimelineEventKind::kReplicaStarted, task.bot().id(), task.index(), machine.id(),
+          task.checkpointed_work()});
+}
+
+void TimelineRecorder::on_replica_stopped(const sched::TaskState& task,
+                                          const grid::Machine& machine, ReplicaStopKind kind,
+                                          double now) {
+  TimelineEventKind event_kind = TimelineEventKind::kReplicaCompleted;
+  if (kind == ReplicaStopKind::kCancelled) event_kind = TimelineEventKind::kReplicaCancelled;
+  if (kind == ReplicaStopKind::kFailed) event_kind = TimelineEventKind::kReplicaFailed;
+  record({now, event_kind, task.bot().id(), task.index(), machine.id(), 0.0});
+}
+
+void TimelineRecorder::on_task_completed(const sched::TaskState& task, double now) {
+  record({now, TimelineEventKind::kTaskCompleted, task.bot().id(), task.index(), -1,
+          task.work()});
+}
+
+void TimelineRecorder::on_checkpoint_saved(const sched::TaskState& task,
+                                           const grid::Machine& machine, double progress,
+                                           double now) {
+  record({now, TimelineEventKind::kCheckpointSaved, task.bot().id(), task.index(), machine.id(),
+          progress});
+}
+
+void TimelineRecorder::on_checkpoint_retrieved(const sched::TaskState& task,
+                                               const grid::Machine& machine, double now) {
+  record({now, TimelineEventKind::kCheckpointRetrieved, task.bot().id(), task.index(),
+          machine.id(), task.checkpointed_work()});
+}
+
+void TimelineRecorder::on_machine_failed(const grid::Machine& machine, double now) {
+  record({now, TimelineEventKind::kMachineFailed, -1, -1, machine.id(), 0.0});
+}
+
+void TimelineRecorder::on_machine_repaired(const grid::Machine& machine, double now) {
+  record({now, TimelineEventKind::kMachineRepaired, -1, -1, machine.id(), 0.0});
+}
+
+std::size_t TimelineRecorder::count(TimelineEventKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TimelineEvent& e) { return e.kind == kind; }));
+}
+
+void TimelineRecorder::write_csv(std::ostream& os) const {
+  os << "time,kind,bot,task,machine,value\n";
+  for (const TimelineEvent& event : events_) {
+    os << event.time << ',' << to_string(event.kind) << ',';
+    if (event.bot >= 0) os << event.bot;
+    os << ',';
+    if (event.task >= 0) os << event.task;
+    os << ',';
+    if (event.machine >= 0) os << event.machine;
+    os << ',' << event.value << '\n';
+  }
+}
+
+}  // namespace dg::sim

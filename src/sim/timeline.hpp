@@ -1,0 +1,79 @@
+// Timeline recording: a flat, exportable event log of a run.
+//
+// Captures every observer event as a row (time, kind, bot, task, machine,
+// value) for CSV export — enough to reconstruct Gantt charts of machine
+// occupancy or per-bag progress in any plotting tool. Recording is bounded
+// by max_events (dropping further events and counting them) so an
+// accidentally-huge run cannot exhaust memory.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/observer.hpp"
+
+namespace dg::sim {
+
+enum class TimelineEventKind : std::uint8_t {
+  kBotSubmitted,
+  kBotCompleted,
+  kReplicaStarted,
+  kReplicaCompleted,
+  kReplicaCancelled,
+  kReplicaFailed,
+  kTaskCompleted,
+  kCheckpointSaved,
+  kCheckpointRetrieved,
+  kMachineFailed,
+  kMachineRepaired,
+};
+
+[[nodiscard]] std::string_view to_string(TimelineEventKind kind) noexcept;
+
+struct TimelineEvent {
+  double time = 0.0;
+  TimelineEventKind kind = TimelineEventKind::kBotSubmitted;
+  std::int64_t bot = -1;      // -1 = not applicable
+  std::int64_t task = -1;
+  std::int64_t machine = -1;
+  double value = 0.0;         // kind-specific payload (e.g. checkpoint progress)
+};
+
+class TimelineRecorder final : public SimulationObserver {
+ public:
+  explicit TimelineRecorder(std::size_t max_events = 1u << 20)
+      : max_events_(max_events) {}
+
+  void on_bot_submitted(const sched::BotState& bot, double now) override;
+  void on_bot_completed(const sched::BotState& bot, double now) override;
+  void on_replica_started(const sched::TaskState& task, const grid::Machine& machine,
+                          double now) override;
+  void on_replica_stopped(const sched::TaskState& task, const grid::Machine& machine,
+                          ReplicaStopKind kind, double now) override;
+  void on_task_completed(const sched::TaskState& task, double now) override;
+  void on_checkpoint_saved(const sched::TaskState& task, const grid::Machine& machine,
+                           double progress, double now) override;
+  void on_checkpoint_retrieved(const sched::TaskState& task, const grid::Machine& machine,
+                               double now) override;
+  void on_machine_failed(const grid::Machine& machine, double now) override;
+  void on_machine_repaired(const grid::Machine& machine, double now) override;
+
+  [[nodiscard]] const std::vector<TimelineEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::uint64_t dropped_events() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t count(TimelineEventKind kind) const noexcept;
+
+  /// CSV export: time,kind,bot,task,machine,value (empty cells for -1).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  void record(TimelineEvent event);
+
+  std::size_t max_events_;
+  std::vector<TimelineEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dg::sim

@@ -1,0 +1,53 @@
+#include "stats/batch_means.hpp"
+
+#include <stdexcept>
+
+namespace dg::stats {
+
+BatchMeans::BatchMeans(std::size_t batch_size) : batch_size_(batch_size) {
+  if (batch_size == 0) throw std::invalid_argument("BatchMeans: batch size must be positive");
+}
+
+void BatchMeans::add(double x) {
+  ++observations_;
+  current_sum_ += x;
+  if (++current_count_ == batch_size_) {
+    const double mean = current_sum_ / static_cast<double>(batch_size_);
+    means_.push_back(mean);
+    batch_stats_.add(mean);
+    current_sum_ = 0.0;
+    current_count_ = 0;
+  }
+}
+
+double BatchMeans::lag1_autocorrelation() const noexcept {
+  const std::size_t n = means_.size();
+  if (n < 3) return 0.0;
+  const double mean = batch_stats_.mean();
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double centered = means_[i] - mean;
+    denominator += centered * centered;
+    if (i + 1 < n) numerator += centered * (means_[i + 1] - mean);
+  }
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+void BatchMeans::coarsen() {
+  std::vector<double> merged;
+  merged.reserve(means_.size() / 2);
+  for (std::size_t i = 0; i + 1 < means_.size(); i += 2) {
+    merged.push_back(0.5 * (means_[i] + means_[i + 1]));
+  }
+  means_ = std::move(merged);
+  batch_size_ *= 2;
+  batch_stats_ = OnlineStats();
+  for (double m : means_) batch_stats_.add(m);
+  // The partial batch keeps accumulating at the old granularity relative to
+  // the new size; reset it to keep semantics simple.
+  current_sum_ = 0.0;
+  current_count_ = 0;
+}
+
+}  // namespace dg::stats

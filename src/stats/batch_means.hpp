@@ -1,0 +1,59 @@
+// Batch-means analysis for steady-state simulation output.
+//
+// Independent replications (ReplicationAnalyzer) pay a warmup per run; the
+// batch-means method instead chops one long run's observation stream into
+// fixed-size batches and treats the batch means as approximately independent
+// samples. The lag-1 autocorrelation of the batch means is the standard
+// diagnostic: near zero means the batch size is large enough for the CI to
+// be trusted.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/online_stats.hpp"
+
+namespace dg::stats {
+
+class BatchMeans {
+ public:
+  /// `batch_size` observations are averaged into one batch mean.
+  explicit BatchMeans(std::size_t batch_size);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
+  [[nodiscard]] std::size_t completed_batches() const noexcept { return means_.size(); }
+  [[nodiscard]] const std::vector<double>& batch_means() const noexcept { return means_; }
+  /// Observations fed so far (including the current partial batch).
+  [[nodiscard]] std::size_t observations() const noexcept { return observations_; }
+
+  /// Grand mean over completed batches.
+  [[nodiscard]] double mean() const noexcept { return batch_stats_.mean(); }
+  [[nodiscard]] const OnlineStats& batch_stats() const noexcept { return batch_stats_; }
+
+  /// Student-t CI over the batch means (needs >= 2 completed batches).
+  [[nodiscard]] ConfidenceInterval interval(double level = 0.95) const {
+    return mean_confidence_interval(batch_stats_, level);
+  }
+
+  /// Lag-1 autocorrelation of the batch means; |r1| <~ 0.2 with >= 20
+  /// batches is the usual "batches are independent enough" rule of thumb.
+  /// Returns 0 for fewer than three batches.
+  [[nodiscard]] double lag1_autocorrelation() const noexcept;
+
+  /// Convenience: doubles the batch size by merging adjacent batch means
+  /// (discards a trailing odd batch). Use when lag1 is too high.
+  void coarsen();
+
+ private:
+  std::size_t batch_size_;
+  std::size_t observations_ = 0;
+  double current_sum_ = 0.0;
+  std::size_t current_count_ = 0;
+  std::vector<double> means_;
+  OnlineStats batch_stats_;
+};
+
+}  // namespace dg::stats

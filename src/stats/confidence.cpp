@@ -1,0 +1,40 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/quantiles.hpp"
+
+namespace dg::stats {
+
+double ConfidenceInterval::relative_error() const noexcept {
+  if (half_width == 0.0) return 0.0;
+  if (mean == 0.0) return std::numeric_limits<double>::infinity();
+  return half_width / std::fabs(mean);
+}
+
+ConfidenceInterval mean_confidence_interval(const OnlineStats& stats, double level) {
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.mean = stats.mean();
+  if (stats.count() < 2) {
+    ci.half_width = std::numeric_limits<double>::infinity();
+    return ci;
+  }
+  const double df = static_cast<double>(stats.count() - 1);
+  const double t = student_t_quantile(0.5 + level / 2.0, df);
+  ci.half_width = t * stats.std_error();
+  return ci;
+}
+
+void ReplicationAnalyzer::add(double observation) {
+  stats_.add(observation);
+  samples_.push_back(observation);
+}
+
+bool ReplicationAnalyzer::precise_enough() const {
+  if (stats_.count() < min_replications_) return false;
+  return interval().relative_error() <= target_relative_error_;
+}
+
+}  // namespace dg::stats

@@ -1,0 +1,60 @@
+// Confidence intervals over independent replications.
+//
+// The paper's stopping rule: 95% confidence intervals on the mean turnaround
+// with relative error (half-width / mean) of 2.5% or less. ReplicationAnalyzer
+// implements that sequential procedure: feed one observation per replication,
+// ask `precise_enough()` to decide whether more replications are needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/online_stats.hpp"
+
+namespace dg::stats {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double level = 0.95;
+
+  [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+  [[nodiscard]] double upper() const noexcept { return mean + half_width; }
+  /// Half-width relative to the mean (infinite for zero mean with spread).
+  [[nodiscard]] double relative_error() const noexcept;
+  [[nodiscard]] bool contains(double value) const noexcept {
+    return value >= lower() && value <= upper();
+  }
+};
+
+/// Student-t CI for the mean of `stats` (needs >= 2 samples; otherwise the
+/// half-width is +infinity so callers keep sampling).
+[[nodiscard]] ConfidenceInterval mean_confidence_interval(const OnlineStats& stats,
+                                                          double level = 0.95);
+
+class ReplicationAnalyzer {
+ public:
+  explicit ReplicationAnalyzer(double level = 0.95, double target_relative_error = 0.025,
+                               std::uint64_t min_replications = 3)
+      : level_(level),
+        target_relative_error_(target_relative_error),
+        min_replications_(min_replications) {}
+
+  void add(double observation);
+
+  [[nodiscard]] const OnlineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+  [[nodiscard]] ConfidenceInterval interval() const { return mean_confidence_interval(stats_, level_); }
+  /// True once the CI half-width meets the relative-error target (with the
+  /// minimum replication count satisfied).
+  [[nodiscard]] bool precise_enough() const;
+
+ private:
+  double level_;
+  double target_relative_error_;
+  std::uint64_t min_replications_;
+  OnlineStats stats_;
+  std::vector<double> samples_;
+};
+
+}  // namespace dg::stats

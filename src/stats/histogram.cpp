@@ -1,0 +1,50 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dg::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins) : lo_(lo) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (num_bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  width_ = (hi - lo) / static_cast<double>(num_bins);
+  counts_.assign(num_bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const double offset = (x - lo_) / width_;
+  if (offset >= static_cast<double>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(offset)];
+}
+
+double Histogram::bin_lower(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) throw std::logic_error("Histogram::quantile on empty histogram");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Histogram::quantile: q in [0,1]");
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+      return bin_lower(i) + frac * width_;
+    }
+    cumulative = next;
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+}  // namespace dg::stats

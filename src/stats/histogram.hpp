@@ -1,0 +1,40 @@
+// Fixed-width histogram with overflow/underflow bins.
+//
+// Used by tests to sanity-check sampled distributions and by examples to show
+// turnaround-time spreads. Quantile estimation interpolates within bins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dg::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) into `num_bins` equal-width bins; values outside land in
+  /// dedicated underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lower(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+  /// Linear-interpolated quantile estimate (q in [0,1]); requires total() > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dg::stats

@@ -1,0 +1,59 @@
+#include "stats/mser.hpp"
+
+#include <limits>
+
+namespace dg::stats {
+
+namespace {
+
+// MSER over an already-batched series; truncation returned in batch units.
+MserResult mser_core(std::span<const double> series) {
+  MserResult result;
+  const std::size_t n = series.size();
+  if (n < 4) return result;
+
+  // Suffix sums allow O(1) mean/variance of each retained tail.
+  std::vector<double> suffix_sum(n + 1, 0.0);
+  std::vector<double> suffix_sq(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    suffix_sum[i] = suffix_sum[i + 1] + series[i];
+    suffix_sq[i] = suffix_sq[i + 1] + series[i] * series[i];
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_d = 0;
+  const std::size_t max_d = n / 2;  // never delete more than half
+  for (std::size_t d = 0; d <= max_d; ++d) {
+    const double retained = static_cast<double>(n - d);
+    const double mean = suffix_sum[d] / retained;
+    const double var = suffix_sq[d] / retained - mean * mean;
+    const double statistic = var / retained;
+    if (statistic < best) {
+      best = statistic;
+      best_d = d;
+    }
+  }
+  result.truncation_index = best_d;
+  result.statistic = best;
+  return result;
+}
+
+}  // namespace
+
+MserResult mser_truncation(std::span<const double> series) { return mser_core(series); }
+
+MserResult mser5_truncation(std::span<const double> series, std::size_t batch) {
+  if (batch <= 1) return mser_core(series);
+  std::vector<double> batched;
+  batched.reserve(series.size() / batch);
+  for (std::size_t i = 0; i + batch <= series.size(); i += batch) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < batch; ++j) sum += series[i + j];
+    batched.push_back(sum / static_cast<double>(batch));
+  }
+  MserResult result = mser_core(batched);
+  result.truncation_index *= batch;
+  return result;
+}
+
+}  // namespace dg::stats

@@ -1,0 +1,34 @@
+// MSER warmup truncation (White 1997; MSER-5 variant).
+//
+// Picks the truncation point d* minimizing the Marginal Standard Error Rule
+// statistic  MSER(d) = s^2_{d..n} / (n - d)  over the retained suffix — the
+// classic data-driven rule for deleting the initial transient of a
+// steady-state simulation output series. MSER-5 first averages the series
+// into batches of 5 to damp noise. The search is restricted to the first
+// half of the series (the standard guard against degenerate tail minima).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dg::stats {
+
+struct MserResult {
+  /// Number of raw observations to delete from the front.
+  std::size_t truncation_index = 0;
+  /// The minimized MSER statistic at that point.
+  double statistic = 0.0;
+};
+
+/// Plain MSER on the raw series. Requires at least 4 observations; returns
+/// truncation 0 for shorter inputs.
+[[nodiscard]] MserResult mser_truncation(std::span<const double> series);
+
+/// MSER-5: batches of `batch` (default 5) observations are averaged first;
+/// the returned truncation index is in raw-observation units (a multiple of
+/// the batch size).
+[[nodiscard]] MserResult mser5_truncation(std::span<const double> series,
+                                          std::size_t batch = 5);
+
+}  // namespace dg::stats

@@ -1,0 +1,13 @@
+#include "stats/online_stats.hpp"
+
+#include <cmath>
+
+namespace dg::stats {
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::std_error() const noexcept {
+  return count_ > 1 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+}  // namespace dg::stats

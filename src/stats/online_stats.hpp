@@ -1,0 +1,102 @@
+// Numerically-stable streaming moments (Welford / Chan).
+//
+// Simulation runs produce long streams of observations (per-bag turnarounds,
+// per-task waits); OnlineStats accumulates mean/variance in one pass without
+// storing samples and merges partial accumulators from parallel replications.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dg::stats {
+
+class OnlineStats {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Chan et al. parallel merge; exact up to rounding.
+  void merge(const OnlineStats& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double std_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Integrates a piecewise-constant signal over time; yields the time-average.
+/// Used for grid utilization and queue-length statistics.
+class TimeWeightedStats {
+ public:
+  explicit TimeWeightedStats(double start_time = 0.0, double initial_value = 0.0) noexcept
+      : last_time_(start_time), value_(initial_value), start_time_(start_time) {}
+
+  /// Records that the signal changed to `new_value` at time `now` (>= last).
+  void update(double now, double new_value) noexcept {
+    if (now > last_time_) {
+      integral_ += value_ * (now - last_time_);
+      last_time_ = now;
+    }
+    value_ = new_value;
+  }
+
+  /// Advances time without changing the value.
+  void advance_to(double now) noexcept { update(now, value_); }
+
+  [[nodiscard]] double current() const noexcept { return value_; }
+  [[nodiscard]] double integral(double now) const noexcept {
+    return integral_ + (now > last_time_ ? value_ * (now - last_time_) : 0.0);
+  }
+  [[nodiscard]] double time_average(double now) const noexcept {
+    const double span = now - start_time_;
+    return span > 0.0 ? integral(now) / span : value_;
+  }
+
+ private:
+  double last_time_;
+  double value_;
+  double start_time_;
+  double integral_ = 0.0;
+};
+
+}  // namespace dg::stats

@@ -1,0 +1,162 @@
+#include "stats/quantiles.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dg::stats {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double beta_cf(double a, double b, double x) {
+  // Modified Lentz continued fraction for the incomplete beta function.
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0.0) throw std::invalid_argument("student_t_cdf: df must be positive");
+  const double x = df / (df + t * t);
+  const double tail = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("normal_quantile: p must be in (0, 1)");
+  }
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley step against the normal CDF sharpens to ~1e-15.
+  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * kPi) * std::exp(0.5 * x * x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double student_t_quantile(double p, double df) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("student_t_quantile: p must be in (0, 1)");
+  }
+  if (df < 1.0) throw std::invalid_argument("student_t_quantile: df must be >= 1");
+  if (p == 0.5) return 0.0;
+
+  // Hill's Algorithm 396 initial estimate.
+  const bool upper = p >= 0.5;
+  const double two_tail = upper ? 2.0 * (1.0 - p) : 2.0 * p;
+  double t;
+  if (df == 1.0) {
+    t = std::cos(two_tail * kPi / 2.0) / std::sin(two_tail * kPi / 2.0);
+  } else if (df == 2.0) {
+    t = std::sqrt(2.0 / (two_tail * (2.0 - two_tail)) - 2.0);
+  } else {
+    const double a = 1.0 / (df - 0.5);
+    const double b_ = 48.0 / (a * a);
+    double c = ((20700.0 * a / b_ - 98.0) * a - 16.0) * a + 96.36;
+    const double d_ = ((94.5 / (b_ + c) - 3.0) / b_ + 1.0) * std::sqrt(a * kPi / 2.0) * df;
+    double x = d_ * two_tail;
+    double y = std::pow(x, 2.0 / df);
+    if (y > 0.05 + a) {
+      x = normal_quantile(two_tail * 0.5);
+      y = x * x;
+      if (df < 5.0) c += 0.3 * (df - 4.5) * (x + 0.6);
+      c = (((0.05 * d_ * x - 5.0) * x - 7.0) * x - 2.0) * x + b_ + c;
+      y = (((((0.4 * y + 6.3) * y + 36.0) * y + 94.5) / c - y - 3.0) / b_ + 1.0) * x;
+      y = a * y * y;
+      y = y > 0.002 ? std::exp(y) - 1.0 : 0.5 * y * y + y;
+    } else {
+      y = ((1.0 / (((df + 6.0) / (df * y) - 0.089 * d_ - 0.822) * (df + 2.0) * 3.0) +
+            0.5 / (df + 4.0)) *
+               y -
+           1.0) *
+              (df + 1.0) / (df + 2.0) +
+          1.0 / y;
+    }
+    t = std::sqrt(df * y);
+  }
+  if (!upper) t = -t;
+
+  // Newton polish through the exact CDF (two steps suffice).
+  for (int i = 0; i < 3; ++i) {
+    const double err = student_t_cdf(t, df) - p;
+    const double pdf = std::exp(std::lgamma(0.5 * (df + 1.0)) - std::lgamma(0.5 * df)) /
+                       (std::sqrt(df * kPi) * std::pow(1.0 + t * t / df, 0.5 * (df + 1.0)));
+    if (pdf <= 0.0) break;
+    const double step = err / pdf;
+    t -= step;
+    if (std::fabs(step) < 1e-12 * (1.0 + std::fabs(t))) break;
+  }
+  return t;
+}
+
+}  // namespace dg::stats

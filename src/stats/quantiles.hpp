@@ -1,0 +1,25 @@
+// Quantile functions for confidence intervals.
+//
+// The paper reports 95% confidence intervals with <= 2.5% relative error; the
+// replication analyzer needs Student-t critical values for small replication
+// counts. Implemented from scratch (Acklam's normal inverse + Hill's Algorithm
+// 396 for t) so results do not depend on platform math libraries.
+#pragma once
+
+namespace dg::stats {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, |eps|<1.2e-9).
+/// Requires 0 < p < 1.
+[[nodiscard]] double normal_quantile(double p);
+
+/// Inverse Student-t CDF with `df` degrees of freedom (Hill 1970, Alg. 396,
+/// with a Newton polish through the t CDF). Requires 0 < p < 1 and df >= 1.
+[[nodiscard]] double student_t_quantile(double p, double df);
+
+/// Student-t CDF (via the regularized incomplete beta function).
+[[nodiscard]] double student_t_cdf(double t, double df);
+
+/// Regularized incomplete beta I_x(a, b) by continued fraction (Lentz).
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+}  // namespace dg::stats

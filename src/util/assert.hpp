@@ -1,0 +1,32 @@
+// Always-on invariant checking.
+//
+// Simulation correctness depends on internal invariants (a machine never runs
+// two replicas, checkpointed progress is monotone, ...). These are programmer
+// errors, not recoverable conditions, so violation aborts with a diagnostic.
+// DG_ASSERT stays active in Release builds: the cost is negligible next to the
+// event-processing work and silent state corruption is far more expensive.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dg::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) noexcept {
+  std::fprintf(stderr, "dgsched: assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace dg::util
+
+#define DG_ASSERT(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) ::dg::util::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DG_ASSERT_MSG(expr, msg)                                           \
+  do {                                                                     \
+    if (!(expr)) ::dg::util::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

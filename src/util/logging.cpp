@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace dg::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  std::scoped_lock lock(mutex_);
+  std::fprintf(stderr, "[dgsched %.*s] %.*s\n", static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace dg::util

@@ -1,0 +1,74 @@
+// Minimal thread-safe logging.
+//
+// Simulations run in parallel worker threads; log lines must not interleave.
+// The logger serializes writes with a mutex and tags each line with severity.
+// Verbosity is a process-wide setting (set once at startup by the CLI layer).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dg::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off" (case-insensitive).
+/// Returns kInfo for unknown strings.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text) noexcept;
+
+class Logger {
+ public:
+  /// Process-wide logger used by the library. Writes to stderr.
+  static Logger& global();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void log(LogLevel level, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+  Logger& logger = Logger::global();
+  if (!logger.enabled(level)) return;
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  logger.log(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(Args&&... args) {
+  detail::log_fmt(LogLevel::kTrace, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_fmt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_fmt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_fmt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_fmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace dg::util

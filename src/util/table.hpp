@@ -1,0 +1,38 @@
+// ASCII table and CSV rendering for experiment output.
+//
+// The figure-reproduction benches print the same rows the paper plots; Table
+// keeps columns aligned for human reading and write_csv emits machine-readable
+// output for downstream plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dg::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return header_.size(); }
+
+  /// Renders an aligned, boxed ASCII table.
+  void render(std::ostream& os) const;
+  /// Renders RFC-4180-style CSV (quotes fields containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `precision` significant decimal digits after the point.
+[[nodiscard]] std::string format_double(double value, int precision = 1);
+
+/// Formats a CSV field, quoting when needed.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace dg::util

@@ -1,0 +1,38 @@
+// Bag-of-Tasks application descriptions (static workload side).
+//
+// A BotSpec is what a user submits: a set of independent tasks, each with a
+// work amount expressed as execution time on the paper's reference machine
+// (P = 1). Runtime state (replicas, queues, progress) lives in sched/.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace dg::workload {
+
+using BotId = std::uint32_t;
+using TaskIndex = std::uint32_t;
+
+struct TaskSpec {
+  /// Work amount == execution time in seconds on a P = 1 machine.
+  double work = 0.0;
+};
+
+struct BotSpec {
+  BotId id = 0;
+  /// Submission time (seconds since simulation start).
+  double arrival_time = 0.0;
+  /// Mean task size this bag was generated from (reporting only).
+  double granularity = 0.0;
+  std::vector<TaskSpec> tasks;
+
+  [[nodiscard]] double total_work() const noexcept {
+    double sum = 0.0;
+    for (const TaskSpec& task : tasks) sum += task.work;
+    return sum;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks.size(); }
+};
+
+}  // namespace dg::workload

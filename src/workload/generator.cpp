@@ -1,0 +1,200 @@
+#include "workload/generator.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "grid/checkpoint_server.hpp"
+#include "util/assert.hpp"
+
+namespace dg::workload {
+
+std::string to_string(Intensity intensity) {
+  switch (intensity) {
+    case Intensity::kLow: return "Low";
+    case Intensity::kMed: return "Med";
+    case Intensity::kHigh: return "High";
+  }
+  return "?";
+}
+
+double utilization_for(Intensity intensity) noexcept {
+  switch (intensity) {
+    case Intensity::kLow: return 0.50;
+    case Intensity::kMed: return 0.75;
+    case Intensity::kHigh: return 0.90;
+  }
+  return 0.5;
+}
+
+namespace {
+std::string ascii_lower(std::string_view text) {
+  std::string out;
+  for (char c : text) out.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  return out;
+}
+}  // namespace
+
+std::optional<Intensity> parse_intensity(std::string_view name) {
+  const std::string lower = ascii_lower(name);
+  if (lower == "low") return Intensity::kLow;
+  if (lower == "med" || lower == "medium") return Intensity::kMed;
+  if (lower == "high") return Intensity::kHigh;
+  return std::nullopt;
+}
+
+std::optional<ArrivalProcess> parse_arrival_process(std::string_view name) {
+  const std::string lower = ascii_lower(name);
+  if (lower == "poisson") return ArrivalProcess::kPoisson;
+  if (lower == "uniformjitter" || lower == "uniform" || lower == "jitter") {
+    return ArrivalProcess::kUniformJitter;
+  }
+  if (lower == "bursty") return ArrivalProcess::kBursty;
+  return std::nullopt;
+}
+
+std::string to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "Poisson";
+    case ArrivalProcess::kUniformJitter: return "UniformJitter";
+    case ArrivalProcess::kBursty: return "Bursty";
+  }
+  return "?";
+}
+
+std::string WorkloadConfig::name() const {
+  std::ostringstream oss;
+  oss << "bots=" << num_bots << " S=" << bag_size << " lambda=" << arrival_rate << " gran={";
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (i != 0) oss << ",";
+    oss << types[i].granularity;
+  }
+  oss << "}";
+  return oss.str();
+}
+
+double effective_grid_power(const grid::GridConfig& config) {
+  double power = config.total_power;
+  const grid::AvailabilityModel& avail = config.availability;
+  power *= avail.availability();
+  if (avail.failures_enabled) {
+    const double cost = config.checkpoint_transfer.mean();
+    const double interval = grid::young_checkpoint_interval(cost, avail.mttf());
+    power *= interval / (interval + cost);
+  }
+  return power;
+}
+
+double arrival_rate_for_utilization(double utilization, double bag_size, double effective_power) {
+  if (!(utilization > 0.0)) {
+    throw std::invalid_argument("arrival_rate_for_utilization: utilization must be positive");
+  }
+  if (!(bag_size > 0.0) || !(effective_power > 0.0)) {
+    throw std::invalid_argument("arrival_rate_for_utilization: bag_size and power must be positive");
+  }
+  const double demand = bag_size / effective_power;  // D: seconds of grid time per bag
+  return utilization / demand;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, rng::RandomStream stream)
+    : config_(std::move(config)), stream_(stream) {
+  if (config_.types.empty()) {
+    throw std::invalid_argument("WorkloadGenerator: need at least one BoT type");
+  }
+  if (!(config_.bag_size > 0.0)) {
+    throw std::invalid_argument("WorkloadGenerator: bag_size must be positive");
+  }
+  if (!(config_.arrival_rate > 0.0)) {
+    throw std::invalid_argument("WorkloadGenerator: arrival_rate must be positive");
+  }
+  if (config_.arrivals == ArrivalProcess::kBursty) {
+    if (!(config_.burst_intensity > 1.0) || !(config_.burst_fraction > 0.0) ||
+        !(config_.burst_fraction < 1.0)) {
+      throw std::invalid_argument(
+          "WorkloadGenerator: bursty arrivals need burst_intensity > 1 and "
+          "burst_fraction in (0, 1)");
+    }
+  }
+}
+
+double WorkloadGenerator::next_arrival(double clock) {
+  const double mean_interarrival = 1.0 / config_.arrival_rate;
+  switch (config_.arrivals) {
+    case ArrivalProcess::kPoisson:
+      return clock + stream_.exponential_mean(mean_interarrival);
+    case ArrivalProcess::kUniformJitter:
+      return clock + stream_.uniform(0.5 * mean_interarrival, 1.5 * mean_interarrival);
+    case ArrivalProcess::kBursty: {
+      // Two-state MMPP. Burst rate is burst_intensity * base; the off rate is
+      // solved so the long-run mean stays at arrival_rate. State holding
+      // times are exponential with a cycle of ~20 mean inter-arrivals.
+      const double bf = config_.burst_fraction;
+      const double bi = config_.burst_intensity;
+      double burst_rate = bi * config_.arrival_rate;
+      double off_rate = config_.arrival_rate * (1.0 - bf * bi) / (1.0 - bf);
+      if (off_rate < 0.0) {  // bursts alone exceed the mean: cap them
+        burst_rate = config_.arrival_rate / bf;
+        off_rate = 0.0;
+      }
+      const double cycle = 20.0 * mean_interarrival;
+      for (;;) {
+        if (state_remaining_ <= 0.0) {
+          // (Re)enter a state; start from the off state at t=0.
+          state_remaining_ = stream_.exponential_mean(
+              in_burst_ ? (1.0 - bf) * cycle : bf * cycle);
+          in_burst_ = !in_burst_;
+        }
+        const double rate = in_burst_ ? burst_rate : off_rate;
+        if (rate <= 0.0) {
+          clock += state_remaining_;
+          state_remaining_ = 0.0;
+          continue;
+        }
+        const double gap = stream_.exponential_mean(1.0 / rate);
+        if (gap <= state_remaining_) {
+          state_remaining_ -= gap;
+          return clock + gap;
+        }
+        clock += state_remaining_;
+        state_remaining_ = 0.0;
+      }
+    }
+  }
+  return clock + stream_.exponential_mean(mean_interarrival);
+}
+
+BotSpec WorkloadGenerator::make_bot(BotId id, double arrival_time, const BotType& type) {
+  DG_ASSERT(type.granularity > 0.0);
+  DG_ASSERT(type.spread >= 0.0 && type.spread < 1.0);
+  BotSpec bot;
+  bot.id = id;
+  bot.arrival_time = arrival_time;
+  bot.granularity = type.granularity;
+  const double lo = (1.0 - type.spread) * type.granularity;
+  const double hi = (1.0 + type.spread) * type.granularity;
+  double accumulated = 0.0;
+  while (accumulated < config_.bag_size) {
+    const double work = stream_.uniform(lo, hi);
+    bot.tasks.push_back(TaskSpec{work});
+    accumulated += work;
+  }
+  return bot;
+}
+
+std::vector<BotSpec> WorkloadGenerator::generate() {
+  std::vector<BotSpec> bots;
+  bots.reserve(config_.num_bots);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < config_.num_bots; ++i) {
+    clock = next_arrival(clock);
+    const BotType& type =
+        config_.types[config_.types.size() == 1
+                          ? 0
+                          : static_cast<std::size_t>(
+                                stream_.uniform_int(0, config_.types.size() - 1))];
+    bots.push_back(make_bot(static_cast<BotId>(i), clock, type));
+  }
+  return bots;
+}
+
+}  // namespace dg::workload

@@ -1,0 +1,112 @@
+// Workload generation.
+//
+// Paper model: each workload combines a BoT type (task granularity X; task
+// sizes Uniform[X/2, 3X/2]) with a Poisson arrival process. Every bag has the
+// same total work S ("application size"); tasks are appended until their
+// nominal times sum to S. The arrival rate lambda is derived from a target
+// grid utilization U via lambda = U / D, where D = S / P_eff and P_eff is the
+// grid's total power scaled by availability and checkpoint overhead.
+//
+// The paper's four granularities are {1000, 5000, 25000, 125000} s; its three
+// intensities are U in {0.5, 0.75, 0.9}. Mixed-type workloads (several
+// granularities in one arrival stream) implement the paper's first
+// future-work direction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "grid/desktop_grid.hpp"
+#include "rng/random_stream.hpp"
+#include "workload/bot.hpp"
+
+namespace dg::workload {
+
+/// The paper's four task granularities, in seconds on the reference machine.
+inline constexpr double kPaperGranularities[] = {1000.0, 5000.0, 25000.0, 125000.0};
+
+/// The paper's workload intensities (target grid utilizations).
+enum class Intensity : std::uint8_t { kLow, kMed, kHigh };
+
+[[nodiscard]] std::string to_string(Intensity intensity);
+[[nodiscard]] std::optional<Intensity> parse_intensity(std::string_view name);
+[[nodiscard]] double utilization_for(Intensity intensity) noexcept;
+
+struct BotType {
+  /// Mean task execution time on a P = 1 machine.
+  double granularity = 1000.0;
+  /// Task sizes drawn from Uniform[(1-spread) X, (1+spread) X].
+  double spread = 0.5;
+};
+
+/// Shape of the submission process (all with the same mean rate).
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,        // the paper's model: exponential inter-arrivals
+  kUniformJitter,  // near-periodic: inter-arrival ~ Uniform[0.5, 1.5]/rate
+  kBursty,         // two-state MMPP: burst periods with elevated rate
+};
+
+[[nodiscard]] std::string to_string(ArrivalProcess process);
+[[nodiscard]] std::optional<ArrivalProcess> parse_arrival_process(std::string_view name);
+
+struct WorkloadConfig {
+  /// Candidate BoT types; each arriving bag picks one uniformly at random.
+  /// A single entry reproduces the paper's homogeneous-type workloads.
+  std::vector<BotType> types{BotType{}};
+  /// Total work per bag (the paper's fixed "application size"), seconds on a
+  /// P = 1 machine.
+  double bag_size = 2.5e6;
+  /// Mean arrival rate (bags per second).
+  double arrival_rate = 1e-4;
+  /// Number of bags to generate.
+  std::size_t num_bots = 100;
+  /// Shape of the arrival process (mean rate is arrival_rate regardless).
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// kBursty only: rate multiplier inside a burst (>1).
+  double burst_intensity = 5.0;
+  /// kBursty only: long-run fraction of time spent in the burst state.
+  double burst_fraction = 0.2;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Effective delivered power of a grid: total power x availability x
+/// checkpoint efficiency tau / (tau + C), with tau from Young's formula.
+/// This is the paper's "computing power of the Grid scaled down to take into
+/// account the availability of resources and the cost and frequency of each
+/// checkpoint".
+[[nodiscard]] double effective_grid_power(const grid::GridConfig& config);
+
+/// lambda achieving target utilization U: lambda = U * P_eff / S.
+[[nodiscard]] double arrival_rate_for_utilization(double utilization, double bag_size,
+                                                  double effective_power);
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, rng::RandomStream stream);
+
+  /// Generates the full arrival sequence (deterministic for a given stream).
+  [[nodiscard]] std::vector<BotSpec> generate();
+
+  /// Generates a single bag of the given type arriving at `arrival_time`.
+  [[nodiscard]] BotSpec make_bot(BotId id, double arrival_time, const BotType& type);
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Advances the arrival clock by one inter-arrival per the configured
+  /// process; returns the next arrival time.
+  [[nodiscard]] double next_arrival(double clock);
+
+  WorkloadConfig config_;
+  rng::RandomStream stream_;
+  // kBursty state: time remaining in the current MMPP state and whether it
+  // is the burst state.
+  bool in_burst_ = false;
+  double state_remaining_ = 0.0;
+};
+
+}  // namespace dg::workload

@@ -1,0 +1,86 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dg::workload {
+
+void save_workload_csv(std::ostream& os, const std::vector<BotSpec>& bots) {
+  const auto saved_precision = os.precision(std::numeric_limits<double>::max_digits10);
+  os << "bot,arrival,granularity,task,work\n";
+  for (const BotSpec& bot : bots) {
+    for (std::size_t t = 0; t < bot.tasks.size(); ++t) {
+      os << bot.id << ',' << bot.arrival_time << ',' << bot.granularity << ',' << t << ','
+         << bot.tasks[t].work << '\n';
+    }
+  }
+  os.precision(saved_precision);
+}
+
+std::vector<BotSpec> load_workload_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("bot,arrival,granularity,task,work", 0) != 0) {
+    throw std::runtime_error("workload trace: missing or bad CSV header");
+  }
+  std::map<BotId, BotSpec> bots;
+  std::size_t line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    auto next = [&](const char* what) {
+      if (!std::getline(row, field, ',')) {
+        throw std::runtime_error(std::string("workload trace: missing ") + what + " at line " +
+                                 std::to_string(line_number));
+      }
+      return field;
+    };
+    try {
+      const auto bot_id = static_cast<BotId>(std::stoul(next("bot")));
+      const double arrival = std::stod(next("arrival"));
+      const double granularity = std::stod(next("granularity"));
+      const auto task_index = static_cast<std::size_t>(std::stoull(next("task")));
+      const double work = std::stod(next("work"));
+      if (work <= 0.0) {
+        throw std::runtime_error("workload trace: non-positive work at line " +
+                                 std::to_string(line_number));
+      }
+      BotSpec& bot = bots[bot_id];
+      bot.id = bot_id;
+      bot.arrival_time = arrival;
+      bot.granularity = granularity;
+      if (bot.tasks.size() <= task_index) bot.tasks.resize(task_index + 1);
+      bot.tasks[task_index].work = work;
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("workload trace: unparsable field at line " +
+                               std::to_string(line_number));
+    } catch (const std::out_of_range&) {
+      throw std::runtime_error("workload trace: out-of-range field at line " +
+                               std::to_string(line_number));
+    }
+  }
+  std::vector<BotSpec> result;
+  result.reserve(bots.size());
+  for (auto& [id, bot] : bots) {
+    for (const TaskSpec& task : bot.tasks) {
+      if (task.work <= 0.0) {
+        throw std::runtime_error("workload trace: bot " + std::to_string(id) +
+                                 " has a gap in its task indices");
+      }
+    }
+    result.push_back(std::move(bot));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const BotSpec& a, const BotSpec& b) { return a.arrival_time < b.arrival_time; });
+  return result;
+}
+
+}  // namespace dg::workload

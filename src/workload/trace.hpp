@@ -1,0 +1,26 @@
+// Workload traces: save and replay BoT submission streams.
+//
+// A workload trace records every bag (arrival time, granularity label) and
+// every task's work amount, so a synthetic — or real — submission log can be
+// replayed bit-for-bit across schedulers and machine configurations.
+//
+// CSV format (header + one row per task):
+//   bot,arrival,granularity,task,work
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "workload/bot.hpp"
+
+namespace dg::workload {
+
+/// Writes all bags of `bots` (one row per task).
+void save_workload_csv(std::ostream& os, const std::vector<BotSpec>& bots);
+
+/// Parses a workload trace. Bags are returned in arrival order; throws
+/// std::runtime_error on malformed input (bad header/fields, non-monotone
+/// arrivals after sorting is NOT enforced — arrivals are sorted on load).
+[[nodiscard]] std::vector<BotSpec> load_workload_csv(std::istream& is);
+
+}  // namespace dg::workload

@@ -1,0 +1,209 @@
+// Arrival-process variants, slowdown metrics, queue monitor, and MSER
+// truncation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulation.hpp"
+#include "stats/mser.hpp"
+#include "stats/online_stats.hpp"
+#include "workload/generator.hpp"
+
+namespace dg {
+namespace {
+
+workload::WorkloadConfig arrivals_config(workload::ArrivalProcess process, std::size_t n) {
+  workload::WorkloadConfig config;
+  config.types = {workload::BotType{5000.0, 0.5}};
+  config.bag_size = 1e5;
+  config.arrival_rate = 1e-3;
+  config.num_bots = n;
+  config.arrivals = process;
+  return config;
+}
+
+double mean_gap(const std::vector<workload::BotSpec>& bots) {
+  return bots.back().arrival_time / static_cast<double>(bots.size());
+}
+
+double gap_scv(const std::vector<workload::BotSpec>& bots) {
+  stats::OnlineStats gaps;
+  double prev = 0.0;
+  for (const workload::BotSpec& bot : bots) {
+    gaps.add(bot.arrival_time - prev);
+    prev = bot.arrival_time;
+  }
+  const double mean = gaps.mean();
+  return gaps.variance() / (mean * mean);
+}
+
+TEST(ArrivalProcesses, AllHaveTheConfiguredMeanRate) {
+  for (workload::ArrivalProcess process :
+       {workload::ArrivalProcess::kPoisson, workload::ArrivalProcess::kUniformJitter,
+        workload::ArrivalProcess::kBursty}) {
+    workload::WorkloadGenerator generator(arrivals_config(process, 4000),
+                                          rng::RandomStream(7));
+    const auto bots = generator.generate();
+    EXPECT_NEAR(mean_gap(bots), 1000.0, 120.0) << workload::to_string(process);
+  }
+}
+
+TEST(ArrivalProcesses, VariabilityOrdering) {
+  // scv: uniform-jitter (1/12) < Poisson (1) < bursty (> 1).
+  workload::WorkloadGenerator uniform(
+      arrivals_config(workload::ArrivalProcess::kUniformJitter, 4000), rng::RandomStream(8));
+  workload::WorkloadGenerator poisson(arrivals_config(workload::ArrivalProcess::kPoisson, 4000),
+                                      rng::RandomStream(8));
+  workload::WorkloadGenerator bursty(arrivals_config(workload::ArrivalProcess::kBursty, 4000),
+                                     rng::RandomStream(8));
+  const double scv_uniform = gap_scv(uniform.generate());
+  const double scv_poisson = gap_scv(poisson.generate());
+  const double scv_bursty = gap_scv(bursty.generate());
+  EXPECT_NEAR(scv_uniform, 1.0 / 12.0, 0.03);
+  EXPECT_NEAR(scv_poisson, 1.0, 0.15);
+  EXPECT_GT(scv_bursty, 1.3);
+}
+
+TEST(ArrivalProcesses, BurstyRejectsBadParameters) {
+  workload::WorkloadConfig config = arrivals_config(workload::ArrivalProcess::kBursty, 10);
+  config.burst_intensity = 0.5;
+  EXPECT_THROW(workload::WorkloadGenerator(config, rng::RandomStream(1)),
+               std::invalid_argument);
+  config.burst_intensity = 5.0;
+  config.burst_fraction = 1.0;
+  EXPECT_THROW(workload::WorkloadGenerator(config, rng::RandomStream(1)),
+               std::invalid_argument);
+}
+
+TEST(ArrivalProcesses, ExtremeBurstIntensityIsCapped) {
+  workload::WorkloadConfig config = arrivals_config(workload::ArrivalProcess::kBursty, 2000);
+  config.burst_intensity = 50.0;  // bf * bi > 1: off-state rate clamps to 0
+  config.burst_fraction = 0.2;
+  workload::WorkloadGenerator generator(config, rng::RandomStream(9));
+  const auto bots = generator.generate();
+  EXPECT_NEAR(mean_gap(bots), 1000.0, 200.0);
+}
+
+TEST(ArrivalProcesses, NamesAreDistinct) {
+  EXPECT_EQ(workload::to_string(workload::ArrivalProcess::kPoisson), "Poisson");
+  EXPECT_EQ(workload::to_string(workload::ArrivalProcess::kUniformJitter), "UniformJitter");
+  EXPECT_EQ(workload::to_string(workload::ArrivalProcess::kBursty), "Bursty");
+}
+
+// --- slowdown + monitor in SimulationResult ---
+
+sim::SimulationConfig monitored_config() {
+  sim::SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHom,
+                                         grid::AvailabilityLevel::kHigh);
+  config.workload = sim::make_paper_workload(config.grid, 25000.0,
+                                             workload::Intensity::kLow, 15);
+  config.policy = sched::PolicyKind::kRoundRobin;
+  config.seed = 21;
+  return config;
+}
+
+TEST(Slowdown, AtLeastOneAndFinite) {
+  const sim::SimulationResult result = sim::Simulation(monitored_config()).run();
+  for (const sim::BotRecord& bot : result.bots) {
+    EXPECT_GE(bot.slowdown, 1.0 - 1e-9) << "turnaround below the ideal service time";
+    EXPECT_TRUE(std::isfinite(bot.slowdown));
+    EXPECT_GT(bot.total_work, 0.0);
+  }
+  EXPECT_GE(result.slowdown.mean(), 1.0);
+}
+
+TEST(Slowdown, HigherUnderHighIntensity) {
+  sim::SimulationConfig low = monitored_config();
+  sim::SimulationConfig high = monitored_config();
+  high.workload = sim::make_paper_workload(high.grid, 25000.0,
+                                           workload::Intensity::kHigh, 15);
+  const double s_low = sim::Simulation(low).run().slowdown.mean();
+  const double s_high = sim::Simulation(high).run().slowdown.mean();
+  EXPECT_GT(s_high, s_low);
+}
+
+TEST(QueueMonitor, ProducesSamplesCoveringTheRun) {
+  const sim::SimulationResult result = sim::Simulation(monitored_config()).run();
+  ASSERT_GE(result.monitor.size(), 8u);
+  for (std::size_t i = 1; i < result.monitor.size(); ++i) {
+    EXPECT_GT(result.monitor[i].time, result.monitor[i - 1].time);
+  }
+  EXPECT_LE(result.monitor.back().time, result.end_time + 1e-9);
+  // 100 Hom machines, all up (high avail most of the time).
+  for (const sim::MonitorSample& sample : result.monitor) {
+    EXPECT_LE(sample.busy_machines, sample.up_machines);
+    EXPECT_LE(sample.up_machines, result.num_machines);
+  }
+}
+
+TEST(QueueMonitor, CustomIntervalRespected) {
+  sim::SimulationConfig config = monitored_config();
+  config.monitor_interval = 5000.0;
+  const sim::SimulationResult result = sim::Simulation(config).run();
+  ASSERT_GE(result.monitor.size(), 2u);
+  EXPECT_NEAR(result.monitor[1].time - result.monitor[0].time, 5000.0, 1e-9);
+}
+
+TEST(QueueMonitor, GrowthRatioNearOneWhenStable) {
+  const sim::SimulationResult result = sim::Simulation(monitored_config()).run();
+  EXPECT_FALSE(result.saturated);
+  EXPECT_LT(result.queue_growth_ratio, 5.0);
+}
+
+TEST(QueueMonitor, GrowthRatioLargeUnderOverload) {
+  sim::SimulationConfig config = monitored_config();
+  // Offered load ~3x capacity: the queue grows for the whole run.
+  config.workload.arrival_rate *= 6.0;
+  config.workload.num_bots = 40;
+  const sim::SimulationResult result = sim::Simulation(config).run();
+  EXPECT_GT(result.queue_growth_ratio, 2.0);
+}
+
+// --- MSER ---
+
+TEST(Mser, StationarySeriesKeepsAlmostEverything) {
+  rng::RandomStream stream(4);
+  std::vector<double> series;
+  for (int i = 0; i < 1000; ++i) series.push_back(stream.normal(50.0, 5.0));
+  const stats::MserResult result = stats::mser_truncation(series);
+  EXPECT_LT(result.truncation_index, 100u);
+}
+
+TEST(Mser, TransientGetsCut) {
+  rng::RandomStream stream(5);
+  std::vector<double> series;
+  // Decaying transient from 500 toward the steady mean of 50.
+  for (int i = 0; i < 200; ++i) {
+    series.push_back(50.0 + 450.0 * std::exp(-i / 30.0) + stream.normal(0.0, 5.0));
+  }
+  for (int i = 0; i < 800; ++i) series.push_back(stream.normal(50.0, 5.0));
+  const stats::MserResult result = stats::mser_truncation(series);
+  EXPECT_GT(result.truncation_index, 50u);
+  EXPECT_LT(result.truncation_index, 500u);
+}
+
+TEST(Mser, Mser5TruncationIsBatchAligned) {
+  rng::RandomStream stream(6);
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) series.push_back(1000.0 - 10.0 * i);  // transient
+  for (int i = 0; i < 900; ++i) series.push_back(stream.normal(0.0, 1.0));
+  const stats::MserResult result = stats::mser5_truncation(series, 5);
+  EXPECT_EQ(result.truncation_index % 5, 0u);
+  EXPECT_GE(result.truncation_index, 80u);
+}
+
+TEST(Mser, ShortSeriesReturnsZero) {
+  const std::vector<double> series{1.0, 2.0, 3.0};
+  EXPECT_EQ(stats::mser_truncation(series).truncation_index, 0u);
+}
+
+TEST(Mser, NeverCutsMoreThanHalf) {
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) series.push_back(static_cast<double>(i));  // pure trend
+  const stats::MserResult result = stats::mser_truncation(series);
+  EXPECT_LE(result.truncation_index, 50u);
+}
+
+}  // namespace
+}  // namespace dg

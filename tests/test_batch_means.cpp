@@ -1,0 +1,97 @@
+// Batch-means steady-state analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/random_stream.hpp"
+#include "stats/batch_means.hpp"
+
+namespace dg::stats {
+namespace {
+
+TEST(BatchMeans, BatchesFormAtBatchSize) {
+  BatchMeans bm(4);
+  for (int i = 1; i <= 9; ++i) bm.add(i);
+  EXPECT_EQ(bm.completed_batches(), 2u);
+  EXPECT_EQ(bm.observations(), 9u);
+  EXPECT_DOUBLE_EQ(bm.batch_means()[0], 2.5);   // mean of 1..4
+  EXPECT_DOUBLE_EQ(bm.batch_means()[1], 6.5);   // mean of 5..8
+  EXPECT_DOUBLE_EQ(bm.mean(), 4.5);
+}
+
+TEST(BatchMeans, ZeroBatchSizeThrows) { EXPECT_THROW(BatchMeans(0), std::invalid_argument); }
+
+TEST(BatchMeans, IidDataHasLowLag1Autocorrelation) {
+  BatchMeans bm(10);
+  rng::RandomStream stream(1);
+  for (int i = 0; i < 5000; ++i) bm.add(stream.normal(100.0, 10.0));
+  EXPECT_LT(std::fabs(bm.lag1_autocorrelation()), 0.15);
+}
+
+TEST(BatchMeans, TrendingDataHasHighLag1Autocorrelation) {
+  BatchMeans bm(5);
+  for (int i = 0; i < 500; ++i) bm.add(static_cast<double>(i));
+  EXPECT_GT(bm.lag1_autocorrelation(), 0.8);
+}
+
+TEST(BatchMeans, AutocorrelatedProcessImprovesWithCoarsening) {
+  // AR(1) with strong positive correlation: small batches correlate, larger
+  // batches decorrelate.
+  rng::RandomStream stream(2);
+  BatchMeans bm(5);
+  double x = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    x = 0.95 * x + stream.normal(0.0, 1.0);
+    bm.add(x);
+  }
+  const double before = bm.lag1_autocorrelation();
+  bm.coarsen();
+  bm.coarsen();
+  bm.coarsen();
+  const double after = bm.lag1_autocorrelation();
+  EXPECT_GT(before, 0.5);
+  EXPECT_LT(after, before);
+}
+
+TEST(BatchMeans, CoarsenMergesAdjacentBatches) {
+  BatchMeans bm(2);
+  for (int i = 1; i <= 8; ++i) bm.add(i);  // batch means 1.5, 3.5, 5.5, 7.5
+  ASSERT_EQ(bm.completed_batches(), 4u);
+  bm.coarsen();
+  ASSERT_EQ(bm.completed_batches(), 2u);
+  EXPECT_DOUBLE_EQ(bm.batch_means()[0], 2.5);
+  EXPECT_DOUBLE_EQ(bm.batch_means()[1], 6.5);
+  EXPECT_EQ(bm.batch_size(), 4u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 4.5);
+}
+
+TEST(BatchMeans, CoarsenDropsOddTrailingBatch) {
+  BatchMeans bm(1);
+  for (int i = 1; i <= 5; ++i) bm.add(i);
+  bm.coarsen();
+  EXPECT_EQ(bm.completed_batches(), 2u);  // (1,2) and (3,4); 5 dropped
+  EXPECT_DOUBLE_EQ(bm.batch_means()[1], 3.5);
+}
+
+TEST(BatchMeans, IntervalCoversTrueMeanOfIidStream) {
+  rng::RandomStream stream(3);
+  int covered = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    BatchMeans bm(20);
+    for (int i = 0; i < 600; ++i) bm.add(stream.normal(42.0, 7.0));
+    if (bm.interval(0.95).contains(42.0)) ++covered;
+  }
+  const double rate = static_cast<double>(covered) / trials;
+  EXPECT_GT(rate, 0.90);
+  EXPECT_LT(rate, 0.99);
+}
+
+TEST(BatchMeans, IntervalInfiniteWithOneBatch) {
+  BatchMeans bm(3);
+  for (int i = 0; i < 3; ++i) bm.add(1.0);
+  EXPECT_TRUE(std::isinf(bm.interval().half_width));
+}
+
+}  // namespace
+}  // namespace dg::stats

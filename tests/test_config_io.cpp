@@ -1,0 +1,255 @@
+// INI parsing and SimulationConfig file I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config_io.hpp"
+#include "util/ini.hpp"
+
+namespace dg {
+namespace {
+
+// --- IniFile ---
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const util::IniFile ini = util::IniFile::parse_string(
+      "[grid]\n"
+      "heterogeneity = Het\n"
+      "total_power=1000\n"
+      "\n"
+      "[run]\n"
+      "seed = 42  # trailing comment\n");
+  EXPECT_TRUE(ini.has_section("grid"));
+  EXPECT_TRUE(ini.has_section("run"));
+  EXPECT_EQ(ini.get("grid", "heterogeneity").value(), "Het");
+  EXPECT_EQ(ini.get_double("grid", "total_power").value(), 1000.0);
+  EXPECT_EQ(ini.get_int("run", "seed").value(), 42);
+}
+
+TEST(Ini, MissingKeysReturnNullopt) {
+  const util::IniFile ini = util::IniFile::parse_string("[a]\nx = 1\n");
+  EXPECT_FALSE(ini.get("a", "y").has_value());
+  EXPECT_FALSE(ini.get("b", "x").has_value());
+  EXPECT_EQ(ini.get_or("a", "y", "fallback"), "fallback");
+}
+
+TEST(Ini, CommentsAndBlankLinesIgnored) {
+  const util::IniFile ini = util::IniFile::parse_string(
+      "# full line comment\n"
+      "; another\n"
+      "\n"
+      "[s]\n"
+      "k = v\n");
+  EXPECT_EQ(ini.get("s", "k").value(), "v");
+}
+
+TEST(Ini, BooleanParsing) {
+  const util::IniFile ini =
+      util::IniFile::parse_string("[s]\na = true\nb = 0\nc = yes\nd = off\n");
+  EXPECT_TRUE(ini.get_bool("s", "a").value());
+  EXPECT_FALSE(ini.get_bool("s", "b").value());
+  EXPECT_TRUE(ini.get_bool("s", "c").value());
+  EXPECT_FALSE(ini.get_bool("s", "d").value());
+}
+
+TEST(Ini, ErrorsCarryLineNumbers) {
+  try {
+    (void)util::IniFile::parse_string("[ok]\nx = 1\nbroken-line\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Ini, DuplicateKeyRejected) {
+  EXPECT_THROW(util::IniFile::parse_string("[s]\nk = 1\nk = 2\n"), std::runtime_error);
+}
+
+TEST(Ini, MalformedSectionRejected) {
+  EXPECT_THROW(util::IniFile::parse_string("[oops\n"), std::runtime_error);
+}
+
+TEST(Ini, BadNumberRejected) {
+  const util::IniFile ini = util::IniFile::parse_string("[s]\nk = 12abc\n");
+  EXPECT_THROW((void)ini.get_double("s", "k"), std::runtime_error);
+  EXPECT_THROW((void)ini.get_int("s", "k"), std::runtime_error);
+}
+
+TEST(Ini, RoundTripsThroughToString) {
+  util::IniFile ini;
+  ini.set("grid", "total_power", "1000");
+  ini.set("run", "seed", "7");
+  const util::IniFile reparsed = util::IniFile::parse_string(ini.to_string());
+  EXPECT_EQ(reparsed.get("grid", "total_power").value(), "1000");
+  EXPECT_EQ(reparsed.get("run", "seed").value(), "7");
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(util::trim("  x \t"), "x");
+  EXPECT_EQ(util::trim(""), "");
+  EXPECT_EQ(util::trim(" \t "), "");
+}
+
+// --- SimulationConfig I/O ---
+
+constexpr const char* kFullConfig =
+    "[grid]\n"
+    "heterogeneity = Het\n"
+    "availability = low\n"
+    "outages = true\n"
+    "outage_fraction = 0.25\n"
+    "outage_interarrival = 5000\n"
+    "outage_duration_lo = 1000\n"
+    "outage_duration_hi = 2000\n"
+    "[workload]\n"
+    "granularity = 25000\n"
+    "bag_size = 2.5e6\n"
+    "num_bots = 40\n"
+    "utilization = 0.5\n"
+    "arrivals = Bursty\n"
+    "burst_intensity = 4\n"
+    "burst_fraction = 0.25\n"
+    "[scheduler]\n"
+    "policy = LongIdle\n"
+    "individual = WQR-FT\n"
+    "replication_threshold = 3\n"
+    "[run]\n"
+    "seed = 99\n"
+    "warmup_bots = 5\n";
+
+TEST(ConfigIo, LoadsFullConfig) {
+  std::istringstream in(kFullConfig);
+  const sim::SimulationConfig config = sim::load_simulation_config(in);
+  EXPECT_EQ(config.grid.heterogeneity, grid::Heterogeneity::kHet);
+  EXPECT_NEAR(config.grid.availability.availability(), 0.5, 1e-9);
+  EXPECT_TRUE(config.grid.outages.enabled);
+  EXPECT_DOUBLE_EQ(config.grid.outages.fraction, 0.25);
+  ASSERT_EQ(config.workload.types.size(), 1u);
+  EXPECT_DOUBLE_EQ(config.workload.types[0].granularity, 25000.0);
+  EXPECT_EQ(config.workload.num_bots, 40u);
+  EXPECT_EQ(config.workload.arrivals, workload::ArrivalProcess::kBursty);
+  EXPECT_GT(config.workload.arrival_rate, 0.0);
+  EXPECT_EQ(config.policy, sched::PolicyKind::kLongIdle);
+  EXPECT_EQ(config.individual, sched::IndividualSchedulerKind::kWqrFt);
+  EXPECT_EQ(config.replication_threshold, 3);
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.warmup_bots, 5u);
+}
+
+TEST(ConfigIo, UtilizationComputesArrivalRate) {
+  std::istringstream in(
+      "[workload]\ngranularity = 5000\nutilization = 0.9\n[grid]\navailability = high\n");
+  const sim::SimulationConfig config = sim::load_simulation_config(in);
+  const double expected = workload::arrival_rate_for_utilization(
+      0.9, config.workload.bag_size, workload::effective_grid_power(config.grid));
+  EXPECT_DOUBLE_EQ(config.workload.arrival_rate, expected);
+}
+
+TEST(ConfigIo, NumericAvailabilityTarget) {
+  std::istringstream in("[grid]\navailability = 0.925\n");
+  const sim::SimulationConfig config = sim::load_simulation_config(in);
+  EXPECT_NEAR(config.grid.availability.availability(), 0.925, 1e-9);
+}
+
+TEST(ConfigIo, MixedGranularities) {
+  std::istringstream in("[workload]\ngranularities = 1000, 25000, 125000\n");
+  const sim::SimulationConfig config = sim::load_simulation_config(in);
+  ASSERT_EQ(config.workload.types.size(), 3u);
+  EXPECT_DOUBLE_EQ(config.workload.types[1].granularity, 25000.0);
+}
+
+TEST(ConfigIo, RejectsUnknownSection) {
+  std::istringstream in("[grids]\nheterogeneity = Hom\n");
+  EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+}
+
+TEST(ConfigIo, RejectsUnknownKey) {
+  std::istringstream in("[grid]\nheterogenity = Hom\n");  // typo
+  EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+}
+
+TEST(ConfigIo, RejectsUnknownPolicy) {
+  std::istringstream in("[scheduler]\npolicy = FCFS-Banana\n");
+  EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+}
+
+TEST(ConfigIo, RejectsConflictingRateSpecs) {
+  std::istringstream in("[workload]\nutilization = 0.5\narrival_rate = 1e-4\n");
+  EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+}
+
+TEST(ConfigIo, DefaultsMatchDefaultConstructedConfig) {
+  std::istringstream in("");
+  const sim::SimulationConfig loaded = sim::load_simulation_config(in);
+  const sim::SimulationConfig defaults;
+  EXPECT_EQ(loaded.policy, defaults.policy);
+  EXPECT_EQ(loaded.individual, defaults.individual);
+  EXPECT_EQ(loaded.seed, defaults.seed);
+  EXPECT_EQ(loaded.grid.heterogeneity, defaults.grid.heterogeneity);
+}
+
+TEST(ConfigIo, SaveLoadRoundTrip) {
+  std::istringstream in(kFullConfig);
+  const sim::SimulationConfig original = sim::load_simulation_config(in);
+  std::stringstream buffer;
+  sim::save_simulation_config(buffer, original);
+  const sim::SimulationConfig loaded = sim::load_simulation_config(buffer);
+  EXPECT_EQ(loaded.grid.heterogeneity, original.grid.heterogeneity);
+  EXPECT_NEAR(loaded.grid.availability.availability(),
+              original.grid.availability.availability(), 1e-9);
+  EXPECT_EQ(loaded.grid.outages.enabled, original.grid.outages.enabled);
+  EXPECT_DOUBLE_EQ(loaded.workload.arrival_rate, original.workload.arrival_rate);
+  EXPECT_EQ(loaded.workload.num_bots, original.workload.num_bots);
+  EXPECT_EQ(loaded.workload.arrivals, original.workload.arrivals);
+  EXPECT_EQ(loaded.policy, original.policy);
+  EXPECT_EQ(loaded.replication_threshold, original.replication_threshold);
+  EXPECT_EQ(loaded.seed, original.seed);
+}
+
+TEST(ConfigIo, LoadedConfigActuallyRuns) {
+  std::istringstream in(
+      "[grid]\navailability = always\n"
+      "[workload]\ngranularity = 25000\nnum_bots = 5\nutilization = 0.5\n"
+      "[scheduler]\npolicy = PF-RR\n");
+  sim::SimulationConfig config = sim::load_simulation_config(in);
+  const sim::SimulationResult result = sim::Simulation(config).run();
+  EXPECT_EQ(result.bots_completed, 5u);
+}
+
+// --- enum parsers ---
+
+TEST(EnumParsers, PolicyRoundTrip) {
+  for (sched::PolicyKind kind :
+       {sched::PolicyKind::kFcfsExcl, sched::PolicyKind::kFcfsShare,
+        sched::PolicyKind::kRoundRobin, sched::PolicyKind::kRoundRobinNrf,
+        sched::PolicyKind::kLongIdle, sched::PolicyKind::kRandom,
+        sched::PolicyKind::kShortestBagFirst, sched::PolicyKind::kPendingFirst}) {
+    EXPECT_EQ(sched::parse_policy_kind(sched::to_string(kind)).value(), kind);
+  }
+  EXPECT_FALSE(sched::parse_policy_kind("nope").has_value());
+  EXPECT_EQ(sched::parse_policy_kind("fcfs-share").value(), sched::PolicyKind::kFcfsShare);
+}
+
+TEST(EnumParsers, IndividualRoundTrip) {
+  for (sched::IndividualSchedulerKind kind :
+       {sched::IndividualSchedulerKind::kWorkQueue, sched::IndividualSchedulerKind::kWqr,
+        sched::IndividualSchedulerKind::kWqrFt,
+        sched::IndividualSchedulerKind::kKnowledgeBased}) {
+    EXPECT_EQ(sched::parse_individual_kind(sched::to_string(kind)).value(), kind);
+  }
+  EXPECT_FALSE(sched::parse_individual_kind("?").has_value());
+}
+
+TEST(EnumParsers, AvailabilityAndIntensity) {
+  EXPECT_EQ(grid::parse_availability_level("HighAvail").value(), grid::AvailabilityLevel::kHigh);
+  EXPECT_EQ(grid::parse_availability_level("low").value(), grid::AvailabilityLevel::kLow);
+  EXPECT_EQ(grid::parse_availability_level("always").value(), grid::AvailabilityLevel::kAlways);
+  EXPECT_FALSE(grid::parse_availability_level("sometimes").has_value());
+  EXPECT_EQ(workload::parse_intensity("med").value(), workload::Intensity::kMed);
+  EXPECT_EQ(workload::parse_arrival_process("bursty").value(),
+            workload::ArrivalProcess::kBursty);
+  EXPECT_FALSE(workload::parse_arrival_process("tidal").has_value());
+}
+
+}  // namespace
+}  // namespace dg

@@ -1,0 +1,186 @@
+// Experiment harness: replication control, CI stopping, figure matrices,
+// table rendering.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "exp/paper.hpp"
+#include "exp/runner.hpp"
+
+namespace dg::exp {
+namespace {
+
+sim::SimulationConfig tiny_config(sched::PolicyKind policy, std::size_t num_bots = 8) {
+  sim::SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHom,
+                                         grid::AvailabilityLevel::kAlways);
+  config.workload =
+      sim::make_paper_workload(config.grid, 25000.0, workload::Intensity::kLow, num_bots);
+  config.policy = policy;
+  return config;
+}
+
+TEST(ExperimentRunner, RunsMinimumReplications) {
+  RunOptions options;
+  options.min_replications = 3;
+  options.max_replications = 3;
+  options.threads = 2;
+  ExperimentRunner runner(options);
+  const auto results = runner.run({{"cell", tiny_config(sched::PolicyKind::kFcfsShare)}});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].replications, 3u);
+  EXPECT_EQ(results[0].label, "cell");
+  EXPECT_GT(results[0].turnaround.stats().mean(), 0.0);
+}
+
+TEST(ExperimentRunner, AddsReplicationsUntilPrecise) {
+  RunOptions options;
+  options.min_replications = 3;
+  options.max_replications = 20;
+  options.target_relative_error = 0.15;
+  options.threads = 2;
+  ExperimentRunner runner(options);
+  const auto results = runner.run({{"cell", tiny_config(sched::PolicyKind::kRoundRobin)}});
+  const CellResult& cell = results[0];
+  EXPECT_GE(cell.replications, 3u);
+  if (cell.replications < 20u) {
+    EXPECT_LE(cell.turnaround_ci().relative_error(), 0.15);
+  }
+}
+
+TEST(ExperimentRunner, PreservesCellOrder) {
+  RunOptions options;
+  options.min_replications = 2;
+  options.max_replications = 2;
+  options.threads = 4;
+  ExperimentRunner runner(options);
+  const auto results = runner.run({{"a", tiny_config(sched::PolicyKind::kFcfsShare)},
+                                   {"b", tiny_config(sched::PolicyKind::kRoundRobin)},
+                                   {"c", tiny_config(sched::PolicyKind::kLongIdle)}});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].label, "a");
+  EXPECT_EQ(results[1].label, "b");
+  EXPECT_EQ(results[2].label, "c");
+}
+
+TEST(ExperimentRunner, CommonRandomNumbersAcrossCells) {
+  // Two cells with identical configs see identical replication seeds, hence
+  // identical results.
+  RunOptions options;
+  options.min_replications = 2;
+  options.max_replications = 2;
+  options.threads = 2;
+  ExperimentRunner runner(options);
+  const auto results = runner.run({{"x", tiny_config(sched::PolicyKind::kFcfsShare)},
+                                   {"y", tiny_config(sched::PolicyKind::kFcfsShare)}});
+  EXPECT_EQ(results[0].turnaround.stats().mean(), results[1].turnaround.stats().mean());
+}
+
+TEST(RunOptions, EnvOverridesApply) {
+  ::setenv("DGSCHED_MIN_REPS", "4", 1);
+  ::setenv("DGSCHED_MAX_REPS", "9", 1);
+  ::setenv("DGSCHED_TRE", "0.1", 1);
+  ::setenv("DGSCHED_SEED", "123", 1);
+  const RunOptions options = RunOptions::from_env();
+  EXPECT_EQ(options.min_replications, 4u);
+  EXPECT_EQ(options.max_replications, 9u);
+  EXPECT_DOUBLE_EQ(options.target_relative_error, 0.1);
+  EXPECT_EQ(options.base_seed, 123u);
+  ::unsetenv("DGSCHED_MIN_REPS");
+  ::unsetenv("DGSCHED_MAX_REPS");
+  ::unsetenv("DGSCHED_TRE");
+  ::unsetenv("DGSCHED_SEED");
+}
+
+TEST(RunOptions, MaxClampedToMin) {
+  ::setenv("DGSCHED_MIN_REPS", "10", 1);
+  ::setenv("DGSCHED_MAX_REPS", "2", 1);
+  const RunOptions options = RunOptions::from_env();
+  EXPECT_EQ(options.max_replications, 10u);
+  ::unsetenv("DGSCHED_MIN_REPS");
+  ::unsetenv("DGSCHED_MAX_REPS");
+}
+
+TEST(EnvNumBots, ReadsOverride) {
+  ::setenv("DGSCHED_BOTS", "42", 1);
+  EXPECT_EQ(env_num_bots().value(), 42u);
+  ::unsetenv("DGSCHED_BOTS");
+  EXPECT_FALSE(env_num_bots().has_value());
+}
+
+// --- figure specs ---
+
+TEST(FigureSpecs, Figure1HasFourPanelsAtHighAvail) {
+  const FigureSpec spec = figure1_spec();
+  EXPECT_EQ(spec.availability, grid::AvailabilityLevel::kHigh);
+  EXPECT_EQ(spec.panels.size(), 4u);
+  EXPECT_EQ(spec.granularities.size(), 4u);
+  EXPECT_EQ(spec.policies.size(), 5u);
+}
+
+TEST(FigureSpecs, Figure2IsLowAvail) {
+  EXPECT_EQ(figure2_spec().availability, grid::AvailabilityLevel::kLow);
+}
+
+TEST(FigureSpecs, UnreportedIsMedAvailMedIntensity) {
+  const FigureSpec spec = unreported_spec();
+  EXPECT_EQ(spec.availability, grid::AvailabilityLevel::kMed);
+  for (const PanelSpec& panel : spec.panels) {
+    EXPECT_EQ(panel.intensity, workload::Intensity::kMed);
+  }
+}
+
+TEST(FigureCells, MatrixSizeAndLabels) {
+  const FigureSpec spec = figure1_spec();
+  const auto cells = figure_cells(spec);
+  EXPECT_EQ(cells.size(), 4u * 4u * 5u);
+  EXPECT_NE(cells[0].label.find("Hom-HighAvail"), std::string::npos);
+  EXPECT_NE(cells[0].label.find("FCFS-Excl"), std::string::npos);
+  EXPECT_NE(cells[0].label.find("g=1000"), std::string::npos);
+}
+
+TEST(FigureCells, ConfigsCarryPanelSettings) {
+  FigureSpec spec = figure2_spec();
+  spec.num_bots = 17;
+  const auto cells = figure_cells(spec);
+  for (const NamedConfig& cell : cells) {
+    EXPECT_EQ(cell.config.workload.num_bots, 17u);
+    EXPECT_NEAR(cell.config.grid.availability.availability(), 0.5, 1e-9);
+  }
+  // Intensity is reflected in the arrival rate: last panel (High) has a
+  // higher rate than the first (Low) at equal granularity.
+  EXPECT_GT(cells.back().config.workload.arrival_rate, cells.front().config.workload.arrival_rate);
+}
+
+TEST(RenderFigure, ProducesTablesAndCsv) {
+  FigureSpec spec;
+  spec.title = "Test figure";
+  spec.availability = grid::AvailabilityLevel::kHigh;
+  spec.panels = {{grid::Heterogeneity::kHom, workload::Intensity::kLow}};
+  spec.granularities = {1000.0};
+  spec.policies = {sched::PolicyKind::kFcfsShare, sched::PolicyKind::kRoundRobin};
+
+  std::vector<CellResult> results(2);
+  results[0].label = "a";
+  results[0].turnaround.add(100.0);
+  results[0].turnaround.add(102.0);
+  results[1].label = "b";
+  results[1].turnaround.add(500.0);
+  results[1].turnaround.add(501.0);
+  results[1].saturated_replications = 1;
+
+  std::ostringstream os, csv;
+  render_figure(spec, results, os, &csv);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Test figure"), std::string::npos);
+  EXPECT_NE(text.find("FCFS-Share"), std::string::npos);
+  EXPECT_NE(text.find("101"), std::string::npos);   // mean of cell a
+  EXPECT_NE(text.find("SAT"), std::string::npos);   // saturation marker
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("mean_turnaround"), std::string::npos);
+  EXPECT_NE(csv_text.find("RR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dg::exp

@@ -1,0 +1,174 @@
+// Golden-sequence tests: exact dispatch orders for small hand-checked
+// scenarios, captured via the timeline observer. These pin the end-to-end
+// semantics (policy order x engine timing) against regressions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/timeline.hpp"
+#include "sim_test_util.hpp"
+
+namespace dg::test {
+namespace {
+
+using Dispatch = std::tuple<double, std::int64_t, std::int64_t, std::int64_t>;
+// (time, bot, task, machine)
+
+std::vector<Dispatch> dispatches(const sim::TimelineRecorder& timeline) {
+  std::vector<Dispatch> result;
+  for (const sim::TimelineEvent& event : timeline.events()) {
+    if (event.kind == sim::TimelineEventKind::kReplicaStarted) {
+      result.emplace_back(event.time, event.bot, event.task, event.machine);
+    }
+  }
+  return result;
+}
+
+TEST(Golden, FcfsShareTwoBagsTwoMachines) {
+  WorldOptions options;
+  options.num_machines = 2;
+  options.policy = sched::PolicyKind::kFcfsShare;
+  World world(options);
+  sim::TimelineRecorder timeline;
+  world.engine->add_observer(timeline);
+
+  world.add_bot({100.0, 100.0}, 0.0);  // bag 0: two 10 s tasks
+  world.add_bot({100.0}, 1.0);         // bag 1: one 10 s task
+  world.sim.run();
+
+  const std::vector<Dispatch> expected = {
+      {0.0, 0, 0, 0},   // bag 0 task 0 -> machine 0
+      {0.0, 0, 1, 1},   // bag 0 task 1 -> machine 1
+      // Machine 0's completion event fires first at t=10; task 1 is still
+      // nominally running, so FCFS-Share replicates it onto machine 0 ...
+      {10.0, 0, 1, 0},
+      // ... then machine 1's completion wins task 1, cancels that replica,
+      // and bag 1 takes over both machines.
+      {10.0, 1, 0, 0},
+      {10.0, 1, 0, 1},
+  };
+  EXPECT_EQ(dispatches(timeline), expected);
+  EXPECT_EQ(world.bots[1]->completion_time(), 20.0);
+}
+
+TEST(Golden, RoundRobinInterleavesBags) {
+  WorldOptions options;
+  options.num_machines = 2;
+  options.policy = sched::PolicyKind::kRoundRobin;
+  options.threshold = 1;  // keep the trace minimal
+  World world(options);
+  sim::TimelineRecorder timeline;
+  world.engine->add_observer(timeline);
+
+  world.add_bot({100.0, 100.0, 100.0}, 0.0);
+  world.add_bot({100.0, 100.0, 100.0}, 1.0);
+  world.sim.run();
+
+  const std::vector<Dispatch> expected = {
+      {0.0, 0, 0, 0},   // only bag 0 exists yet; both machines serve it
+      {0.0, 0, 1, 1},
+      {10.0, 1, 0, 0},  // machines free together: RR gives bag 1 ...
+      {10.0, 0, 2, 1},  // ... then sweeps back to bag 0
+      {20.0, 1, 1, 0},
+      {20.0, 1, 2, 1},
+  };
+  EXPECT_EQ(dispatches(timeline), expected);
+}
+
+TEST(Golden, FcfsExclReplicatesBeforeServingSecondBag) {
+  WorldOptions options;
+  options.num_machines = 3;
+  options.policy = sched::PolicyKind::kFcfsExcl;
+  World world(options);
+  sim::TimelineRecorder timeline;
+  world.engine->add_observer(timeline);
+
+  world.add_bot({100.0}, 0.0);
+  world.add_bot({100.0}, 1.0);
+  world.sim.run();
+
+  const std::vector<Dispatch> expected = {
+      {0.0, 0, 0, 0},   // bag 0's only task
+      {0.0, 0, 0, 1},   // exclusive: replicas fill the idle machines
+      {0.0, 0, 0, 2},
+      {10.0, 1, 0, 0},  // bag 0 done; bag 1 gets the grid
+      {10.0, 1, 0, 1},
+      {10.0, 1, 0, 2},
+  };
+  EXPECT_EQ(dispatches(timeline), expected);
+}
+
+TEST(Golden, FailureResubmissionTimeline) {
+  WorldOptions options;
+  options.num_machines = 1;
+  options.threshold = 1;
+  World world(options);
+  sim::TimelineRecorder timeline;
+  world.engine->add_observer(timeline);
+
+  world.add_bot({100.0}, 0.0);
+  world.fail_machine_at(0, 4.0);
+  world.repair_machine_at(0, 6.0);
+  world.sim.run();
+
+  const std::vector<Dispatch> expected = {
+      {0.0, 0, 0, 0},
+      {6.0, 0, 0, 0},  // resubmitted from scratch on repair
+  };
+  EXPECT_EQ(dispatches(timeline), expected);
+  EXPECT_EQ(timeline.count(sim::TimelineEventKind::kReplicaFailed), 1u);
+  EXPECT_EQ(timeline.count(sim::TimelineEventKind::kMachineFailed), 1u);
+  EXPECT_EQ(timeline.count(sim::TimelineEventKind::kMachineRepaired), 1u);
+  EXPECT_EQ(world.bots[0]->completion_time(), 16.0);
+}
+
+TEST(Golden, LongIdlePrefersStarvedBag) {
+  WorldOptions options;
+  options.num_machines = 1;
+  options.threshold = 1;
+  options.policy = sched::PolicyKind::kLongIdle;
+  World world(options);
+  sim::TimelineRecorder timeline;
+  world.engine->add_observer(timeline);
+
+  world.add_bot({100.0, 100.0}, 0.0);  // bag 0 monopolizes the machine first
+  world.add_bot({100.0}, 1.0);
+  world.sim.run();
+
+  // t=0: bag 0 task 0. t=10: bag 0's unstarted task has waited 10, bag 1's
+  // has waited 9 -> bag 0 again. t=20: bag 1 has waited 19 > 0 -> bag 1.
+  const std::vector<Dispatch> expected = {
+      {0.0, 0, 0, 0},
+      {10.0, 0, 1, 0},
+      {20.0, 1, 0, 0},
+  };
+  EXPECT_EQ(dispatches(timeline), expected);
+}
+
+// --- fairness metric ---
+
+TEST(Fairness, JainIndexBoundsAndOrdering) {
+  auto run = [](sched::PolicyKind policy) {
+    sim::SimulationConfig config;
+    config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHom,
+                                           grid::AvailabilityLevel::kHigh);
+    config.workload = sim::make_paper_workload(config.grid, 25000.0,
+                                               workload::Intensity::kHigh, 20);
+    config.policy = policy;
+    config.seed = 31;
+    return sim::Simulation(config).run();
+  };
+  const sim::SimulationResult excl = run(sched::PolicyKind::kFcfsExcl);
+  const sim::SimulationResult rr = run(sched::PolicyKind::kRoundRobin);
+  for (const auto* result : {&excl, &rr}) {
+    EXPECT_GT(result->slowdown_fairness(), 0.0);
+    EXPECT_LE(result->slowdown_fairness(), 1.0 + 1e-9);
+  }
+  // Exclusive FCFS starves late bags at high load; RR shares.
+  EXPECT_GT(rr.slowdown_fairness(), excl.slowdown_fairness());
+}
+
+}  // namespace
+}  // namespace dg::test

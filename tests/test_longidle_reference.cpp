@@ -1,0 +1,162 @@
+// Reference-implementation property test for LongIdle.
+//
+// LongIdlePolicy maintains lazy max-heaps over waiting times for O(bags log)
+// selection; this test drives long randomized scenarios and cross-checks
+// every selection against a brute-force O(total tasks) reference that
+// recomputes each bag's maximum accumulated idle time from scratch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "rng/random_stream.hpp"
+#include "sched/individual.hpp"
+#include "sched/policies.hpp"
+
+namespace dg::sched {
+namespace {
+
+class ReferenceWorld {
+ public:
+  explicit ReferenceWorld(std::uint64_t seed)
+      : stream_(seed), policy_(std::make_unique<LongIdlePolicy>()),
+        individual_(IndividualScheduler::make(IndividualSchedulerKind::kWqrFt)) {}
+
+  void add_bot(std::size_t num_tasks, double now) {
+    workload::BotSpec spec;
+    spec.id = next_id_++;
+    spec.arrival_time = now;
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      spec.tasks.push_back(workload::TaskSpec{100.0 + static_cast<double>(t)});
+    }
+    bots_.push_back(std::make_unique<BotState>(spec));
+    active_.push_back(bots_.back().get());
+    policy_->on_bot_arrival(*bots_.back(), now);
+  }
+
+  SchedulerContext context(double now) {
+    SchedulerContext ctx;
+    ctx.now = now;
+    ctx.bots = active_;
+    ctx.individual = individual_.get();
+    ctx.threshold = 2;
+    return ctx;
+  }
+
+  /// Brute-force reference: recompute every bag's max waiting time.
+  TaskState* reference_select(double now) {
+    std::vector<std::pair<double, std::size_t>> ranked;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      double best = -std::numeric_limits<double>::infinity();
+      BotState& bot = *active_[i];
+      for (std::size_t t = 0; t < bot.num_tasks(); ++t) {
+        const TaskState& task = bot.task(t);
+        if (task.completed()) continue;
+        best = std::max(best, task.accumulated_idle(now));
+      }
+      ranked.emplace_back(best, i);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    SchedulerContext ctx = context(now);
+    for (const auto& [priority, i] : ranked) {
+      if (TaskState* task = ctx.pick_from(*active_[i])) return task;
+    }
+    return nullptr;
+  }
+
+  void start_replica(TaskState& task, double now) {
+    task.on_replica_started(now);
+    task.bot().after_replica_started(task);
+    policy_->on_task_transition(task, now);
+  }
+
+  void fail_replica(TaskState& task, double now) {
+    task.on_replica_stopped(now);
+    task.bot().after_replica_stopped(task);
+    if (task.running_replicas() == 0) task.bot().push_resubmission(task);
+    policy_->on_task_transition(task, now);
+  }
+
+  void complete_task(TaskState& task, double now) {
+    task.mark_completed(now);
+    BotState& bot = task.bot();
+    bot.on_task_completed(task);
+    policy_->on_task_transition(task, now);
+    while (task.running_replicas() > 0) {
+      task.on_replica_stopped(now);
+      bot.after_replica_stopped(task);
+    }
+    if (bot.completed()) {
+      policy_->on_bot_completion(bot, now);
+      std::erase(active_, &bot);
+    }
+  }
+
+  /// Collects tasks that currently have at least one running replica.
+  std::vector<TaskState*> running_tasks() {
+    std::vector<TaskState*> tasks;
+    for (BotState* bot : active_) {
+      for (std::size_t t = 0; t < bot->num_tasks(); ++t) {
+        if (!bot->task(t).completed() && bot->task(t).running_replicas() > 0) {
+          tasks.push_back(&bot->task(t));
+        }
+      }
+    }
+    return tasks;
+  }
+
+  rng::RandomStream stream_;
+  std::unique_ptr<LongIdlePolicy> policy_;
+  std::unique_ptr<IndividualScheduler> individual_;
+  std::vector<std::unique_ptr<BotState>> bots_;
+  std::vector<BotState*> active_;
+  workload::BotId next_id_ = 0;
+};
+
+class LongIdleReferenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LongIdleReferenceTest, LazyHeapsMatchBruteForce) {
+  ReferenceWorld world(static_cast<std::uint64_t>(GetParam()));
+  double now = 0.0;
+  world.add_bot(4, now);
+
+  int selections_checked = 0;
+  for (int step = 0; step < 400; ++step) {
+    now += world.stream_.uniform(1.0, 50.0);
+    const double action = world.stream_.uniform01();
+    if (action < 0.15 && world.active_.size() < 6) {
+      world.add_bot(2 + static_cast<std::size_t>(world.stream_.uniform_int(0, 3)), now);
+    } else if (action < 0.55) {
+      // Cross-check a selection, then act on it.
+      TaskState* expected = world.reference_select(now);
+      SchedulerContext ctx = world.context(now);
+      TaskState* actual = world.policy_->select(ctx);
+      ASSERT_EQ(actual, expected) << "step " << step << " now " << now;
+      ++selections_checked;
+      if (actual != nullptr) world.start_replica(*actual, now);
+    } else if (action < 0.8) {
+      auto running = world.running_tasks();
+      if (!running.empty()) {
+        const auto pick = world.stream_.uniform_int(0, running.size() - 1);
+        world.fail_replica(*running[pick], now);
+      }
+    } else {
+      auto running = world.running_tasks();
+      if (!running.empty()) {
+        const auto pick = world.stream_.uniform_int(0, running.size() - 1);
+        world.complete_task(*running[pick], now);
+      }
+    }
+  }
+  EXPECT_GT(selections_checked, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LongIdleReferenceTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace dg::sched

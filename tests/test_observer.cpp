@@ -1,0 +1,116 @@
+// Observer framework: invariant checker and timeline recorder against
+// real simulation runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/invariant_checker.hpp"
+#include "sim/simulation.hpp"
+#include "sim/timeline.hpp"
+
+namespace dg::sim {
+namespace {
+
+SimulationConfig observed_config(sched::PolicyKind policy, grid::AvailabilityLevel level) {
+  SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHet, level);
+  config.workload = make_paper_workload(config.grid, 25000.0, workload::Intensity::kLow, 10);
+  config.policy = policy;
+  config.seed = 99;
+  return config;
+}
+
+TEST(InvariantChecker, CleanRunHasNoViolations) {
+  InvariantChecker checker;
+  const SimulationResult result =
+      Simulation(observed_config(sched::PolicyKind::kFcfsShare, grid::AvailabilityLevel::kLow))
+          .run(&checker);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_EQ(result.bots_completed, result.bots.size());
+}
+
+TEST(InvariantChecker, ThresholdRespectedForBoundedPolicies) {
+  InvariantChecker checker;
+  (void)Simulation(observed_config(sched::PolicyKind::kRoundRobin,
+                                   grid::AvailabilityLevel::kMed))
+      .run(&checker);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_LE(checker.max_observed_replicas(), 2);
+}
+
+TEST(InvariantChecker, FcfsExclCanExceedNormalThreshold) {
+  InvariantChecker checker;
+  SimulationConfig config =
+      observed_config(sched::PolicyKind::kFcfsExcl, grid::AvailabilityLevel::kHigh);
+  // 20 tasks per bag on ~100 machines: plenty of spare machines to replicate.
+  config.workload = make_paper_workload(config.grid, 125000.0, workload::Intensity::kLow, 5);
+  (void)Simulation(config).run(&checker);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.max_observed_replicas(), 2);
+}
+
+TEST(TimelineRecorder, CountsMatchSimulationResult) {
+  TimelineRecorder timeline;
+  const SimulationResult result =
+      Simulation(observed_config(sched::PolicyKind::kRoundRobin, grid::AvailabilityLevel::kLow))
+          .run(&timeline);
+  EXPECT_EQ(timeline.count(TimelineEventKind::kBotSubmitted), result.bots.size());
+  EXPECT_EQ(timeline.count(TimelineEventKind::kBotCompleted), result.bots_completed);
+  EXPECT_EQ(timeline.count(TimelineEventKind::kReplicaStarted), result.replicas_started);
+  EXPECT_EQ(timeline.count(TimelineEventKind::kReplicaFailed), result.replica_failures);
+  EXPECT_EQ(timeline.count(TimelineEventKind::kTaskCompleted), result.tasks_completed);
+  EXPECT_EQ(timeline.count(TimelineEventKind::kCheckpointSaved), result.checkpoints_saved);
+  EXPECT_EQ(timeline.count(TimelineEventKind::kCheckpointRetrieved),
+            result.checkpoint_retrievals);
+  EXPECT_EQ(timeline.count(TimelineEventKind::kMachineFailed), result.machine_failures);
+  // Every started replica eventually stops, one way or another.
+  const std::size_t stops = timeline.count(TimelineEventKind::kReplicaCompleted) +
+                            timeline.count(TimelineEventKind::kReplicaCancelled) +
+                            timeline.count(TimelineEventKind::kReplicaFailed);
+  EXPECT_EQ(stops, result.replicas_started);
+}
+
+TEST(TimelineRecorder, EventsAreTimeOrdered) {
+  TimelineRecorder timeline;
+  (void)Simulation(observed_config(sched::PolicyKind::kLongIdle, grid::AvailabilityLevel::kMed))
+      .run(&timeline);
+  const auto& events = timeline.events();
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+}
+
+TEST(TimelineRecorder, CsvExportHasHeaderAndRows) {
+  TimelineRecorder timeline;
+  (void)Simulation(observed_config(sched::PolicyKind::kFcfsShare,
+                                   grid::AvailabilityLevel::kAlways))
+      .run(&timeline);
+  std::ostringstream csv;
+  timeline.write_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_EQ(text.rfind("time,kind,bot,task,machine,value\n", 0), 0u);
+  EXPECT_NE(text.find("replica_started"), std::string::npos);
+  EXPECT_NE(text.find("bot_completed"), std::string::npos);
+}
+
+TEST(TimelineRecorder, BoundedRecordingDropsExcessEvents) {
+  TimelineRecorder timeline(/*max_events=*/10);
+  (void)Simulation(observed_config(sched::PolicyKind::kRoundRobin,
+                                   grid::AvailabilityLevel::kLow))
+      .run(&timeline);
+  EXPECT_EQ(timeline.events().size(), 10u);
+  EXPECT_GT(timeline.dropped_events(), 0u);
+}
+
+TEST(TimelineEventKind, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (int k = 0; k <= static_cast<int>(TimelineEventKind::kMachineRepaired); ++k) {
+    names.insert(to_string(static_cast<TimelineEventKind>(k)));
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<std::size_t>(TimelineEventKind::kMachineRepaired) + 1);
+}
+
+}  // namespace
+}  // namespace dg::sim

@@ -1,0 +1,142 @@
+// Integration tests encoding the paper's headline findings as (tolerant)
+// statistical assertions. Each claim is tested on a reduced workload with a
+// few fixed seeds and generous margins — these guard the *shape* of the
+// results, the benches regenerate the full figures.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace dg::sim {
+namespace {
+
+double mean_turnaround(sched::PolicyKind policy, grid::Heterogeneity het,
+                       grid::AvailabilityLevel level, double granularity,
+                       workload::Intensity intensity, std::size_t num_bots = 25,
+                       int seeds = 3) {
+  double sum = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    SimulationConfig config;
+    config.grid = grid::GridConfig::preset(het, level);
+    config.workload = make_paper_workload(config.grid, granularity, intensity, num_bots);
+    config.policy = policy;
+    config.seed = 1000 + static_cast<std::uint64_t>(s);
+    config.warmup_bots = 3;
+    sum += Simulation(config).run().turnaround.mean();
+  }
+  return sum / seeds;
+}
+
+TEST(PaperClaims, LowGranularityFcfsBeatsRoundRobin) {
+  // Fig. 1(a), 1000 s bars: FCFS-based and LongIdle below RR-based.
+  const double fcfs = mean_turnaround(sched::PolicyKind::kFcfsShare, grid::Heterogeneity::kHom,
+                                      grid::AvailabilityLevel::kHigh, 1000.0,
+                                      workload::Intensity::kLow);
+  const double rr = mean_turnaround(sched::PolicyKind::kRoundRobin, grid::Heterogeneity::kHom,
+                                    grid::AvailabilityLevel::kHigh, 1000.0,
+                                    workload::Intensity::kLow);
+  EXPECT_LT(fcfs, rr);
+}
+
+TEST(PaperClaims, HighGranularityRoundRobinBeatsFcfsExcl) {
+  // Fig. 1(a), 125000 s bars: FCFS-Excl degenerates badly.
+  const double excl = mean_turnaround(sched::PolicyKind::kFcfsExcl, grid::Heterogeneity::kHom,
+                                      grid::AvailabilityLevel::kHigh, 125000.0,
+                                      workload::Intensity::kLow);
+  const double rr = mean_turnaround(sched::PolicyKind::kRoundRobin, grid::Heterogeneity::kHom,
+                                    grid::AvailabilityLevel::kHigh, 125000.0,
+                                    workload::Intensity::kLow);
+  EXPECT_GT(excl, 3.0 * rr);
+}
+
+TEST(PaperClaims, HighGranularityHighIntensityRrBeatsFcfsShare) {
+  // Fig. 1(c): at 125000 s / 90% utilization the ranking reverses clearly.
+  const double share = mean_turnaround(sched::PolicyKind::kFcfsShare, grid::Heterogeneity::kHom,
+                                       grid::AvailabilityLevel::kHigh, 125000.0,
+                                       workload::Intensity::kHigh);
+  const double rr = mean_turnaround(sched::PolicyKind::kRoundRobin, grid::Heterogeneity::kHom,
+                                    grid::AvailabilityLevel::kHigh, 125000.0,
+                                    workload::Intensity::kHigh);
+  EXPECT_GT(share, rr);
+}
+
+TEST(PaperClaims, LowAvailabilityRoughlyDoublesTurnaround) {
+  // Fig. 2(a) vs Fig. 1(a): "the average turnaround time is doubled".
+  const double high = mean_turnaround(sched::PolicyKind::kFcfsShare, grid::Heterogeneity::kHom,
+                                      grid::AvailabilityLevel::kHigh, 5000.0,
+                                      workload::Intensity::kLow);
+  const double low = mean_turnaround(sched::PolicyKind::kFcfsShare, grid::Heterogeneity::kHom,
+                                     grid::AvailabilityLevel::kLow, 5000.0,
+                                     workload::Intensity::kLow);
+  EXPECT_GT(low, 1.4 * high);
+  EXPECT_LT(low, 4.5 * high);
+}
+
+TEST(PaperClaims, RandomBehavesLikeRoundRobin) {
+  // Section 3.3: RR "corresponds to the random bag selection strategy".
+  const double rr = mean_turnaround(sched::PolicyKind::kRoundRobin, grid::Heterogeneity::kHom,
+                                    grid::AvailabilityLevel::kHigh, 5000.0,
+                                    workload::Intensity::kLow);
+  const double random = mean_turnaround(sched::PolicyKind::kRandom, grid::Heterogeneity::kHom,
+                                        grid::AvailabilityLevel::kHigh, 5000.0,
+                                        workload::Intensity::kLow);
+  EXPECT_GT(random, 0.6 * rr);
+  EXPECT_LT(random, 1.6 * rr);
+}
+
+TEST(PaperClaims, LongIdleTracksFcfsShareAtLowGranularity) {
+  // Section 3.3: LongIdle degenerates to FCFS-Share while the oldest bag has
+  // pending tasks without replicas (always true at 1000 s granularity).
+  const double share = mean_turnaround(sched::PolicyKind::kFcfsShare, grid::Heterogeneity::kHom,
+                                       grid::AvailabilityLevel::kHigh, 1000.0,
+                                       workload::Intensity::kLow);
+  const double longidle = mean_turnaround(sched::PolicyKind::kLongIdle, grid::Heterogeneity::kHom,
+                                          grid::AvailabilityLevel::kHigh, 1000.0,
+                                          workload::Intensity::kLow);
+  EXPECT_NEAR(longidle / share, 1.0, 0.25);
+}
+
+TEST(PaperClaims, CheckpointingHelpsForVeryLongTasksUnderChurn) {
+  // The WQR-FT premise: under churn, checkpoint + priority resubmission
+  // beats plain WQR. The effect requires tasks long relative to the MTTF:
+  // at 125000 s granularity a task takes ~12500 s on a P=10 machine whose
+  // MTTF is 1800 s — without checkpoints it essentially never completes.
+  double wqr_sum = 0.0, wqrft_sum = 0.0;
+  for (int s = 0; s < 2; ++s) {
+    SimulationConfig config;
+    config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHom,
+                                           grid::AvailabilityLevel::kLow);
+    config.workload =
+        make_paper_workload(config.grid, 125000.0, workload::Intensity::kLow, 6);
+    config.policy = sched::PolicyKind::kRoundRobin;
+    config.seed = 2000 + static_cast<std::uint64_t>(s);
+    config.individual = sched::IndividualSchedulerKind::kWqr;
+    wqr_sum += Simulation(config).run().turnaround.mean();
+    config.individual = sched::IndividualSchedulerKind::kWqrFt;
+    wqrft_sum += Simulation(config).run().turnaround.mean();
+  }
+  EXPECT_LT(wqrft_sum, 0.5 * wqr_sum);
+}
+
+TEST(PaperClaims, HybridPfRrWorksAcrossGranularities) {
+  // The paper's closing question asks for one strategy for all
+  // granularities; PF-RR should be within ~30% of the better of FCFS-Share
+  // and RR at BOTH extremes.
+  for (double granularity : {1000.0, 125000.0}) {
+    const double share = mean_turnaround(sched::PolicyKind::kFcfsShare,
+                                         grid::Heterogeneity::kHom,
+                                         grid::AvailabilityLevel::kHigh, granularity,
+                                         workload::Intensity::kLow);
+    const double rr = mean_turnaround(sched::PolicyKind::kRoundRobin,
+                                      grid::Heterogeneity::kHom,
+                                      grid::AvailabilityLevel::kHigh, granularity,
+                                      workload::Intensity::kLow);
+    const double hybrid = mean_turnaround(sched::PolicyKind::kPendingFirst,
+                                          grid::Heterogeneity::kHom,
+                                          grid::AvailabilityLevel::kHigh, granularity,
+                                          workload::Intensity::kLow);
+    EXPECT_LT(hybrid, 1.3 * std::min(share, rr)) << "granularity " << granularity;
+  }
+}
+
+}  // namespace
+}  // namespace dg::sim

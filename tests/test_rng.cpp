@@ -1,0 +1,281 @@
+// RNG substrate: engines, stream derivation, distribution sampling.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/random_stream.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace dg::rng {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownReferenceValue) {
+  // Reference output of SplitMix64 for seed 1234567 (from the public-domain
+  // reference implementation).
+  SplitMix64 gen(1234567);
+  EXPECT_EQ(gen.next(), 6457827717110365317ULL);
+  EXPECT_EQ(gen.next(), 3203168211198807973ULL);
+}
+
+TEST(MixSeed, DistinctStreamIdsGiveDistinctSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t id = 0; id < 1000; ++id) seeds.insert(mix_seed(42, id));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(MixSeed, AdjacentIdsDecorrelated) {
+  const std::uint64_t a = mix_seed(42, 7);
+  const std::uint64_t b = mix_seed(42, 8);
+  // Hamming distance should be near 32 for decorrelated 64-bit words.
+  const int distance = std::popcount(a ^ b);
+  EXPECT_GT(distance, 10);
+  EXPECT_LT(distance, 54);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, ZeroSeedStillWorks) {
+  Xoshiro256 gen(0);
+  std::uint64_t x = gen.next();
+  std::uint64_t y = gen.next();
+  EXPECT_NE(x, y);
+  EXPECT_NE(x, 0u);
+}
+
+TEST(Xoshiro256, JumpProducesDisjointSubsequence) {
+  Xoshiro256 a(5);
+  Xoshiro256 b(5);
+  b.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a.next());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(first.contains(b.next()));
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+TEST(Fnv1a64, KnownValues) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(fnv1a64("workload"), fnv1a64("engine"));
+}
+
+TEST(RandomStream, DerivedStreamsAreIndependent) {
+  RandomStream a = RandomStream::derive(99, "alpha");
+  RandomStream b = RandomStream::derive(99, "beta");
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.bits() == b.bits()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RandomStream, NamedDerivationIsStable) {
+  RandomStream a = RandomStream::derive(99, "alpha", 3);
+  RandomStream b = RandomStream::derive(99, "alpha", 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(RandomStream, Uniform01InRange) {
+  RandomStream stream(1);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = stream.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomStream, Uniform01MeanAndVariance) {
+  RandomStream stream(2);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = stream.uniform01();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(RandomStream, UniformRangeRespected) {
+  RandomStream stream(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = stream.uniform(240.0, 720.0);
+    EXPECT_GE(x, 240.0);
+    EXPECT_LT(x, 720.0);
+  }
+}
+
+TEST(RandomStream, UniformIntInclusiveBounds) {
+  RandomStream stream(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t x = stream.uniform_int(3, 7);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 7u);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomStream, UniformIntSingleton) {
+  RandomStream stream(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(stream.uniform_int(9, 9), 9u);
+}
+
+TEST(RandomStream, UniformIntRoughlyUniform) {
+  RandomStream stream(6);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[stream.uniform_int(0, 9)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 - n / 50);
+    EXPECT_LT(c, n / 10 + n / 50);
+  }
+}
+
+TEST(RandomStream, ExponentialMean) {
+  RandomStream stream(7);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += stream.exponential_mean(5000.0);
+  EXPECT_NEAR(sum / n, 5000.0, 60.0);
+}
+
+TEST(RandomStream, ExponentialIsPositive) {
+  RandomStream stream(8);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(stream.exponential_mean(1.0), 0.0);
+}
+
+TEST(RandomStream, NormalMoments) {
+  RandomStream stream(9);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = stream.normal(1800.0, 300.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1800.0, 5.0);
+  EXPECT_NEAR(std::sqrt(sum_sq / n - mean * mean), 300.0, 5.0);
+}
+
+TEST(RandomStream, TruncatedNormalStaysInBounds) {
+  RandomStream stream(10);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = stream.truncated_normal(1800.0, 300.0, 900.0, 2700.0);
+    EXPECT_GE(x, 900.0);
+    EXPECT_LE(x, 2700.0);
+  }
+}
+
+TEST(RandomStream, TruncatedNormalDegenerateRangeClamps) {
+  RandomStream stream(11);
+  // Range far in the tail: rejection gives up and clamps to the range.
+  const double x = stream.truncated_normal(0.0, 1.0, 50.0, 50.1);
+  EXPECT_GE(x, 50.0);
+  EXPECT_LE(x, 50.1);
+}
+
+TEST(RandomStream, WeibullShapeOneIsExponential) {
+  RandomStream stream(12);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += stream.weibull(1.0, 100.0);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);  // Weibull(1, s) mean = s
+}
+
+TEST(RandomStream, WeibullMeanMatchesGammaFormula) {
+  RandomStream stream(13);
+  const double shape = 0.7, scale = 1000.0;
+  const double expected = scale * std::tgamma(1.0 + 1.0 / shape);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += stream.weibull(shape, scale);
+  EXPECT_NEAR(sum / n, expected, expected * 0.02);
+}
+
+TEST(RandomStream, BernoulliProbability) {
+  RandomStream stream(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += stream.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+// --- distribution descriptors ---
+
+TEST(Distributions, UniformMeanAndSample) {
+  UniformDist d{240.0, 720.0};
+  EXPECT_DOUBLE_EQ(d.mean(), 480.0);
+  RandomStream stream(15);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.sample(stream);
+    EXPECT_GE(x, 240.0);
+    EXPECT_LT(x, 720.0);
+  }
+}
+
+TEST(Distributions, WeibullScaleForMeanRoundTrips) {
+  for (double shape : {0.5, 0.7, 1.0, 2.0}) {
+    const double scale = WeibullDist::scale_for_mean(88200.0, shape);
+    WeibullDist d{shape, scale};
+    EXPECT_NEAR(d.mean(), 88200.0, 1e-6);
+  }
+}
+
+TEST(Distributions, ConstantAlwaysReturnsValue) {
+  ConstantDist d{42.0};
+  RandomStream stream(16);
+  EXPECT_DOUBLE_EQ(d.mean(), 42.0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(stream), 42.0);
+}
+
+TEST(Distributions, VariantDispatchesMeanAndSample) {
+  Distribution d = ExponentialDist{123.0};
+  EXPECT_DOUBLE_EQ(d.mean(), 123.0);
+  RandomStream stream(17);
+  EXPECT_GT(d.sample(stream), 0.0);
+}
+
+TEST(Distributions, DescribeNamesTheDistribution) {
+  EXPECT_NE(Distribution(UniformDist{0, 1}).describe().find("Uniform"), std::string::npos);
+  EXPECT_NE(Distribution(WeibullDist{0.7, 2.0}).describe().find("Weibull"), std::string::npos);
+  EXPECT_NE(Distribution(TruncatedNormalDist{}).describe().find("TruncNormal"),
+            std::string::npos);
+  EXPECT_NE(Distribution(ExponentialDist{1}).describe().find("Exponential"), std::string::npos);
+  EXPECT_NE(Distribution(ConstantDist{1}).describe().find("Constant"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dg::rng

@@ -1,0 +1,231 @@
+// Scheduler runtime state: TaskState accounting and BotState dispatch
+// structures (queues, cursors, replica buckets).
+#include <gtest/gtest.h>
+
+#include "sched/bot_state.hpp"
+#include "sched/task_state.hpp"
+#include "workload/bot.hpp"
+
+namespace dg::sched {
+namespace {
+
+workload::BotSpec make_spec(std::vector<double> works, double arrival = 0.0,
+                            workload::BotId id = 0) {
+  workload::BotSpec spec;
+  spec.id = id;
+  spec.arrival_time = arrival;
+  for (double w : works) spec.tasks.push_back(workload::TaskSpec{w});
+  return spec;
+}
+
+// --- TaskState ---
+
+TEST(TaskState, InitialState) {
+  BotState bot(make_spec({100.0}));
+  TaskState& task = bot.task(0);
+  EXPECT_EQ(task.running_replicas(), 0);
+  EXPECT_FALSE(task.ever_started());
+  EXPECT_FALSE(task.completed());
+  EXPECT_FALSE(task.needs_resubmission());
+  EXPECT_EQ(task.checkpointed_work(), 0.0);
+  EXPECT_DOUBLE_EQ(task.work(), 100.0);
+}
+
+TEST(TaskState, ReplicaCounting) {
+  BotState bot(make_spec({100.0}));
+  TaskState& task = bot.task(0);
+  task.on_replica_started(10.0);
+  task.on_replica_started(20.0);
+  EXPECT_EQ(task.running_replicas(), 2);
+  task.on_replica_stopped(30.0);
+  EXPECT_EQ(task.running_replicas(), 1);
+  EXPECT_TRUE(task.ever_started());
+}
+
+TEST(TaskState, IdleAccumulationAcrossPeriods) {
+  BotState bot(make_spec({100.0}, /*arrival=*/5.0));
+  TaskState& task = bot.task(0);
+  // Idle from arrival (5) to first start (15): 10s.
+  EXPECT_DOUBLE_EQ(task.accumulated_idle(15.0), 10.0);
+  task.on_replica_started(15.0);
+  EXPECT_DOUBLE_EQ(task.accumulated_idle(100.0), 10.0);  // frozen while running
+  task.on_replica_stopped(40.0);                          // idle again at 40
+  EXPECT_DOUBLE_EQ(task.accumulated_idle(50.0), 10.0 + 10.0);
+  task.on_replica_started(60.0);
+  EXPECT_DOUBLE_EQ(task.frozen_idle(), 30.0);
+}
+
+TEST(TaskState, IdleStopsAtCompletion) {
+  BotState bot(make_spec({100.0}));
+  TaskState& task = bot.task(0);
+  task.on_replica_started(10.0);
+  task.mark_completed(50.0);
+  task.on_replica_stopped(50.0);
+  EXPECT_DOUBLE_EQ(task.accumulated_idle(1000.0), 10.0);
+  EXPECT_TRUE(task.completed());
+  EXPECT_DOUBLE_EQ(task.completion_time(), 50.0);
+}
+
+TEST(TaskState, OverlappingReplicasDoNotDoubleCountIdle) {
+  BotState bot(make_spec({100.0}));
+  TaskState& task = bot.task(0);
+  task.on_replica_started(10.0);
+  task.on_replica_started(20.0);
+  task.on_replica_stopped(30.0);  // one still running: not idle
+  EXPECT_DOUBLE_EQ(task.accumulated_idle(40.0), 10.0);
+  task.on_replica_stopped(50.0);  // now idle
+  EXPECT_DOUBLE_EQ(task.accumulated_idle(60.0), 20.0);
+}
+
+TEST(TaskState, CheckpointMonotone) {
+  BotState bot(make_spec({100.0}));
+  TaskState& task = bot.task(0);
+  task.commit_checkpoint(30.0);
+  EXPECT_DOUBLE_EQ(task.checkpointed_work(), 30.0);
+  task.commit_checkpoint(20.0);  // regression ignored
+  EXPECT_DOUBLE_EQ(task.checkpointed_work(), 30.0);
+  task.commit_checkpoint(80.0);
+  EXPECT_DOUBLE_EQ(task.checkpointed_work(), 80.0);
+}
+
+TEST(TaskState, ResubmissionFlagClearsOnStart) {
+  BotState bot(make_spec({100.0}));
+  TaskState& task = bot.task(0);
+  task.set_needs_resubmission(true);
+  EXPECT_TRUE(task.needs_resubmission());
+  task.on_replica_started(1.0);
+  EXPECT_FALSE(task.needs_resubmission());
+}
+
+// --- BotState ---
+
+TEST(BotState, ConstructionCopiesSpec) {
+  BotState bot(make_spec({10.0, 20.0, 30.0}, 42.0, 9));
+  EXPECT_EQ(bot.id(), 9u);
+  EXPECT_DOUBLE_EQ(bot.arrival_time(), 42.0);
+  EXPECT_EQ(bot.num_tasks(), 3u);
+  EXPECT_DOUBLE_EQ(bot.total_work(), 60.0);
+  EXPECT_FALSE(bot.completed());
+  EXPECT_EQ(bot.total_running(), 0);
+}
+
+TEST(BotState, UnstartedCursorWalksArrivalOrder) {
+  BotState bot(make_spec({10.0, 20.0, 30.0}));
+  EXPECT_EQ(bot.peek_unstarted()->index(), 0u);
+  bot.task(0).on_replica_started(1.0);
+  bot.after_replica_started(bot.task(0));
+  EXPECT_EQ(bot.peek_unstarted()->index(), 1u);
+}
+
+TEST(BotState, DescendingWorkOrderServesLongestFirst) {
+  BotState bot(make_spec({10.0, 99.0, 50.0}), TaskOrder::kDescendingWork);
+  EXPECT_EQ(bot.peek_unstarted()->index(), 1u);  // work 99
+  bot.task(1).on_replica_started(1.0);
+  bot.after_replica_started(bot.task(1));
+  EXPECT_EQ(bot.peek_unstarted()->index(), 2u);  // work 50
+}
+
+TEST(BotState, ResubmissionQueueIsFifoAndValidated) {
+  BotState bot(make_spec({10.0, 20.0, 30.0}));
+  bot.push_resubmission(bot.task(2));
+  bot.push_resubmission(bot.task(1));
+  EXPECT_EQ(bot.peek_resubmission()->index(), 2u);
+  // Task 2 starts a replica: no longer a resubmission candidate.
+  bot.task(2).on_replica_started(1.0);
+  bot.after_replica_started(bot.task(2));
+  EXPECT_EQ(bot.peek_resubmission()->index(), 1u);
+}
+
+TEST(BotState, HasPendingCoversAllPools) {
+  BotState bot(make_spec({10.0}));
+  EXPECT_TRUE(bot.has_pending());  // unstarted
+  bot.task(0).on_replica_started(1.0);
+  bot.after_replica_started(bot.task(0));
+  EXPECT_FALSE(bot.has_pending());
+  bot.task(0).on_replica_stopped(2.0);
+  bot.after_replica_stopped(bot.task(0));
+  bot.push_resubmission(bot.task(0));
+  EXPECT_TRUE(bot.has_pending());
+}
+
+TEST(BotState, LeastReplicatedPrefersFewestReplicas) {
+  BotState bot(make_spec({10.0, 20.0, 30.0}));
+  for (std::size_t i = 0; i < 3; ++i) {
+    bot.task(i).on_replica_started(1.0);
+    bot.after_replica_started(bot.task(i));
+  }
+  // Task 1 gets a second replica.
+  bot.task(1).on_replica_started(2.0);
+  bot.after_replica_started(bot.task(1));
+  TaskState* pick = bot.least_replicated_below(3);
+  ASSERT_NE(pick, nullptr);
+  EXPECT_EQ(pick->index(), 0u);  // fewest replicas, lowest index
+}
+
+TEST(BotState, LeastReplicatedHonorsThreshold) {
+  BotState bot(make_spec({10.0}));
+  bot.task(0).on_replica_started(1.0);
+  bot.after_replica_started(bot.task(0));
+  EXPECT_EQ(bot.least_replicated_below(1), nullptr);   // at threshold 1
+  EXPECT_NE(bot.least_replicated_below(2), nullptr);   // room under 2
+  bot.task(0).on_replica_started(2.0);
+  bot.after_replica_started(bot.task(0));
+  EXPECT_EQ(bot.least_replicated_below(2), nullptr);
+}
+
+TEST(BotState, CompletionRemovesFromBucketsBeforeSiblingStops) {
+  BotState bot(make_spec({10.0, 20.0}));
+  TaskState& task = bot.task(0);
+  task.on_replica_started(1.0);
+  bot.after_replica_started(task);
+  task.on_replica_started(2.0);
+  bot.after_replica_started(task);
+  // Completion order mirrors the engine: mark, notify bag, then stops.
+  task.mark_completed(5.0);
+  bot.on_task_completed(task);
+  EXPECT_EQ(bot.completed_tasks(), 1u);
+  task.on_replica_stopped(5.0);
+  bot.after_replica_stopped(task);
+  task.on_replica_stopped(5.0);
+  bot.after_replica_stopped(task);
+  EXPECT_EQ(bot.total_running(), 0);
+  EXPECT_EQ(bot.least_replicated_below(10), nullptr);
+  EXPECT_FALSE(bot.completed());  // task 1 still open
+}
+
+TEST(BotState, CompletedWhenAllTasksDone) {
+  BotState bot(make_spec({10.0, 20.0}));
+  for (std::size_t i = 0; i < 2; ++i) {
+    TaskState& task = bot.task(i);
+    task.on_replica_started(1.0);
+    bot.after_replica_started(task);
+    task.mark_completed(2.0 + static_cast<double>(i));
+    bot.on_task_completed(task);
+    task.on_replica_stopped(2.0 + static_cast<double>(i));
+    bot.after_replica_stopped(task);
+  }
+  EXPECT_TRUE(bot.completed());
+}
+
+TEST(BotState, TurnaroundDecomposition) {
+  BotState bot(make_spec({10.0}, /*arrival=*/100.0));
+  bot.note_dispatch(150.0);
+  bot.note_dispatch(200.0);  // only the first dispatch counts
+  bot.note_completion(400.0);
+  EXPECT_DOUBLE_EQ(bot.waiting_time(), 50.0);
+  EXPECT_DOUBLE_EQ(bot.makespan(), 250.0);
+  EXPECT_DOUBLE_EQ(bot.turnaround(), 300.0);
+  EXPECT_DOUBLE_EQ(bot.turnaround(), bot.waiting_time() + bot.makespan());
+}
+
+TEST(BotState, RequeueServedAfterValidation) {
+  BotState bot(make_spec({10.0, 20.0}));
+  bot.push_requeue(bot.task(1));
+  EXPECT_EQ(bot.peek_requeued()->index(), 1u);
+  bot.task(1).on_replica_started(1.0);
+  bot.after_replica_started(bot.task(1));
+  EXPECT_EQ(bot.peek_requeued(), nullptr);
+}
+
+}  // namespace
+}  // namespace dg::sched

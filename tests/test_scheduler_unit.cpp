@@ -1,0 +1,119 @@
+// MultiBotScheduler unit behaviour: counters, thresholds, dispatch
+// bookkeeping — driven through the test World.
+#include <gtest/gtest.h>
+
+#include "analysis/queueing.hpp"
+#include "sched/replication.hpp"
+#include "sim/simulation.hpp"
+#include "sim_test_util.hpp"
+
+namespace dg::test {
+namespace {
+
+TEST(Scheduler, CountersTrackActivity) {
+  WorldOptions options;
+  options.num_machines = 2;
+  World world(options);
+  world.add_bot({100.0, 100.0});
+  world.sim.run();
+  EXPECT_EQ(world.scheduler->tasks_completed(), 2u);
+  EXPECT_EQ(world.scheduler->bots_completed(), 1u);
+  // 2 initial dispatches + replication rounds after the pending pool drains.
+  EXPECT_GE(world.scheduler->replicas_started(), 2u);
+  EXPECT_EQ(world.scheduler->replica_failures(), 0u);
+}
+
+TEST(Scheduler, FailureCounterIncrements) {
+  WorldOptions options;
+  options.num_machines = 1;
+  options.threshold = 1;
+  World world(options);
+  world.add_bot({100.0});
+  world.fail_machine_at(0, 5.0);
+  world.repair_machine_at(0, 6.0);
+  world.sim.run();
+  EXPECT_EQ(world.scheduler->replica_failures(), 1u);
+}
+
+TEST(Scheduler, EffectiveThresholdReflectsController) {
+  WorldOptions options;
+  options.threshold = 3;
+  World world(options);
+  EXPECT_EQ(world.scheduler->effective_threshold(), 3);
+  EXPECT_EQ(world.scheduler->replication().threshold(), 3);
+}
+
+TEST(Scheduler, FcfsExclThresholdIsEffectivelyUnlimited) {
+  WorldOptions options;
+  options.policy = sched::PolicyKind::kFcfsExcl;
+  World world(options);
+  EXPECT_GT(world.scheduler->effective_threshold(), 1000000);
+}
+
+TEST(Scheduler, ActiveBotsShrinkOnCompletion) {
+  WorldOptions options;
+  options.num_machines = 2;
+  World world(options);
+  world.add_bot({100.0});
+  world.add_bot({100.0}, 1.0);
+  world.sim.schedule_at(2.0, [&] { EXPECT_EQ(world.scheduler->active_bots().size(), 2u); });
+  world.sim.run();
+  EXPECT_TRUE(world.scheduler->active_bots().empty());
+}
+
+TEST(Scheduler, FirstDispatchTimeRecordedOncePerBag) {
+  WorldOptions options;
+  options.num_machines = 1;
+  options.threshold = 1;
+  World world(options);
+  sched::BotState& bot = world.add_bot({100.0, 100.0});
+  world.sim.run();
+  EXPECT_DOUBLE_EQ(bot.first_dispatch_time(), 0.0);
+  EXPECT_DOUBLE_EQ(bot.completion_time(), 20.0);
+  EXPECT_DOUBLE_EQ(bot.waiting_time(), 0.0);
+}
+
+TEST(DynamicReplication, ThresholdRisesWithFailures) {
+  sched::DynamicReplication controller(0.05, 0.5, 4);
+  EXPECT_EQ(controller.threshold(), 1);  // no evidence of failures yet
+  for (int i = 0; i < 10; ++i) controller.on_replica_failure();
+  EXPECT_GT(controller.failure_fraction(), 0.9);
+  EXPECT_EQ(controller.threshold(), 4);  // capped
+  for (int i = 0; i < 40; ++i) controller.on_replica_success();
+  EXPECT_EQ(controller.threshold(), 1);
+}
+
+TEST(DynamicReplication, IntermediateFailureRates) {
+  sched::DynamicReplication controller(0.05, 1.0, 4);  // alpha 1: track exactly
+  controller.on_replica_failure();                     // p = 1 -> capped
+  EXPECT_EQ(controller.threshold(), 4);
+  sched::DynamicReplication half(0.05, 0.5, 4);
+  half.on_replica_failure();
+  half.on_replica_success();  // p = 0.25 -> ceil(log .05 / log .25) = 3
+  EXPECT_NEAR(half.failure_fraction(), 0.25, 1e-12);
+  EXPECT_EQ(half.threshold(), 3);
+}
+
+TEST(StaticReplication, ClampsToAtLeastOne) {
+  sched::StaticReplication controller(0);
+  EXPECT_EQ(controller.threshold(), 1);
+  EXPECT_NE(controller.name().find("static"), std::string::npos);
+}
+
+// --- analysis: Het service model sanity (unit-level, no simulation) ---
+
+TEST(BagServiceModel, HetGridUsesMeanMachinePower) {
+  const grid::GridConfig het =
+      grid::GridConfig::preset(grid::Heterogeneity::kHet, grid::AvailabilityLevel::kHigh);
+  const grid::GridConfig hom =
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kHigh);
+  const workload::WorkloadConfig workload_config =
+      sim::make_paper_workload(hom, 125000.0, workload::Intensity::kLow, 10);
+  const auto het_service = analysis::bag_service_model(het, workload_config);
+  const auto hom_service = analysis::bag_service_model(hom, workload_config);
+  // Same mean machine power (10): straggler regimes agree.
+  EXPECT_NEAR(het_service.mean, hom_service.mean, hom_service.mean * 1e-6);
+}
+
+}  // namespace
+}  // namespace dg::test

@@ -1,0 +1,231 @@
+// End-to-end Simulation runs: invariants, determinism, metric identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/simulation.hpp"
+
+namespace dg::sim {
+namespace {
+
+SimulationConfig small_config(sched::PolicyKind policy, grid::AvailabilityLevel level,
+                              double granularity = 25000.0,
+                              workload::Intensity intensity = workload::Intensity::kLow,
+                              std::size_t num_bots = 15) {
+  SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHom, level);
+  config.workload = make_paper_workload(config.grid, granularity, intensity, num_bots);
+  config.policy = policy;
+  config.seed = 77;
+  return config;
+}
+
+TEST(Simulation, AllBotsCompleteInStableSystem) {
+  const SimulationResult result =
+      Simulation(small_config(sched::PolicyKind::kFcfsShare, grid::AvailabilityLevel::kHigh))
+          .run();
+  EXPECT_FALSE(result.saturated);
+  EXPECT_EQ(result.bots_completed, result.bots.size());
+  for (const BotRecord& bot : result.bots) EXPECT_TRUE(bot.completed);
+}
+
+TEST(Simulation, TurnaroundDecompositionIdentity) {
+  const SimulationResult result =
+      Simulation(small_config(sched::PolicyKind::kRoundRobin, grid::AvailabilityLevel::kHigh))
+          .run();
+  for (const BotRecord& bot : result.bots) {
+    EXPECT_NEAR(bot.turnaround, bot.waiting_time + bot.makespan, 1e-6);
+    EXPECT_GE(bot.waiting_time, 0.0);
+    EXPECT_GE(bot.makespan, 0.0);
+    EXPECT_GE(bot.completion_time, bot.arrival_time);
+    EXPECT_GE(bot.first_dispatch_time, bot.arrival_time);
+  }
+}
+
+TEST(Simulation, RecordsAreInArrivalOrder) {
+  const SimulationResult result =
+      Simulation(small_config(sched::PolicyKind::kLongIdle, grid::AvailabilityLevel::kHigh))
+          .run();
+  for (std::size_t i = 1; i < result.bots.size(); ++i) {
+    EXPECT_GE(result.bots[i].arrival_time, result.bots[i - 1].arrival_time);
+    EXPECT_EQ(result.bots[i].id, static_cast<workload::BotId>(i));
+  }
+}
+
+TEST(Simulation, DeterministicForSameSeed) {
+  SimulationConfig config = small_config(sched::PolicyKind::kRoundRobinNrf,
+                                         grid::AvailabilityLevel::kLow);
+  const SimulationResult a = Simulation(config).run();
+  const SimulationResult b = Simulation(config).run();
+  ASSERT_EQ(a.bots.size(), b.bots.size());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  for (std::size_t i = 0; i < a.bots.size(); ++i) {
+    EXPECT_EQ(a.bots[i].turnaround, b.bots[i].turnaround);
+    EXPECT_EQ(a.bots[i].completion_time, b.bots[i].completion_time);
+  }
+}
+
+TEST(Simulation, DifferentSeedsGiveDifferentRuns) {
+  SimulationConfig config = small_config(sched::PolicyKind::kFcfsShare,
+                                         grid::AvailabilityLevel::kLow);
+  const SimulationResult a = Simulation(config).run();
+  config.seed = 78;
+  const SimulationResult b = Simulation(config).run();
+  EXPECT_NE(a.turnaround.mean(), b.turnaround.mean());
+}
+
+TEST(Simulation, WarmupBotsExcludedFromAggregates) {
+  SimulationConfig config = small_config(sched::PolicyKind::kFcfsShare,
+                                         grid::AvailabilityLevel::kHigh);
+  config.warmup_bots = 5;
+  const SimulationResult result = Simulation(config).run();
+  EXPECT_EQ(result.turnaround.count(), result.bots.size() - 5);
+}
+
+TEST(Simulation, TinyHorizonMarksSaturation) {
+  SimulationConfig config = small_config(sched::PolicyKind::kFcfsShare,
+                                         grid::AvailabilityLevel::kHigh);
+  config.max_sim_time = 10.0;  // nothing can finish
+  const SimulationResult result = Simulation(config).run();
+  EXPECT_TRUE(result.saturated);
+  EXPECT_LT(result.bots_completed, result.bots.size());
+  for (const BotRecord& bot : result.bots) {
+    if (!bot.completed) {
+      EXPECT_DOUBLE_EQ(bot.completion_time, result.end_time);
+    }
+  }
+}
+
+TEST(Simulation, UtilizationNearTargetInStableSystem) {
+  // Long homogeneous run at low intensity: measured utilization should be in
+  // the vicinity of the configured 50% target (replication overhead pushes
+  // it up; availability losses push effective capacity down).
+  SimulationConfig config = small_config(sched::PolicyKind::kRoundRobin,
+                                         grid::AvailabilityLevel::kHigh, 5000.0,
+                                         workload::Intensity::kLow, 60);
+  const SimulationResult result = Simulation(config).run();
+  EXPECT_GT(result.utilization, 0.25);
+  EXPECT_LT(result.utilization, 0.85);
+}
+
+TEST(Simulation, MeasuredAvailabilityMatchesConfig) {
+  SimulationConfig config = small_config(sched::PolicyKind::kFcfsShare,
+                                         grid::AvailabilityLevel::kLow, 5000.0,
+                                         workload::Intensity::kLow, 30);
+  const SimulationResult result = Simulation(config).run();
+  EXPECT_NEAR(result.measured_availability, 0.50, 0.10);
+  EXPECT_GT(result.machine_failures, 0u);
+}
+
+TEST(Simulation, NoFailuresMeansNoCheckpointsOrReplicaFailures) {
+  SimulationConfig config = small_config(sched::PolicyKind::kFcfsShare,
+                                         grid::AvailabilityLevel::kAlways);
+  const SimulationResult result = Simulation(config).run();
+  EXPECT_EQ(result.machine_failures, 0u);
+  EXPECT_EQ(result.replica_failures, 0u);
+  EXPECT_EQ(result.checkpoints_saved, 0u);
+  EXPECT_EQ(result.checkpoint_retrievals, 0u);
+  EXPECT_EQ(result.measured_availability, 1.0);
+}
+
+TEST(Simulation, FcfsExclNeverOverlapsBags) {
+  // Exclusive allocation: bag k starts only after bag k-1 completed.
+  SimulationConfig config = small_config(sched::PolicyKind::kFcfsExcl,
+                                         grid::AvailabilityLevel::kAlways);
+  const SimulationResult result = Simulation(config).run();
+  ASSERT_FALSE(result.saturated);
+  for (std::size_t i = 1; i < result.bots.size(); ++i) {
+    EXPECT_GE(result.bots[i].first_dispatch_time, result.bots[i - 1].completion_time - 1e-6)
+        << "bag " << i << " started before bag " << i - 1 << " completed";
+  }
+}
+
+TEST(Simulation, TasksCompletedMatchesWorkload) {
+  SimulationConfig config = small_config(sched::PolicyKind::kRoundRobin,
+                                         grid::AvailabilityLevel::kHigh);
+  const SimulationResult result = Simulation(config).run();
+  std::size_t expected = 0;
+  for (const BotRecord& bot : result.bots) expected += bot.num_tasks;
+  EXPECT_EQ(result.tasks_completed, expected);
+}
+
+TEST(Simulation, ReplicationThresholdOverrideReducesReplicas) {
+  SimulationConfig config = small_config(sched::PolicyKind::kRoundRobin,
+                                         grid::AvailabilityLevel::kAlways);
+  config.replication_threshold = 1;
+  const SimulationResult r1 = Simulation(config).run();
+  config.replication_threshold = 3;
+  const SimulationResult r3 = Simulation(config).run();
+  EXPECT_LT(r1.replicas_started, r3.replicas_started);
+  EXPECT_EQ(r1.wasted_compute_time, 0.0);  // no replication, no failures
+  EXPECT_GT(r3.wasted_compute_time, 0.0);
+}
+
+TEST(Simulation, DynamicReplicationRuns) {
+  SimulationConfig config = small_config(sched::PolicyKind::kRoundRobin,
+                                         grid::AvailabilityLevel::kLow);
+  config.dynamic_replication = true;
+  const SimulationResult result = Simulation(config).run();
+  EXPECT_EQ(result.bots_completed, result.bots.size());
+}
+
+TEST(Simulation, WorkQueueCompletesWithoutReplication) {
+  SimulationConfig config = small_config(sched::PolicyKind::kFcfsShare,
+                                         grid::AvailabilityLevel::kAlways);
+  config.individual = sched::IndividualSchedulerKind::kWorkQueue;
+  const SimulationResult result = Simulation(config).run();
+  EXPECT_EQ(result.bots_completed, result.bots.size());
+  // threshold 1 and no failures: one replica per task.
+  EXPECT_EQ(result.replicas_started, result.tasks_completed);
+}
+
+TEST(Simulation, KnowledgeBasedSchedulerCompletes) {
+  SimulationConfig config = small_config(sched::PolicyKind::kFcfsShare,
+                                         grid::AvailabilityLevel::kMed);
+  config.individual = sched::IndividualSchedulerKind::kKnowledgeBased;
+  const SimulationResult result = Simulation(config).run();
+  EXPECT_EQ(result.bots_completed, result.bots.size());
+}
+
+TEST(Simulation, WqrLosesMoreWorkThanWqrFtUnderChurn) {
+  // Without checkpointing every failure loses the replica's full progress;
+  // with WQR-FT losses are bounded by the checkpoint interval.
+  SimulationConfig config = small_config(sched::PolicyKind::kRoundRobin,
+                                         grid::AvailabilityLevel::kLow, 25000.0,
+                                         workload::Intensity::kLow, 12);
+  config.individual = sched::IndividualSchedulerKind::kWqr;
+  const SimulationResult wqr = Simulation(config).run();
+  config.individual = sched::IndividualSchedulerKind::kWqrFt;
+  const SimulationResult wqrft = Simulation(config).run();
+  ASSERT_GT(wqr.replica_failures, 0u);
+  EXPECT_GT(wqr.lost_work / static_cast<double>(wqr.replica_failures),
+            wqrft.lost_work / static_cast<double>(wqrft.replica_failures));
+}
+
+TEST(Simulation, EventsExecutedIsPositiveAndBounded) {
+  const SimulationResult result =
+      Simulation(small_config(sched::PolicyKind::kFcfsShare, grid::AvailabilityLevel::kHigh))
+          .run();
+  EXPECT_GT(result.events_executed, result.bots.size());
+}
+
+TEST(MakePaperWorkload, RatesScaleWithIntensity) {
+  const grid::GridConfig grid_config =
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kHigh);
+  const auto low = make_paper_workload(grid_config, 5000.0, workload::Intensity::kLow, 10);
+  const auto high = make_paper_workload(grid_config, 5000.0, workload::Intensity::kHigh, 10);
+  EXPECT_NEAR(high.arrival_rate / low.arrival_rate, 0.9 / 0.5, 1e-9);
+}
+
+TEST(MakePaperWorkload, LowerAvailabilityMeansLowerRate) {
+  const auto high_avail = make_paper_workload(
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kHigh),
+      5000.0, workload::Intensity::kLow, 10);
+  const auto low_avail = make_paper_workload(
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kLow),
+      5000.0, workload::Intensity::kLow, 10);
+  EXPECT_LT(low_avail.arrival_rate, high_avail.arrival_rate);
+}
+
+}  // namespace
+}  // namespace dg::sim

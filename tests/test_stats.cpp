@@ -1,0 +1,300 @@
+// Statistics substrate: moments, quantiles, confidence intervals, histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "rng/random_stream.hpp"
+#include "stats/confidence.hpp"
+#include "stats/histogram.hpp"
+#include "stats/online_stats.hpp"
+#include "stats/quantiles.hpp"
+
+namespace dg::stats {
+namespace {
+
+TEST(OnlineStats, EmptyState) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownMeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, StdErrorShrinksWithN) {
+  OnlineStats small, large;
+  rng::RandomStream stream(1);
+  for (int i = 0; i < 10; ++i) small.add(stream.normal(0, 1));
+  for (int i = 0; i < 1000; ++i) large.add(stream.normal(0, 1));
+  EXPECT_LT(large.std_error(), small.std_error());
+}
+
+TEST(OnlineStats, NumericallyStableForLargeOffsets) {
+  OnlineStats s;
+  // Classic catastrophic-cancellation case for naive sum-of-squares.
+  for (double x : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+class OnlineStatsMergeTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OnlineStatsMergeTest, MergeMatchesSequential) {
+  const auto [n1, n2] = GetParam();
+  rng::RandomStream stream(42);
+  std::vector<double> values;
+  for (int i = 0; i < n1 + n2; ++i) values.push_back(stream.uniform(-5.0, 13.0));
+
+  OnlineStats all, a, b;
+  for (int i = 0; i < n1; ++i) a.add(values[static_cast<std::size_t>(i)]);
+  for (int i = n1; i < n1 + n2; ++i) b.add(values[static_cast<std::size_t>(i)]);
+  for (double v : values) all.add(v);
+
+  OnlineStats merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-8);
+  EXPECT_EQ(merged.min(), all.min());
+  EXPECT_EQ(merged.max(), all.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OnlineStatsMergeTest,
+                         ::testing::Values(std::make_tuple(0, 5), std::make_tuple(5, 0),
+                                           std::make_tuple(1, 1), std::make_tuple(10, 1000),
+                                           std::make_tuple(500, 500)));
+
+TEST(TimeWeightedStats, ConstantSignal) {
+  TimeWeightedStats s(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.time_average(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.integral(10.0), 30.0);
+}
+
+TEST(TimeWeightedStats, StepSignal) {
+  TimeWeightedStats s(0.0, 0.0);
+  s.update(5.0, 2.0);   // 0 for [0,5), 2 afterwards
+  s.update(10.0, 4.0);  // 2 for [5,10), 4 afterwards
+  EXPECT_DOUBLE_EQ(s.integral(20.0), 0.0 * 5 + 2.0 * 5 + 4.0 * 10);
+  EXPECT_DOUBLE_EQ(s.time_average(20.0), 50.0 / 20.0);
+}
+
+TEST(TimeWeightedStats, NonZeroStartTime) {
+  TimeWeightedStats s(100.0, 1.0);
+  s.update(150.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.time_average(200.0), 0.5);
+}
+
+TEST(TimeWeightedStats, SameTimeUpdateReplacesValue) {
+  TimeWeightedStats s(0.0, 1.0);
+  s.update(10.0, 2.0);
+  s.update(10.0, 5.0);  // no time elapsed at value 2
+  EXPECT_DOUBLE_EQ(s.integral(20.0), 1.0 * 10 + 5.0 * 10);
+}
+
+// --- quantiles ---
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.95), 1.6448536269514722, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.9999), 3.719016485455709, 1e-7);
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(-1.0), std::invalid_argument);
+}
+
+struct TQuantileCase {
+  double p;
+  double df;
+  double expected;  // standard t-table values
+};
+
+class StudentTQuantileTest : public ::testing::TestWithParam<TQuantileCase> {};
+
+TEST_P(StudentTQuantileTest, MatchesTable) {
+  const TQuantileCase& c = GetParam();
+  EXPECT_NEAR(student_t_quantile(c.p, c.df), c.expected, 5e-4 * std::abs(c.expected) + 5e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, StudentTQuantileTest,
+    ::testing::Values(TQuantileCase{0.975, 1, 12.7062}, TQuantileCase{0.975, 2, 4.30265},
+                      TQuantileCase{0.975, 4, 2.77645}, TQuantileCase{0.975, 9, 2.26216},
+                      TQuantileCase{0.975, 29, 2.04523}, TQuantileCase{0.975, 100, 1.98397},
+                      TQuantileCase{0.95, 1, 6.31375}, TQuantileCase{0.95, 5, 2.01505},
+                      TQuantileCase{0.95, 30, 1.69726}, TQuantileCase{0.99, 10, 2.76377},
+                      TQuantileCase{0.995, 7, 3.49948}, TQuantileCase{0.9, 3, 1.63774}));
+
+TEST(StudentTQuantile, SymmetricAroundZero) {
+  for (double df : {1.0, 3.0, 10.0, 50.0}) {
+    EXPECT_NEAR(student_t_quantile(0.3, df), -student_t_quantile(0.7, df), 1e-8);
+  }
+  EXPECT_EQ(student_t_quantile(0.5, 10.0), 0.0);
+}
+
+TEST(StudentTQuantile, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(student_t_quantile(0.975, 1e6), normal_quantile(0.975), 1e-4);
+}
+
+TEST(StudentTQuantile, RoundTripsThroughCdf) {
+  for (double p : {0.01, 0.1, 0.3, 0.7, 0.9, 0.99}) {
+    for (double df : {2.0, 5.0, 17.0}) {
+      EXPECT_NEAR(student_t_cdf(student_t_quantile(p, df), df), p, 1e-9);
+    }
+  }
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetryIdentity) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a)
+  for (double x : {0.1, 0.4, 0.8}) {
+    EXPECT_NEAR(incomplete_beta(2.5, 1.5, x), 1.0 - incomplete_beta(1.5, 2.5, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.2, 0.5, 0.9}) EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+}
+
+TEST(StudentTCdf, StandardValues) {
+  EXPECT_NEAR(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(student_t_cdf(12.7062, 1.0), 0.975, 1e-5);
+  EXPECT_NEAR(student_t_cdf(-2.26216, 9.0), 0.025, 1e-5);
+}
+
+// --- confidence intervals ---
+
+TEST(ConfidenceInterval, InfiniteForFewerThanTwoSamples) {
+  OnlineStats s;
+  s.add(3.0);
+  const ConfidenceInterval ci = mean_confidence_interval(s);
+  EXPECT_TRUE(std::isinf(ci.half_width));
+}
+
+TEST(ConfidenceInterval, KnownSmallSample) {
+  OnlineStats s;
+  for (double x : {10.0, 12.0, 14.0}) s.add(x);
+  const ConfidenceInterval ci = mean_confidence_interval(s, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 12.0);
+  // hw = t_{0.975,2} * s/sqrt(3) = 4.30265 * 2/sqrt(3)
+  EXPECT_NEAR(ci.half_width, 4.30265 * 2.0 / std::sqrt(3.0), 1e-3);
+  EXPECT_TRUE(ci.contains(12.0));
+  EXPECT_NEAR(ci.relative_error(), ci.half_width / 12.0, 1e-12);
+}
+
+TEST(ConfidenceInterval, CoversTrueMeanAtNominalRate) {
+  // Property test: ~95% of intervals from normal samples contain mu.
+  rng::RandomStream stream(2024);
+  int covered = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    OnlineStats s;
+    for (int i = 0; i < 10; ++i) s.add(stream.normal(100.0, 15.0));
+    if (mean_confidence_interval(s, 0.95).contains(100.0)) ++covered;
+  }
+  const double rate = static_cast<double>(covered) / trials;
+  EXPECT_GT(rate, 0.93);
+  EXPECT_LT(rate, 0.97);
+}
+
+TEST(ReplicationAnalyzer, StopsWhenPreciseEnough) {
+  ReplicationAnalyzer analyzer(0.95, 0.025, 3);
+  analyzer.add(1000.0);
+  EXPECT_FALSE(analyzer.precise_enough());
+  analyzer.add(1000.5);
+  EXPECT_FALSE(analyzer.precise_enough());  // below min replications
+  analyzer.add(999.5);
+  EXPECT_TRUE(analyzer.precise_enough());
+}
+
+TEST(ReplicationAnalyzer, KeepsGoingWhenNoisy) {
+  ReplicationAnalyzer analyzer(0.95, 0.025, 3);
+  analyzer.add(100.0);
+  analyzer.add(500.0);
+  analyzer.add(900.0);
+  EXPECT_FALSE(analyzer.precise_enough());
+}
+
+TEST(ReplicationAnalyzer, RetainsSamples) {
+  ReplicationAnalyzer analyzer;
+  analyzer.add(1.0);
+  analyzer.add(2.0);
+  EXPECT_EQ(analyzer.samples(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(analyzer.stats().count(), 2u);
+}
+
+// --- histogram ---
+
+TEST(Histogram, CountsFallInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.99);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  rng::RandomStream stream(5);
+  for (int i = 0; i < 100000; ++i) h.add(stream.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileOnEmptyThrows) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.quantile(0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dg::stats

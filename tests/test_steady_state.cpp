@@ -1,0 +1,75 @@
+// Steady-state estimator: one long run + MSER truncation + batch means.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "exp/steady_state.hpp"
+
+namespace dg::exp {
+namespace {
+
+sim::SimulationConfig base_config() {
+  sim::SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHom,
+                                         grid::AvailabilityLevel::kHigh);
+  config.workload = sim::make_paper_workload(config.grid, 25000.0,
+                                             workload::Intensity::kLow, 10);
+  config.policy = sched::PolicyKind::kRoundRobin;
+  config.seed = 51;
+  return config;
+}
+
+TEST(SteadyState, ProducesFiniteEstimate) {
+  SteadyStateOptions options;
+  options.num_bots = 150;
+  options.batch_size = 10;
+  const SteadyStateResult result = run_steady_state(base_config(), options);
+  EXPECT_FALSE(result.saturated);
+  EXPECT_GT(result.turnaround.mean, 0.0);
+  EXPECT_TRUE(std::isfinite(result.turnaround.half_width));
+  EXPECT_GE(result.batches, 2u);
+  EXPECT_EQ(result.simulation.bots.size(), 150u);
+}
+
+TEST(SteadyState, TruncationIsBoundedByHalf) {
+  SteadyStateOptions options;
+  options.num_bots = 120;
+  const SteadyStateResult result = run_steady_state(base_config(), options);
+  EXPECT_LE(result.truncated_bots, 60u);
+  EXPECT_EQ(result.measured_bots + result.truncated_bots, 120u);
+}
+
+TEST(SteadyState, AgreesWithReplicationEstimate) {
+  // Both estimators target the same steady-state mean; allow generous slack
+  // (different estimators, finite samples).
+  sim::SimulationConfig config = base_config();
+
+  RunOptions rep_options;
+  rep_options.min_replications = 4;
+  rep_options.max_replications = 4;
+  rep_options.threads = 2;
+  ExperimentRunner runner(rep_options);
+  config.workload.num_bots = 60;
+  config.warmup_bots = 6;
+  const double rep_mean = runner.run({{"cell", config}})[0].turnaround.stats().mean();
+
+  SteadyStateOptions ss_options;
+  ss_options.num_bots = 240;
+  ss_options.batch_size = 10;
+  const SteadyStateResult ss = run_steady_state(config, ss_options);
+
+  EXPECT_NEAR(ss.turnaround.mean / rep_mean, 1.0, 0.35);
+}
+
+TEST(SteadyState, CoarsensUntilDecorrelated) {
+  SteadyStateOptions options;
+  options.num_bots = 400;
+  options.batch_size = 5;
+  options.max_lag1 = 0.2;
+  const SteadyStateResult result = run_steady_state(base_config(), options);
+  // Either decorrelated or out of batches to merge.
+  EXPECT_TRUE(std::fabs(result.lag1_autocorrelation) <= 0.2 || result.batches < 20u);
+  EXPECT_GE(result.final_batch_size, options.batch_size);
+}
+
+}  // namespace
+}  // namespace dg::exp

@@ -1,0 +1,127 @@
+// Property/stress matrix: every (policy x availability x individual
+// scheduler) combination runs a small end-to-end simulation under the
+// InvariantChecker, which validates the engine/scheduler contracts on every
+// single event. Also checks the cross-cutting result invariants.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sim/invariant_checker.hpp"
+#include "sim/simulation.hpp"
+
+namespace dg::sim {
+namespace {
+
+using StressParam =
+    std::tuple<sched::PolicyKind, grid::AvailabilityLevel, sched::IndividualSchedulerKind>;
+
+std::string param_name(const ::testing::TestParamInfo<StressParam>& info) {
+  std::string name = sched::to_string(std::get<0>(info.param)) + "_" +
+                     grid::to_string(std::get<1>(info.param)) + "_" +
+                     sched::to_string(std::get<2>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class StressMatrixTest : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(StressMatrixTest, InvariantsHoldEndToEnd) {
+  const auto [policy, level, individual] = GetParam();
+  SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHet, level);
+  config.workload = make_paper_workload(config.grid, 25000.0, workload::Intensity::kLow, 8);
+  config.policy = policy;
+  config.individual = individual;
+  config.seed = 4242;
+  config.warmup_bots = 1;
+
+  InvariantChecker checker;
+  const SimulationResult result = Simulation(config).run(&checker);
+
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  // Replica bound: FCFS-Excl is unlimited; everything else is capped by the
+  // scheduler kind's threshold.
+  if (policy != sched::PolicyKind::kFcfsExcl) {
+    const int threshold =
+        individual == sched::IndividualSchedulerKind::kWorkQueue ? 1 : 2;
+    EXPECT_LE(checker.max_observed_replicas(), threshold);
+  }
+  // Result-level invariants hold even under saturation.
+  for (const BotRecord& bot : result.bots) {
+    EXPECT_NEAR(bot.turnaround, bot.waiting_time + bot.makespan, 1e-6);
+    EXPECT_GE(bot.turnaround, 0.0);
+  }
+  EXPECT_LE(result.bots_completed, result.bots.size());
+  if (!result.saturated) {
+    EXPECT_EQ(result.bots_completed, result.bots.size());
+  }
+  EXPECT_GE(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, StressMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(sched::PolicyKind::kFcfsExcl, sched::PolicyKind::kFcfsShare,
+                          sched::PolicyKind::kRoundRobin, sched::PolicyKind::kRoundRobinNrf,
+                          sched::PolicyKind::kLongIdle, sched::PolicyKind::kRandom,
+                          sched::PolicyKind::kShortestBagFirst,
+                          sched::PolicyKind::kPendingFirst),
+        ::testing::Values(grid::AvailabilityLevel::kAlways, grid::AvailabilityLevel::kHigh,
+                          grid::AvailabilityLevel::kLow),
+        ::testing::Values(sched::IndividualSchedulerKind::kWorkQueue,
+                          sched::IndividualSchedulerKind::kWqr,
+                          sched::IndividualSchedulerKind::kWqrFt,
+                          sched::IndividualSchedulerKind::kKnowledgeBased)),
+    param_name);
+
+// Dynamic replication across availability levels, with invariants.
+class DynamicReplicationStressTest
+    : public ::testing::TestWithParam<grid::AvailabilityLevel> {};
+
+TEST_P(DynamicReplicationStressTest, InvariantsHoldWithAdaptiveThreshold) {
+  SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHom, GetParam());
+  config.workload = make_paper_workload(config.grid, 25000.0, workload::Intensity::kLow, 8);
+  config.policy = sched::PolicyKind::kRoundRobin;
+  config.dynamic_replication = true;
+  config.seed = 777;
+
+  InvariantChecker checker;
+  const SimulationResult result = Simulation(config).run(&checker);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_LE(checker.max_observed_replicas(), 4);  // DynamicReplication cap
+  EXPECT_EQ(result.bots_completed, result.bots.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, DynamicReplicationStressTest,
+                         ::testing::Values(grid::AvailabilityLevel::kHigh,
+                                           grid::AvailabilityLevel::kMed,
+                                           grid::AvailabilityLevel::kLow),
+                         [](const ::testing::TestParamInfo<grid::AvailabilityLevel>& info) {
+                           return grid::to_string(info.param);
+                         });
+
+// Different seeds keep the invariants too (a cheap fuzz over randomness).
+class SeedSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweepTest, InvariantsHoldAcrossSeeds) {
+  SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHet,
+                                         grid::AvailabilityLevel::kLow);
+  config.workload = make_paper_workload(config.grid, 5000.0, workload::Intensity::kHigh, 6);
+  config.policy = sched::PolicyKind::kLongIdle;
+  config.seed = static_cast<std::uint64_t>(GetParam());
+
+  InvariantChecker checker;
+  (void)Simulation(config).run(&checker);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace dg::sim

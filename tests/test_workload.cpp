@@ -1,0 +1,182 @@
+// Workload model: bag generation, task granularity, arrival process,
+// utilization-driven arrival rates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/desktop_grid.hpp"
+#include "workload/generator.hpp"
+
+namespace dg::workload {
+namespace {
+
+WorkloadConfig basic_config(double granularity, double bag_size, double rate,
+                            std::size_t num_bots) {
+  WorkloadConfig config;
+  config.types = {BotType{granularity, 0.5}};
+  config.bag_size = bag_size;
+  config.arrival_rate = rate;
+  config.num_bots = num_bots;
+  return config;
+}
+
+TEST(WorkloadGenerator, TaskSizesWithinSpread) {
+  WorkloadGenerator gen(basic_config(1000.0, 2.5e6, 1e-4, 5), rng::RandomStream(1));
+  for (const BotSpec& bot : gen.generate()) {
+    for (const TaskSpec& task : bot.tasks) {
+      EXPECT_GE(task.work, 500.0);
+      EXPECT_LT(task.work, 1500.0);
+    }
+  }
+}
+
+TEST(WorkloadGenerator, TaskCountMatchesBagSizeOverGranularity) {
+  // S = 2.5e6, X = 25000 -> ~100 tasks per bag.
+  WorkloadGenerator gen(basic_config(25000.0, 2.5e6, 1e-4, 20), rng::RandomStream(2));
+  for (const BotSpec& bot : gen.generate()) {
+    EXPECT_GT(bot.size(), 80u);
+    EXPECT_LT(bot.size(), 120u);
+  }
+}
+
+TEST(WorkloadGenerator, PaperGranularityTaskCounts) {
+  // The reconstruction in DESIGN.md: 2500 / 500 / 100 / 20 tasks per bag.
+  const std::size_t expected[] = {2500, 500, 100, 20};
+  for (std::size_t i = 0; i < 4; ++i) {
+    WorkloadGenerator gen(basic_config(kPaperGranularities[i], 2.5e6, 1e-4, 5),
+                          rng::RandomStream(3 + i));
+    for (const BotSpec& bot : gen.generate()) {
+      const double ratio =
+          static_cast<double>(bot.size()) / static_cast<double>(expected[i]);
+      EXPECT_GT(ratio, 0.8);
+      EXPECT_LT(ratio, 1.25);
+    }
+  }
+}
+
+TEST(WorkloadGenerator, TotalWorkReachesBagSize) {
+  WorkloadGenerator gen(basic_config(5000.0, 2.5e6, 1e-4, 10), rng::RandomStream(7));
+  for (const BotSpec& bot : gen.generate()) {
+    EXPECT_GE(bot.total_work(), 2.5e6);
+    // Overshoot bounded by one max task.
+    EXPECT_LT(bot.total_work(), 2.5e6 + 1.5 * 5000.0);
+  }
+}
+
+TEST(WorkloadGenerator, ArrivalsAreIncreasingWithExponentialGaps) {
+  WorkloadGenerator gen(basic_config(25000.0, 2.5e6, 1e-3, 2000), rng::RandomStream(8));
+  const auto bots = gen.generate();
+  double sum_gap = 0.0;
+  for (std::size_t i = 0; i < bots.size(); ++i) {
+    EXPECT_EQ(bots[i].id, static_cast<BotId>(i));
+    const double prev = i == 0 ? 0.0 : bots[i - 1].arrival_time;
+    EXPECT_GT(bots[i].arrival_time, prev);
+    sum_gap += bots[i].arrival_time - prev;
+  }
+  const double mean_gap = sum_gap / static_cast<double>(bots.size());
+  EXPECT_NEAR(mean_gap, 1000.0, 60.0);  // 1/lambda
+}
+
+TEST(WorkloadGenerator, DeterministicForSameStream) {
+  WorkloadGenerator a(basic_config(5000.0, 2.5e6, 1e-4, 10), rng::RandomStream(9));
+  WorkloadGenerator b(basic_config(5000.0, 2.5e6, 1e-4, 10), rng::RandomStream(9));
+  const auto bots_a = a.generate();
+  const auto bots_b = b.generate();
+  ASSERT_EQ(bots_a.size(), bots_b.size());
+  for (std::size_t i = 0; i < bots_a.size(); ++i) {
+    EXPECT_EQ(bots_a[i].arrival_time, bots_b[i].arrival_time);
+    ASSERT_EQ(bots_a[i].size(), bots_b[i].size());
+    for (std::size_t t = 0; t < bots_a[i].size(); ++t) {
+      EXPECT_EQ(bots_a[i].tasks[t].work, bots_b[i].tasks[t].work);
+    }
+  }
+}
+
+TEST(WorkloadGenerator, MixedTypesAllAppear) {
+  WorkloadConfig config;
+  config.types = {BotType{1000.0, 0.5}, BotType{25000.0, 0.5}};
+  config.bag_size = 2.5e6;
+  config.arrival_rate = 1e-4;
+  config.num_bots = 40;
+  WorkloadGenerator gen(config, rng::RandomStream(10));
+  int small = 0, large = 0;
+  for (const BotSpec& bot : gen.generate()) {
+    if (bot.granularity == 1000.0) ++small;
+    if (bot.granularity == 25000.0) ++large;
+  }
+  EXPECT_GT(small, 5);
+  EXPECT_GT(large, 5);
+  EXPECT_EQ(small + large, 40);
+}
+
+TEST(WorkloadGenerator, RejectsInvalidConfig) {
+  EXPECT_THROW(WorkloadGenerator(basic_config(1000.0, 0.0, 1e-4, 5), rng::RandomStream(1)),
+               std::invalid_argument);
+  EXPECT_THROW(WorkloadGenerator(basic_config(1000.0, 1e6, 0.0, 5), rng::RandomStream(1)),
+               std::invalid_argument);
+  WorkloadConfig no_types;
+  no_types.types.clear();
+  no_types.arrival_rate = 1.0;
+  EXPECT_THROW(WorkloadGenerator(no_types, rng::RandomStream(1)), std::invalid_argument);
+}
+
+// --- arrival-rate derivation (paper Eq. 1) ---
+
+TEST(ArrivalRate, MatchesUtilizationFormula) {
+  // lambda = U / D with D = S / P_eff.
+  const double p_eff = 900.0;
+  const double s = 2.5e6;
+  EXPECT_NEAR(arrival_rate_for_utilization(0.5, s, p_eff), 0.5 * p_eff / s, 1e-15);
+  EXPECT_NEAR(arrival_rate_for_utilization(0.9, s, p_eff), 0.9 * p_eff / s, 1e-15);
+}
+
+TEST(ArrivalRate, RejectsNonPositiveInputs) {
+  EXPECT_THROW(arrival_rate_for_utilization(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(arrival_rate_for_utilization(0.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(arrival_rate_for_utilization(0.5, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(EffectiveGridPower, ScaledByAvailabilityAndCheckpoints) {
+  const grid::GridConfig high =
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kHigh);
+  const grid::GridConfig low =
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kLow);
+  const double p_high = effective_grid_power(high);
+  const double p_low = effective_grid_power(low);
+  EXPECT_LT(p_high, 1000.0);  // < nominal: availability + checkpoint overhead
+  EXPECT_GT(p_high, 0.90 * 1000.0);
+  EXPECT_LT(p_low, p_high);
+  EXPECT_LT(p_low, 0.50 * 1000.0);  // below availability alone (checkpoints)
+  EXPECT_GT(p_low, 0.30 * 1000.0);
+}
+
+TEST(EffectiveGridPower, NoFailuresMeansNominalPower) {
+  const grid::GridConfig config =
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kAlways);
+  EXPECT_DOUBLE_EQ(effective_grid_power(config), 1000.0);
+}
+
+TEST(Intensity, UtilizationMapping) {
+  EXPECT_DOUBLE_EQ(utilization_for(Intensity::kLow), 0.50);
+  EXPECT_DOUBLE_EQ(utilization_for(Intensity::kMed), 0.75);
+  EXPECT_DOUBLE_EQ(utilization_for(Intensity::kHigh), 0.90);
+  EXPECT_EQ(to_string(Intensity::kLow), "Low");
+  EXPECT_EQ(to_string(Intensity::kHigh), "High");
+}
+
+TEST(BotSpec, TotalWorkSumsTasks) {
+  BotSpec bot;
+  bot.tasks = {TaskSpec{10.0}, TaskSpec{20.0}, TaskSpec{30.0}};
+  EXPECT_DOUBLE_EQ(bot.total_work(), 60.0);
+  EXPECT_EQ(bot.size(), 3u);
+}
+
+TEST(WorkloadConfig, NameDescribesContents) {
+  WorkloadConfig config = basic_config(5000.0, 2.5e6, 1e-4, 10);
+  const std::string name = config.name();
+  EXPECT_NE(name.find("5000"), std::string::npos);
+  EXPECT_NE(name.find("bots=10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dg::workload
