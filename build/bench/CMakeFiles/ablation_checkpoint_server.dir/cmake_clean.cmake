@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkpoint_server.dir/ablation_checkpoint_server.cpp.o"
+  "CMakeFiles/ablation_checkpoint_server.dir/ablation_checkpoint_server.cpp.o.d"
+  "ablation_checkpoint_server"
+  "ablation_checkpoint_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpoint_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bursty_arrivals.dir/ext_bursty_arrivals.cpp.o"
+  "CMakeFiles/ext_bursty_arrivals.dir/ext_bursty_arrivals.cpp.o.d"
+  "ext_bursty_arrivals"
+  "ext_bursty_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bursty_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_correlated_outages.dir/ext_correlated_outages.cpp.o"
+  "CMakeFiles/ext_correlated_outages.dir/ext_correlated_outages.cpp.o.d"
+  "ext_correlated_outages"
+  "ext_correlated_outages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_correlated_outages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

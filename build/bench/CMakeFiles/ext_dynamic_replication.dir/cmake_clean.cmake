@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_replication.dir/ext_dynamic_replication.cpp.o"
+  "CMakeFiles/ext_dynamic_replication.dir/ext_dynamic_replication.cpp.o.d"
+  "ext_dynamic_replication"
+  "ext_dynamic_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

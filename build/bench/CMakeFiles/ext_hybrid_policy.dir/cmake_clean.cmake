@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hybrid_policy.dir/ext_hybrid_policy.cpp.o"
+  "CMakeFiles/ext_hybrid_policy.dir/ext_hybrid_policy.cpp.o.d"
+  "ext_hybrid_policy"
+  "ext_hybrid_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hybrid_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_knowledge_based.dir/ext_knowledge_based.cpp.o"
+  "CMakeFiles/ext_knowledge_based.dir/ext_knowledge_based.cpp.o.d"
+  "ext_knowledge_based"
+  "ext_knowledge_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_knowledge_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

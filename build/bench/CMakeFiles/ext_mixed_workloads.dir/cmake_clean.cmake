@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mixed_workloads.dir/ext_mixed_workloads.cpp.o"
+  "CMakeFiles/ext_mixed_workloads.dir/ext_mixed_workloads.cpp.o.d"
+  "ext_mixed_workloads"
+  "ext_mixed_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mixed_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_high_avail.dir/fig1_high_avail.cpp.o"
+  "CMakeFiles/fig1_high_avail.dir/fig1_high_avail.cpp.o.d"
+  "fig1_high_avail"
+  "fig1_high_avail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_high_avail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_low_avail.dir/fig2_low_avail.cpp.o"
+  "CMakeFiles/fig2_low_avail.dir/fig2_low_avail.cpp.o.d"
+  "fig2_low_avail"
+  "fig2_low_avail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_low_avail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

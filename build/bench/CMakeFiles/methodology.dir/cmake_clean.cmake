@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology.dir/methodology.cpp.o"
+  "CMakeFiles/methodology.dir/methodology.cpp.o.d"
+  "methodology"
+  "methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

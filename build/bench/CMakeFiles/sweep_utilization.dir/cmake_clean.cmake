@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_utilization.dir/sweep_utilization.cpp.o"
+  "CMakeFiles/sweep_utilization.dir/sweep_utilization.cpp.o.d"
+  "sweep_utilization"
+  "sweep_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unreported_configs.dir/unreported_configs.cpp.o"
+  "CMakeFiles/unreported_configs.dir/unreported_configs.cpp.o.d"
+  "unreported_configs"
+  "unreported_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unreported_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

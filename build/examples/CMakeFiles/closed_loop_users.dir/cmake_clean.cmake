@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_loop_users.dir/closed_loop_users.cpp.o"
+  "CMakeFiles/closed_loop_users.dir/closed_loop_users.cpp.o.d"
+  "closed_loop_users"
+  "closed_loop_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_loop_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_grid.dir/enterprise_grid.cpp.o"
+  "CMakeFiles/enterprise_grid.dir/enterprise_grid.cpp.o.d"
+  "enterprise_grid"
+  "enterprise_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/volunteer_computing.cpp" "examples/CMakeFiles/volunteer_computing.dir/volunteer_computing.cpp.o" "gcc" "examples/CMakeFiles/volunteer_computing.dir/volunteer_computing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/dg_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dg_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/dg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_analysis.dir/queueing.cpp.o"
+  "CMakeFiles/dg_analysis.dir/queueing.cpp.o.d"
+  "libdg_analysis.a"
+  "libdg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

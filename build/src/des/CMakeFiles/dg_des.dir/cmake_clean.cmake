@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_des.dir/simulator.cpp.o"
+  "CMakeFiles/dg_des.dir/simulator.cpp.o.d"
+  "libdg_des.a"
+  "libdg_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

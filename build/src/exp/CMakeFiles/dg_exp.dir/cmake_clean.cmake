@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_exp.dir/paper.cpp.o"
+  "CMakeFiles/dg_exp.dir/paper.cpp.o.d"
+  "CMakeFiles/dg_exp.dir/runner.cpp.o"
+  "CMakeFiles/dg_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/dg_exp.dir/steady_state.cpp.o"
+  "CMakeFiles/dg_exp.dir/steady_state.cpp.o.d"
+  "libdg_exp.a"
+  "libdg_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/availability.cpp" "src/grid/CMakeFiles/dg_grid.dir/availability.cpp.o" "gcc" "src/grid/CMakeFiles/dg_grid.dir/availability.cpp.o.d"
+  "/root/repo/src/grid/checkpoint_server.cpp" "src/grid/CMakeFiles/dg_grid.dir/checkpoint_server.cpp.o" "gcc" "src/grid/CMakeFiles/dg_grid.dir/checkpoint_server.cpp.o.d"
+  "/root/repo/src/grid/desktop_grid.cpp" "src/grid/CMakeFiles/dg_grid.dir/desktop_grid.cpp.o" "gcc" "src/grid/CMakeFiles/dg_grid.dir/desktop_grid.cpp.o.d"
+  "/root/repo/src/grid/outage.cpp" "src/grid/CMakeFiles/dg_grid.dir/outage.cpp.o" "gcc" "src/grid/CMakeFiles/dg_grid.dir/outage.cpp.o.d"
+  "/root/repo/src/grid/trace.cpp" "src/grid/CMakeFiles/dg_grid.dir/trace.cpp.o" "gcc" "src/grid/CMakeFiles/dg_grid.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/dg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dg_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_grid.dir/availability.cpp.o"
+  "CMakeFiles/dg_grid.dir/availability.cpp.o.d"
+  "CMakeFiles/dg_grid.dir/checkpoint_server.cpp.o"
+  "CMakeFiles/dg_grid.dir/checkpoint_server.cpp.o.d"
+  "CMakeFiles/dg_grid.dir/desktop_grid.cpp.o"
+  "CMakeFiles/dg_grid.dir/desktop_grid.cpp.o.d"
+  "CMakeFiles/dg_grid.dir/outage.cpp.o"
+  "CMakeFiles/dg_grid.dir/outage.cpp.o.d"
+  "CMakeFiles/dg_grid.dir/trace.cpp.o"
+  "CMakeFiles/dg_grid.dir/trace.cpp.o.d"
+  "libdg_grid.a"
+  "libdg_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

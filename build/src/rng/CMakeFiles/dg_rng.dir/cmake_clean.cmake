@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_rng.dir/distributions.cpp.o"
+  "CMakeFiles/dg_rng.dir/distributions.cpp.o.d"
+  "CMakeFiles/dg_rng.dir/random_stream.cpp.o"
+  "CMakeFiles/dg_rng.dir/random_stream.cpp.o.d"
+  "libdg_rng.a"
+  "libdg_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bot_state.cpp" "src/sched/CMakeFiles/dg_sched.dir/bot_state.cpp.o" "gcc" "src/sched/CMakeFiles/dg_sched.dir/bot_state.cpp.o.d"
+  "/root/repo/src/sched/individual.cpp" "src/sched/CMakeFiles/dg_sched.dir/individual.cpp.o" "gcc" "src/sched/CMakeFiles/dg_sched.dir/individual.cpp.o.d"
+  "/root/repo/src/sched/policies.cpp" "src/sched/CMakeFiles/dg_sched.dir/policies.cpp.o" "gcc" "src/sched/CMakeFiles/dg_sched.dir/policies.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/dg_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dg_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/dg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/dg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dg_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_sched.dir/bot_state.cpp.o"
+  "CMakeFiles/dg_sched.dir/bot_state.cpp.o.d"
+  "CMakeFiles/dg_sched.dir/individual.cpp.o"
+  "CMakeFiles/dg_sched.dir/individual.cpp.o.d"
+  "CMakeFiles/dg_sched.dir/policies.cpp.o"
+  "CMakeFiles/dg_sched.dir/policies.cpp.o.d"
+  "CMakeFiles/dg_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/dg_sched.dir/scheduler.cpp.o.d"
+  "libdg_sched.a"
+  "libdg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config_io.cpp" "src/sim/CMakeFiles/dg_sim.dir/config_io.cpp.o" "gcc" "src/sim/CMakeFiles/dg_sim.dir/config_io.cpp.o.d"
+  "/root/repo/src/sim/execution_engine.cpp" "src/sim/CMakeFiles/dg_sim.dir/execution_engine.cpp.o" "gcc" "src/sim/CMakeFiles/dg_sim.dir/execution_engine.cpp.o.d"
+  "/root/repo/src/sim/invariant_checker.cpp" "src/sim/CMakeFiles/dg_sim.dir/invariant_checker.cpp.o" "gcc" "src/sim/CMakeFiles/dg_sim.dir/invariant_checker.cpp.o.d"
+  "/root/repo/src/sim/result_io.cpp" "src/sim/CMakeFiles/dg_sim.dir/result_io.cpp.o" "gcc" "src/sim/CMakeFiles/dg_sim.dir/result_io.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/dg_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/dg_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/dg_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/dg_sim.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/dg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dg_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_sim.dir/config_io.cpp.o"
+  "CMakeFiles/dg_sim.dir/config_io.cpp.o.d"
+  "CMakeFiles/dg_sim.dir/execution_engine.cpp.o"
+  "CMakeFiles/dg_sim.dir/execution_engine.cpp.o.d"
+  "CMakeFiles/dg_sim.dir/invariant_checker.cpp.o"
+  "CMakeFiles/dg_sim.dir/invariant_checker.cpp.o.d"
+  "CMakeFiles/dg_sim.dir/result_io.cpp.o"
+  "CMakeFiles/dg_sim.dir/result_io.cpp.o.d"
+  "CMakeFiles/dg_sim.dir/simulation.cpp.o"
+  "CMakeFiles/dg_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/dg_sim.dir/timeline.cpp.o"
+  "CMakeFiles/dg_sim.dir/timeline.cpp.o.d"
+  "libdg_sim.a"
+  "libdg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/batch_means.cpp" "src/stats/CMakeFiles/dg_stats.dir/batch_means.cpp.o" "gcc" "src/stats/CMakeFiles/dg_stats.dir/batch_means.cpp.o.d"
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/dg_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/dg_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/dg_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/dg_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/mser.cpp" "src/stats/CMakeFiles/dg_stats.dir/mser.cpp.o" "gcc" "src/stats/CMakeFiles/dg_stats.dir/mser.cpp.o.d"
+  "/root/repo/src/stats/online_stats.cpp" "src/stats/CMakeFiles/dg_stats.dir/online_stats.cpp.o" "gcc" "src/stats/CMakeFiles/dg_stats.dir/online_stats.cpp.o.d"
+  "/root/repo/src/stats/quantiles.cpp" "src/stats/CMakeFiles/dg_stats.dir/quantiles.cpp.o" "gcc" "src/stats/CMakeFiles/dg_stats.dir/quantiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_stats.dir/batch_means.cpp.o"
+  "CMakeFiles/dg_stats.dir/batch_means.cpp.o.d"
+  "CMakeFiles/dg_stats.dir/confidence.cpp.o"
+  "CMakeFiles/dg_stats.dir/confidence.cpp.o.d"
+  "CMakeFiles/dg_stats.dir/histogram.cpp.o"
+  "CMakeFiles/dg_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/dg_stats.dir/mser.cpp.o"
+  "CMakeFiles/dg_stats.dir/mser.cpp.o.d"
+  "CMakeFiles/dg_stats.dir/online_stats.cpp.o"
+  "CMakeFiles/dg_stats.dir/online_stats.cpp.o.d"
+  "CMakeFiles/dg_stats.dir/quantiles.cpp.o"
+  "CMakeFiles/dg_stats.dir/quantiles.cpp.o.d"
+  "libdg_stats.a"
+  "libdg_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

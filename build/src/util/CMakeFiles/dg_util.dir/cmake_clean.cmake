@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_util.dir/arg_parser.cpp.o"
+  "CMakeFiles/dg_util.dir/arg_parser.cpp.o.d"
+  "CMakeFiles/dg_util.dir/ini.cpp.o"
+  "CMakeFiles/dg_util.dir/ini.cpp.o.d"
+  "CMakeFiles/dg_util.dir/logging.cpp.o"
+  "CMakeFiles/dg_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dg_util.dir/table.cpp.o"
+  "CMakeFiles/dg_util.dir/table.cpp.o.d"
+  "CMakeFiles/dg_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dg_util.dir/thread_pool.cpp.o.d"
+  "libdg_util.a"
+  "libdg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

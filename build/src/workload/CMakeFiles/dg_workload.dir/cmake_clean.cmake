@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_workload.dir/generator.cpp.o"
+  "CMakeFiles/dg_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/dg_workload.dir/trace.cpp.o"
+  "CMakeFiles/dg_workload.dir/trace.cpp.o.d"
+  "libdg_workload.a"
+  "libdg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

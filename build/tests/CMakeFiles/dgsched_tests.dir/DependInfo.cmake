@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_arrivals_metrics.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_arrivals_metrics.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_arrivals_metrics.cpp.o.d"
+  "/root/repo/tests/test_batch_means.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_batch_means.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_batch_means.cpp.o.d"
+  "/root/repo/tests/test_config_io.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_config_io.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_config_io.cpp.o.d"
+  "/root/repo/tests/test_des.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_des.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_des.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_exp.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_exp.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_exp.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_longidle_reference.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_longidle_reference.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_longidle_reference.cpp.o.d"
+  "/root/repo/tests/test_observer.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_observer.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_observer.cpp.o.d"
+  "/root/repo/tests/test_outage.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_outage.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_outage.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_process.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_process.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_process.cpp.o.d"
+  "/root/repo/tests/test_result_io.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_result_io.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_result_io.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sched_state.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_sched_state.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_sched_state.cpp.o.d"
+  "/root/repo/tests/test_scheduler_unit.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_scheduler_unit.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_scheduler_unit.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_steady_state.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_steady_state.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_steady_state.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/dgsched_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/dgsched_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/dg_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/dg_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dg_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/dg_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
