@@ -1,6 +1,8 @@
 // Microbenchmarks: DES kernel, RNG, and statistics hot paths.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "des/simulator.hpp"
 #include "rng/random_stream.hpp"
 #include "stats/online_stats.hpp"
@@ -58,6 +60,45 @@ void BM_CancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100000);
 }
 BENCHMARK(BM_CancelHeavy);
+
+void BM_HandleChurn(benchmark::State& state) {
+  // Schedule-then-cancel with a small live window: isolates slab free-list
+  // recycling and generation bumping from heap ordering costs.
+  for (auto _ : state) {
+    dg::des::Simulator sim;
+    std::uint64_t sum = 0;
+    std::vector<dg::des::EventHandle> window;
+    for (int i = 0; i < 100000; ++i) {
+      window.push_back(sim.schedule_at(1e9 + i, [&sum] { ++sum; }));
+      if (window.size() == 64) {
+        for (auto& handle : window) handle.cancel();
+        window.clear();
+      }
+    }
+    sim.schedule_at(2e9, [&sim] { sim.stop(); });
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_HandleChurn);
+
+void BM_ArenaWarmStart(benchmark::State& state) {
+  // One simulator reused across bursts: after the first burst the arena is
+  // warm and the hot path performs zero allocations (arena_slabs stays flat).
+  dg::des::Simulator sim;
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_after(static_cast<double>((i * 7919) % 1000 + 1), [&sum] { ++sum; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sum);
+  state.counters["slab_allocs"] = static_cast<double>(sim.stats().arena_slabs);
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ArenaWarmStart);
 
 void BM_Xoshiro256(benchmark::State& state) {
   dg::rng::Xoshiro256 gen(42);

@@ -2,6 +2,8 @@
 // throughput (events per second).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "sim/simulation.hpp"
 
 namespace {
@@ -21,14 +23,21 @@ dg::sim::SimulationConfig bench_config(dg::sched::PolicyKind policy, double gran
 
 void run_policy_bench(benchmark::State& state, dg::sched::PolicyKind policy) {
   std::uint64_t events = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t heap_peak = 0;
   for (auto _ : state) {
     const auto result = dg::sim::Simulation(bench_config(policy, 5000.0, 20)).run();
     events += result.events_executed;
+    scheduled += result.kernel.events_scheduled;
+    heap_peak = std::max(heap_peak, result.kernel.heap_peak);
     benchmark::DoNotOptimize(result.turnaround.mean());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
   state.counters["events/s"] =
       benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["sched/s"] =
+      benchmark::Counter(static_cast<double>(scheduled), benchmark::Counter::kIsRate);
+  state.counters["heap_peak"] = static_cast<double>(heap_peak);
 }
 
 void BM_Simulation_FcfsExcl(benchmark::State& state) {

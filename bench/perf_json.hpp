@@ -1,0 +1,93 @@
+// Machine-readable perf-report records (see docs/BENCHMARKING.md).
+//
+// Each benchmark in bench/perf_report.cpp produces one PerfRecord; a file's
+// worth of records is serialized as a JSON array so the BENCH_*.json
+// trajectory can be diffed across PRs by any tool. Deliberately dependency
+// free: the writer emits the small fixed schema by hand.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace dg::bench {
+
+/// One benchmark measurement. Schema (stable across PRs — append-only):
+/// {benchmark, events_per_sec, wall_s, peak_rss_kb, config, seed}.
+struct PerfRecord {
+  std::string benchmark;     ///< Stable identifier, e.g. "kernel/event_chain".
+  double events_per_sec = 0; ///< Primary throughput metric.
+  double wall_s = 0;         ///< Wall-clock seconds of the measured run.
+  std::uint64_t peak_rss_kb = 0; ///< Process peak RSS after the run.
+  std::string config;        ///< Free-form description of the workload knobs.
+  std::uint64_t seed = 0;    ///< RNG seed the run used (0 = deterministic).
+};
+
+/// Peak resident set size of this process in kilobytes (0 when unavailable).
+inline std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Monotonic wall-clock stopwatch for benchmark loops.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+namespace detail {
+inline void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+}  // namespace detail
+
+/// Writes `records` as a JSON array (pretty-printed, one record per object).
+inline void write_perf_json(std::ostream& os, const std::vector<PerfRecord>& records) {
+  os << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const PerfRecord& r = records[i];
+    os << "  {\n    \"benchmark\": ";
+    detail::write_json_string(os, r.benchmark);
+    os << ",\n    \"events_per_sec\": " << r.events_per_sec;
+    os << ",\n    \"wall_s\": " << r.wall_s;
+    os << ",\n    \"peak_rss_kb\": " << r.peak_rss_kb;
+    os << ",\n    \"config\": ";
+    detail::write_json_string(os, r.config);
+    os << ",\n    \"seed\": " << r.seed;
+    os << "\n  }" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace dg::bench

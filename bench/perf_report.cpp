@@ -1,0 +1,207 @@
+// Reproducible perf harness: emits BENCH_kernel.json and BENCH_policies.json.
+//
+// Unlike the google-benchmark micro suites (micro_des, micro_policies), this
+// driver exists to feed the repo's tracked perf trajectory: fixed workloads,
+// fixed seeds, machine-readable output (bench/perf_json.hpp schema), so every
+// PR can diff events/sec against the previous baseline. Usage:
+//
+//   ./perf_report [output_dir]        # default: current directory
+//
+// Wall-clock noise is damped by running each benchmark several times and
+// reporting the best run (the one least disturbed by the OS scheduler).
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "grid/desktop_grid.hpp"
+#include "sim/simulation.hpp"
+
+#include "perf_json.hpp"
+
+namespace {
+
+using dg::bench::PerfRecord;
+using dg::bench::Stopwatch;
+
+constexpr int kKernelReps = 3;
+constexpr int kPolicyReps = 2;
+
+/// Runs `body` (which returns the number of events processed) `reps` times
+/// and records the best events/sec.
+PerfRecord best_of(const std::string& name, const std::string& config, std::uint64_t seed,
+                   int reps, const std::function<std::uint64_t()>& body) {
+  PerfRecord record;
+  record.benchmark = name;
+  record.config = config;
+  record.seed = seed;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch timer;
+    const std::uint64_t events = body();
+    const double wall = timer.seconds();
+    const double rate = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+    if (rate > record.events_per_sec) {
+      record.events_per_sec = rate;
+      record.wall_s = wall;
+    }
+  }
+  record.peak_rss_kb = dg::bench::peak_rss_kb();
+  std::printf("  %-28s %12.0f events/s  (%.3f s)\n", record.benchmark.c_str(),
+              record.events_per_sec, record.wall_s);
+  return record;
+}
+
+// --- kernel microbenchmarks -------------------------------------------------
+
+std::uint64_t kernel_schedule_run(std::size_t n) {
+  dg::des::Simulator sim;
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sim.schedule_at(static_cast<double>((i * 7919) % 100000), [&sum] { ++sum; });
+  }
+  sim.run();
+  return sum;
+}
+
+std::uint64_t kernel_event_chain(std::uint64_t n) {
+  dg::des::Simulator sim;
+  std::uint64_t count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < n) sim.schedule_after(1.0, chain);
+  };
+  sim.schedule_after(1.0, chain);
+  sim.run();
+  return count;
+}
+
+std::uint64_t kernel_cancel_heavy(std::size_t n) {
+  dg::des::Simulator sim;
+  std::vector<dg::des::EventHandle> handles;
+  handles.reserve(n / 2);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto handle = sim.schedule_at(static_cast<double>(i), [&sum] { ++sum; });
+    if (i % 2 == 0) handles.push_back(handle);
+  }
+  for (auto& handle : handles) handle.cancel();
+  sim.run();
+  return n;  // schedule+cancel work dominates; count all scheduled events
+}
+
+std::uint64_t kernel_handle_churn(std::size_t n) {
+  // Schedule-then-cancel in a tight loop with a small live window: stresses
+  // record recycling (the allocator in the old kernel, the slab free list in
+  // the new one) rather than heap ordering.
+  dg::des::Simulator sim;
+  std::uint64_t sum = 0;
+  std::vector<dg::des::EventHandle> window;
+  for (std::size_t i = 0; i < n; ++i) {
+    window.push_back(sim.schedule_at(1e9 + static_cast<double>(i), [&sum] { ++sum; }));
+    if (window.size() == 64) {
+      for (auto& handle : window) handle.cancel();
+      window.clear();
+    }
+  }
+  sim.schedule_at(2e9, [&sim] { sim.stop(); });
+  sim.run();
+  return n;
+}
+
+std::vector<PerfRecord> run_kernel_suite() {
+  std::printf("kernel suite:\n");
+  std::vector<PerfRecord> records;
+  records.push_back(best_of("kernel/schedule_run_200k", "200k events, pseudo-random times", 0,
+                            kKernelReps, [] { return kernel_schedule_run(200000); }));
+  records.push_back(best_of("kernel/event_chain_1m", "1M self-rescheduling events, depth-1 queue",
+                            0, kKernelReps, [] { return kernel_event_chain(1000000); }));
+  records.push_back(best_of("kernel/cancel_heavy_200k", "200k events, 50% cancelled", 0,
+                            kKernelReps, [] { return kernel_cancel_heavy(200000); }));
+  records.push_back(best_of("kernel/handle_churn_500k", "500k schedule+cancel, 64-live window", 0,
+                            kKernelReps, [] { return kernel_handle_churn(500000); }));
+  return records;
+}
+
+// --- policy / end-to-end benchmarks ----------------------------------------
+
+dg::sim::SimulationConfig policy_config(dg::sched::PolicyKind policy, double granularity,
+                                        std::size_t num_bots, dg::grid::Heterogeneity het,
+                                        dg::grid::AvailabilityLevel avail) {
+  using namespace dg;
+  sim::SimulationConfig config;
+  config.grid = grid::GridConfig::preset(het, avail);
+  config.workload =
+      sim::make_paper_workload(config.grid, granularity, workload::Intensity::kLow, num_bots);
+  config.seed = 11;
+  config.policy = policy;
+  return config;
+}
+
+PerfRecord run_policy(const std::string& name, const std::string& config_desc,
+                      const dg::sim::SimulationConfig& config) {
+  return best_of(name, config_desc, config.seed, kPolicyReps, [&config] {
+    const auto result = dg::sim::Simulation(config).run();
+    return result.events_executed;
+  });
+}
+
+std::vector<PerfRecord> run_policy_suite() {
+  using dg::sched::PolicyKind;
+  std::printf("policy suite:\n");
+  std::vector<PerfRecord> records;
+  const std::string base = "hom/high-avail, g=5000, 20 bags";
+  records.push_back(run_policy("policy/fcfs_excl", base,
+                               policy_config(PolicyKind::kFcfsExcl, 5000.0, 20,
+                                             dg::grid::Heterogeneity::kHom,
+                                             dg::grid::AvailabilityLevel::kHigh)));
+  records.push_back(run_policy("policy/fcfs_share", base,
+                               policy_config(PolicyKind::kFcfsShare, 5000.0, 20,
+                                             dg::grid::Heterogeneity::kHom,
+                                             dg::grid::AvailabilityLevel::kHigh)));
+  records.push_back(run_policy("policy/round_robin", base,
+                               policy_config(PolicyKind::kRoundRobin, 5000.0, 20,
+                                             dg::grid::Heterogeneity::kHom,
+                                             dg::grid::AvailabilityLevel::kHigh)));
+  records.push_back(run_policy("policy/round_robin_nrf", base,
+                               policy_config(PolicyKind::kRoundRobinNrf, 5000.0, 20,
+                                             dg::grid::Heterogeneity::kHom,
+                                             dg::grid::AvailabilityLevel::kHigh)));
+  records.push_back(run_policy("policy/long_idle", base,
+                               policy_config(PolicyKind::kLongIdle, 5000.0, 20,
+                                             dg::grid::Heterogeneity::kHom,
+                                             dg::grid::AvailabilityLevel::kHigh)));
+  records.push_back(run_policy("policy/small_tasks", "hom/high-avail, g=1000, 10 bags",
+                               policy_config(PolicyKind::kFcfsShare, 1000.0, 10,
+                                             dg::grid::Heterogeneity::kHom,
+                                             dg::grid::AvailabilityLevel::kHigh)));
+  records.push_back(run_policy("policy/low_avail_churn", "het/low-avail, g=25000, 10 bags",
+                               policy_config(PolicyKind::kRoundRobin, 25000.0, 10,
+                                             dg::grid::Heterogeneity::kHet,
+                                             dg::grid::AvailabilityLevel::kLow)));
+  return records;
+}
+
+bool write_report(const std::string& path, const std::vector<PerfRecord>& records) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "perf_report: cannot open " << path << " for writing\n";
+    return false;
+  }
+  dg::bench::write_perf_json(os, records);
+  std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const std::vector<PerfRecord> kernel = run_kernel_suite();
+  const std::vector<PerfRecord> policies = run_policy_suite();
+  bool ok = write_report(out_dir + "/BENCH_kernel.json", kernel);
+  ok = write_report(out_dir + "/BENCH_policies.json", policies) && ok;
+  return ok ? 0 : 1;
+}

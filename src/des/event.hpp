@@ -1,61 +1,202 @@
-// Event records and cancellable handles for the DES kernel.
+// Event storage and cancellable handles for the DES kernel.
 //
-// Events are heap-allocated records shared between the simulator's priority
-// queue and the EventHandles held by model code (e.g. a replica's pending
-// completion event, cancelled when its machine fails). Cancellation is lazy:
-// the record is flagged and skipped when popped, which keeps cancel() O(1).
+// Events live in a slab arena (detail::EventArena): a grow-only pool of
+// recycled EventSlot records addressed by dense 32-bit index. Scheduling an
+// event acquires a slot from the free list (no heap allocation once the
+// arena has warmed up to the run's peak); firing or cancelling retires the
+// slot back to the free list and bumps its generation counter, which
+// invalidates every outstanding EventHandle in O(1) — no tombstone scans,
+// no per-event shared_ptr control blocks.
+//
+// Handles are (slot, generation) pairs plus a weak reference to the arena,
+// so they stay safe (and report not-pending) after the simulator that issued
+// them is destroyed.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
 
 namespace dg::des {
 
 /// Simulation time in seconds since simulation start.
 using SimTime = double;
 
-namespace detail {
-struct EventRecord {
-  SimTime time = 0.0;
-  std::uint64_t sequence = 0;  // deterministic FIFO tie-break at equal times
-  std::function<void()> action;
-  bool cancelled = false;
+/// Kernel counters for one Simulator instance. Cheap enough to maintain
+/// unconditionally; exposed via Simulator::stats() and threaded into
+/// sim::SimulationResult so perf harnesses and observers can read them.
+struct KernelStats {
+  std::uint64_t events_scheduled = 0;  ///< schedule_at/schedule_after calls.
+  std::uint64_t events_fired = 0;      ///< Events whose action was executed.
+  std::uint64_t events_cancelled = 0;  ///< Successful EventHandle::cancel calls.
+  std::uint64_t heap_peak = 0;         ///< Max simultaneous entries in the event heap.
+  std::uint64_t arena_slabs = 0;       ///< Slab allocations (the only heap traffic).
+  std::uint64_t arena_capacity = 0;    ///< Total event slots across all slabs.
 };
-}  // namespace detail
 
-class EventHandle {
+namespace detail {
+
+inline constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+
+/// One recyclable event record. `generation` is bumped every time the slot
+/// is retired (fired or cancelled); a handle or heap entry holding an older
+/// generation is stale. Per-slot wrap-around needs 2^32 retirements of the
+/// *same* slot — unreachable in practice (the heap's sequence counter, which
+/// bounds total events, is 64-bit).
+struct EventSlot {
+  std::function<void()> action;
+  SimTime time = 0.0;
+  std::uint32_t generation = 0;
+  std::uint32_t next_free = kInvalidSlot;
+};
+
+/// Slab arena of EventSlots with an intrusive free list. Slots are recycled
+/// in LIFO order (hot in cache); slabs are never released before the arena
+/// dies, so a run's allocation count is bounded by its peak pending events.
+/// Not thread-safe — the DES kernel is single-threaded by design.
+class EventArena {
  public:
-  EventHandle() = default;
+  static constexpr std::uint32_t kSlabShift = 10;  // 1024 slots / slab
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabShift;
 
-  /// Cancels the event if it is still pending. Returns true if this call
-  /// performed the cancellation (false if already run, cancelled, or empty).
-  bool cancel() noexcept {
-    auto record = record_.lock();
-    if (!record || record->cancelled) return false;
-    record->cancelled = true;
-    record->action = nullptr;  // release captures eagerly
+  /// Takes a free slot (growing by one slab when exhausted) and arms it with
+  /// `(time, action)`. Returns the slot index; read the matching generation
+  /// via generation().
+  std::uint32_t acquire(SimTime time, std::function<void()>&& action) {
+    if (free_head_ == kInvalidSlot) grow();
+    const std::uint32_t index = free_head_;
+    EventSlot& slot = (*this)[index];
+    free_head_ = slot.next_free;
+    slot.time = time;
+    slot.action = std::move(action);
+    ++live_;
+    return index;
+  }
+
+  /// True while `generation` is the slot's current (armed) generation.
+  [[nodiscard]] bool is_current(std::uint32_t index, std::uint32_t generation) const noexcept {
+    return (*this)[index].generation == generation;
+  }
+
+  [[nodiscard]] std::uint32_t generation(std::uint32_t index) const noexcept {
+    return (*this)[index].generation;
+  }
+
+  [[nodiscard]] SimTime time(std::uint32_t index) const noexcept { return (*this)[index].time; }
+
+  /// Retires the slot (stale-ing all handles) and returns its action for
+  /// execution. Precondition: is_current(index, ...) held by the caller.
+  [[nodiscard]] std::function<void()> retire_and_take(std::uint32_t index) {
+    EventSlot& slot = (*this)[index];
+    std::function<void()> action = std::move(slot.action);
+    release(index, slot);
+    return action;
+  }
+
+  /// Cancels the event in `index` iff `generation` is still current.
+  /// Returns true when this call performed the cancellation.
+  bool cancel(std::uint32_t index, std::uint32_t generation) noexcept {
+    EventSlot& slot = (*this)[index];
+    if (slot.generation != generation) return false;
+    slot.action = nullptr;  // release captures eagerly
+    release(index, slot);
+    ++stats_.events_cancelled;
     return true;
   }
 
-  /// True while the event is scheduled and not cancelled or executed.
-  [[nodiscard]] bool pending() const noexcept {
-    auto record = record_.lock();
-    return record && !record->cancelled;
+  /// Events currently armed (scheduled, not yet fired or cancelled).
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+
+  [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] KernelStats& stats_mut() noexcept { return stats_; }
+
+ private:
+  EventSlot& operator[](std::uint32_t index) noexcept {
+    return slabs_[index >> kSlabShift][index & (kSlabSize - 1)];
+  }
+  const EventSlot& operator[](std::uint32_t index) const noexcept {
+    return slabs_[index >> kSlabShift][index & (kSlabSize - 1)];
   }
 
-  /// Scheduled firing time; only meaningful while pending().
+  void release(std::uint32_t index, EventSlot& slot) noexcept {
+    ++slot.generation;
+    slot.next_free = free_head_;
+    free_head_ = index;
+    DG_ASSERT(live_ > 0);
+    --live_;
+  }
+
+  void grow() {
+    DG_ASSERT_MSG(capacity_ < kInvalidSlot - kSlabSize, "event arena exhausted");
+    slabs_.push_back(std::make_unique<EventSlot[]>(kSlabSize));
+    const std::uint32_t base = capacity_;
+    capacity_ += kSlabSize;
+    // Chain the new slab back-to-front so slots are first handed out in
+    // ascending index order (purely cosmetic; determinism never depends on
+    // slot numbering).
+    for (std::uint32_t i = kSlabSize; i-- > 0;) {
+      EventSlot& slot = (*this)[base + i];
+      slot.next_free = free_head_;
+      free_head_ = base + i;
+    }
+    ++stats_.arena_slabs;
+    stats_.arena_capacity = capacity_;
+  }
+
+  std::vector<std::unique_ptr<EventSlot[]>> slabs_;
+  std::uint32_t capacity_ = 0;
+  std::uint32_t free_head_ = kInvalidSlot;
+  std::size_t live_ = 0;
+  KernelStats stats_;
+};
+
+}  // namespace detail
+
+/// Cancellable reference to a scheduled event.
+///
+/// Handles are cheap value types (16 bytes + a weak arena reference) and may
+/// freely outlive the event *and* the Simulator: a handle whose event fired,
+/// was cancelled, or whose simulator died reports pending() == false and
+/// cancel() == false. Not thread-safe (like the kernel itself).
+class EventHandle {
+ public:
+  /// An inert handle: never pending, cancel() returns false.
+  EventHandle() = default;
+
+  /// Cancels the event if it is still pending, in O(1) (the slot generation
+  /// is bumped; the stale heap entry is skipped lazily when popped).
+  /// Returns true if this call performed the cancellation (false if the
+  /// event already ran, was already cancelled, or the handle is empty).
+  bool cancel() noexcept {
+    auto arena = arena_.lock();
+    return arena && arena->cancel(slot_, generation_);
+  }
+
+  /// True while the event is scheduled and not cancelled or executed.
+  /// An event's own handle reads false during the action's execution.
+  [[nodiscard]] bool pending() const noexcept {
+    auto arena = arena_.lock();
+    return arena && arena->is_current(slot_, generation_);
+  }
+
+  /// Scheduled firing time; only meaningful while pending() (0.0 otherwise).
   [[nodiscard]] SimTime time() const noexcept {
-    auto record = record_.lock();
-    return record ? record->time : 0.0;
+    auto arena = arena_.lock();
+    return arena && arena->is_current(slot_, generation_) ? arena->time(slot_) : 0.0;
   }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::weak_ptr<detail::EventRecord> record) noexcept
-      : record_(std::move(record)) {}
+  EventHandle(const std::shared_ptr<detail::EventArena>& arena, std::uint32_t slot,
+              std::uint32_t generation) noexcept
+      : arena_(arena), slot_(slot), generation_(generation) {}
 
-  std::weak_ptr<detail::EventRecord> record_;
+  std::weak_ptr<detail::EventArena> arena_;
+  std::uint32_t slot_ = detail::kInvalidSlot;
+  std::uint32_t generation_ = 0;
 };
 
 }  // namespace dg::des

@@ -1,5 +1,6 @@
 #include "des/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -11,38 +12,68 @@ EventHandle Simulator::schedule_at(SimTime time, std::function<void()> action) {
   DG_ASSERT_MSG(std::isfinite(time), "event time must be finite");
   DG_ASSERT_MSG(time >= now_, "cannot schedule an event in the past");
   DG_ASSERT(action != nullptr);
-  auto record = std::make_shared<Record>();
-  record->time = time;
-  record->sequence = next_sequence_++;
-  record->action = std::move(action);
-  EventHandle handle{std::weak_ptr<Record>(record)};
-  queue_.push(std::move(record));
-  ++pending_;
-  return handle;
+  const std::uint32_t slot = arena_->acquire(time, std::move(action));
+  const std::uint32_t generation = arena_->generation(slot);
+  heap_push(HeapEntry{time, next_sequence_++, slot, generation});
+  KernelStats& stats = arena_->stats_mut();
+  ++stats.events_scheduled;
+  if (heap_.size() > stats.heap_peak) stats.heap_peak = heap_.size();
+  return EventHandle{arena_, slot, generation};
 }
 
-std::shared_ptr<Simulator::Record> Simulator::pop_next() {
-  while (!queue_.empty()) {
-    std::shared_ptr<Record> record = queue_.top();
-    queue_.pop();
-    DG_ASSERT(pending_ > 0);
-    --pending_;
-    if (record->cancelled) continue;
-    return record;
+void Simulator::heap_push(const HeapEntry& entry) {
+  std::size_t hole = heap_.size();
+  heap_.push_back(entry);
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
   }
-  return nullptr;
+  heap_[hole] = entry;
+}
+
+void Simulator::heap_pop_root() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t size = heap_.size();
+  if (size == 0) return;
+  // Sift the former last element down from the root, always descending into
+  // the earliest of (up to) four children — two cache lines per level.
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first_child = hole * kArity + 1;
+    if (first_child >= size) break;
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + kArity, size);
+    for (std::size_t child = first_child + 1; child < end; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = last;
+}
+
+bool Simulator::heap_skip_stale() {
+  while (!heap_.empty()) {
+    if (arena_->is_current(heap_[0].slot, heap_[0].generation)) return true;
+    heap_pop_root();
+  }
+  return false;
 }
 
 bool Simulator::step() {
   if (stopped_) return false;
-  std::shared_ptr<Record> record = pop_next();
-  if (!record) return false;
-  DG_ASSERT(record->time >= now_);
-  now_ = record->time;
-  ++executed_;
-  // Mark executed before invoking so the action's own handle reads !pending().
-  record->cancelled = true;
-  std::function<void()> action = std::move(record->action);
+  if (!heap_skip_stale()) return false;
+  const HeapEntry entry = heap_[0];
+  heap_pop_root();
+  DG_ASSERT(entry.time >= now_);
+  now_ = entry.time;
+  ++arena_->stats_mut().events_fired;
+  // Retiring before invoking makes the action's own handle read !pending().
+  std::function<void()> action = arena_->retire_and_take(entry.slot);
   action();
   return true;
 }
@@ -54,15 +85,8 @@ void Simulator::run() {
 
 void Simulator::run_until(SimTime horizon) {
   DG_ASSERT(horizon >= now_);
-  while (!stopped_ && !queue_.empty()) {
-    // Peek through cancelled records without committing to execution.
-    while (!queue_.empty() && queue_.top()->cancelled) {
-      queue_.pop();
-      DG_ASSERT(pending_ > 0);
-      --pending_;
-    }
-    if (queue_.empty()) break;
-    if (queue_.top()->time > horizon) break;
+  while (!stopped_ && heap_skip_stale()) {
+    if (heap_[0].time > horizon) break;
     step();
   }
   if (!stopped_ && now_ < horizon) now_ = horizon;

@@ -1,31 +1,43 @@
 // Sequential discrete-event simulation kernel.
 //
-// A binary heap of (time, sequence) ordered events; ties break in scheduling
-// order so runs are bitwise deterministic. The kernel is deliberately
-// single-threaded — parallelism in dgsched lives one level up, across
-// independent replications (see exp::ExperimentRunner).
+// A cache-friendly 4-ary implicit heap of (time, sequence) ordered entries;
+// ties break in scheduling order so runs are bitwise deterministic. Heap
+// entries are 24-byte PODs referencing recycled slots in a slab arena
+// (des/event.hpp), so the steady-state hot path — schedule, fire, cancel —
+// performs no heap allocation. The kernel is deliberately single-threaded;
+// parallelism in dgsched lives one level up, across independent replications
+// (see exp::ExperimentRunner).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "des/event.hpp"
 
 namespace dg::des {
 
+/// Deterministic single-threaded event loop.
+///
+/// Invariants: events fire in ascending (time, sequence) order; now() never
+/// goes backwards; an action may schedule/cancel freely, including at the
+/// current time (it runs after all already-queued same-time events).
+/// Thread-safety: none — one Simulator per thread (replications each own a
+/// private Simulator; see util::ThreadPool).
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator() : arena_(std::make_shared<detail::EventArena>()) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  /// Current simulation time. Starts at 0; advances only inside step(),
+  /// run(), and run_until().
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
-  /// Schedules `action` at absolute time `time` (>= now). Returns a handle
-  /// that can cancel the event while pending.
+  /// Schedules `action` at absolute time `time`. Returns a handle that can
+  /// cancel the event while pending.
+  /// Preconditions: `time` is finite and >= now(); `action` is non-empty.
   EventHandle schedule_at(SimTime time, std::function<void()> action);
 
   /// Schedules `action` after `delay` (>= 0) from now.
@@ -33,15 +45,15 @@ class Simulator {
     return schedule_at(now_ + delay, std::move(action));
   }
 
-  /// Executes the next pending event. Returns false when the queue is empty
-  /// or the simulation was stopped.
+  /// Executes the next pending event. Returns false when no live event
+  /// remains or the simulation was stopped.
   bool step();
 
   /// Runs until the event queue drains or stop() is called.
   void run();
 
-  /// Runs all events with time <= horizon, then advances the clock to
-  /// horizon (if it is past the last executed event).
+  /// Runs all events with time <= horizon (>= now()), then advances the
+  /// clock to horizon (if it is past the last executed event).
   void run_until(SimTime horizon);
 
   /// Stops the run/run_until loop after the current event returns.
@@ -51,31 +63,46 @@ class Simulator {
   void clear_stop() noexcept { stopped_ = false; }
 
   /// Number of events executed so far (cancelled events are not counted).
-  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+  [[nodiscard]] std::uint64_t executed_events() const noexcept {
+    return arena_->stats().events_fired;
+  }
   /// Number of events ever scheduled.
   [[nodiscard]] std::uint64_t scheduled_events() const noexcept { return next_sequence_; }
-  /// Records still in the queue. Cancelled-but-unpopped events are included
-  /// (lazy deletion), so this is an upper bound on live pending events.
-  [[nodiscard]] std::size_t pending_events() const noexcept { return pending_; }
-  [[nodiscard]] bool empty() const noexcept { return pending_ == 0; }
+  /// Exact number of live pending events (cancelled events leave a stale
+  /// heap entry but are excluded from this count).
+  [[nodiscard]] std::size_t pending_events() const noexcept { return arena_->live(); }
+  [[nodiscard]] bool empty() const noexcept { return arena_->live() == 0; }
+
+  /// Kernel counters for this simulator (see KernelStats). Values are
+  /// cumulative over the simulator's lifetime.
+  [[nodiscard]] const KernelStats& stats() const noexcept { return arena_->stats(); }
 
  private:
-  using Record = detail::EventRecord;
-  struct Later {
-    bool operator()(const std::shared_ptr<Record>& a, const std::shared_ptr<Record>& b) const noexcept {
-      if (a->time != b->time) return a->time > b->time;
-      return a->sequence > b->sequence;
-    }
+  /// One priority-queue entry. Stale entries (slot generation moved on) are
+  /// skipped when they surface at the root — cancellation never touches the
+  /// heap structure.
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t sequence;  // deterministic FIFO tie-break at equal times
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
+  static constexpr std::size_t kArity = 4;
 
-  /// Pops the next non-cancelled record, or nullptr if none.
-  std::shared_ptr<Record> pop_next();
+  [[nodiscard]] static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.sequence < b.sequence;
+  }
 
-  std::priority_queue<std::shared_ptr<Record>, std::vector<std::shared_ptr<Record>>, Later> queue_;
+  void heap_push(const HeapEntry& entry);
+  void heap_pop_root();
+  /// Drops stale entries from the root; returns false when the heap empties.
+  bool heap_skip_stale();
+
+  std::shared_ptr<detail::EventArena> arena_;
+  std::vector<HeapEntry> heap_;
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
-  std::uint64_t executed_ = 0;
-  std::size_t pending_ = 0;
   bool stopped_ = false;
 };
 

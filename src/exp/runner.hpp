@@ -59,11 +59,20 @@ struct CellResult {
   }
 };
 
+/// Thread-safety: run() is internally parallel (replications fan out over a
+/// util::ThreadPool of options().threads workers) but the runner itself is
+/// not re-entrant — one run() at a time per instance. Each replication owns
+/// a private Simulator/grid/workload, so no simulation state is shared;
+/// results are folded in deterministically per cell regardless of worker
+/// completion order.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(RunOptions options) : options_(options) {}
 
   /// Runs every cell to its precision target; cell order is preserved.
+  /// Replication `i` of every cell uses seed mix_seed(base_seed, i) —
+  /// deliberately independent of the cell, so cells are compared under
+  /// common random numbers.
   [[nodiscard]] std::vector<CellResult> run(const std::vector<NamedConfig>& cells);
 
   [[nodiscard]] const RunOptions& options() const noexcept { return options_; }

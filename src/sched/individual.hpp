@@ -52,6 +52,9 @@ class IndividualScheduler {
 
   /// Picks the next task of `bot` to start a replica of, honoring the
   /// replication threshold. Returns nullptr when nothing is dispatchable.
+  /// Precondition: threshold >= 1. Postcondition: a non-null result is an
+  /// incomplete task of `bot` with running_replicas() < threshold, in this
+  /// scheduler's pick order (see file comment).
   [[nodiscard]] virtual TaskState* pick(BotState& bot, int threshold) const;
 
   [[nodiscard]] static std::unique_ptr<IndividualScheduler> make(IndividualSchedulerKind kind);

@@ -55,6 +55,9 @@ struct SchedulerContext {
   }
 };
 
+/// Interface for bag-selection strategies (step 1 of the two-step
+/// scheduler). Implementations are stateful but single-threaded: all calls
+/// come from one simulation's event loop, never concurrently.
 class BagSelectionPolicy {
  public:
   virtual ~BagSelectionPolicy() = default;
@@ -63,6 +66,10 @@ class BagSelectionPolicy {
 
   /// Chooses the next task to dispatch, or nullptr if no bag has work under
   /// the current threshold. Called once per free machine.
+  /// Preconditions: `ctx.individual` is non-null and every bag in
+  /// `ctx.bots` is incomplete. Postcondition: a non-null result is a task
+  /// of one of `ctx.bots` with fewer than `ctx.threshold` running replicas
+  /// (unless unlimited_replication()).
   [[nodiscard]] virtual TaskState* select(SchedulerContext& ctx) = 0;
 
   /// FCFS-Excl raises the WQR-FT threshold to "potentially unlimited".

@@ -28,8 +28,17 @@ class DispatchSink {
   virtual void start_replica(TaskState& task, grid::Machine& machine) = 0;
 };
 
+/// The paper's two-step centralized scheduler (see file comment).
+///
+/// Thread-safety: none — the scheduler lives entirely inside one
+/// simulation's event loop (one per Simulator, one Simulator per thread).
+/// Lifetime: `sim` and `grid` must outlive the scheduler; submitted
+/// BotStates stay owned by the caller and must outlive the run.
 class MultiBotScheduler {
  public:
+  /// Takes ownership of the policy/individual/replication strategy objects.
+  /// A DispatchSink must be attached via set_sink() before the first
+  /// submit()/trigger() can dispatch anything.
   MultiBotScheduler(des::Simulator& sim, grid::DesktopGrid& grid,
                     std::unique_ptr<BagSelectionPolicy> policy,
                     std::unique_ptr<IndividualScheduler> individual,
@@ -45,9 +54,13 @@ class MultiBotScheduler {
   }
 
   /// Registers an arriving bag (caller keeps ownership) and dispatches.
+  /// Precondition: `bot` was not submitted before and is incomplete.
   void submit(BotState& bot);
 
-  /// Dispatch loop; re-entrancy safe.
+  /// Dispatch loop: while an up-and-idle machine exists and the policy
+  /// yields a task, hand (task, machine) to the sink. Re-entrancy safe —
+  /// calls arriving while a dispatch is in flight (e.g. from an engine
+  /// notification) coalesce into the running loop instead of recursing.
   void trigger();
 
   // --- engine notifications (see sim/execution_engine.cpp for call order) ---

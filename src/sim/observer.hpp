@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "des/event.hpp"
 #include "grid/machine.hpp"
 #include "sched/bot_state.hpp"
 #include "sched/task_state.hpp"
@@ -44,6 +45,11 @@ class SimulationObserver {
 
   virtual void on_machine_failed(const grid::Machine& /*machine*/, double /*now*/) {}
   virtual void on_machine_repaired(const grid::Machine& /*machine*/, double /*now*/) {}
+
+  /// Fired once when the event loop has drained (or hit the horizon), with
+  /// the kernel's cumulative counters for the run. Instrumentation that
+  /// tracks simulator throughput (e.g. the perf harness) hooks this.
+  virtual void on_run_finished(const des::KernelStats& /*kernel*/, double /*now*/) {}
 };
 
 }  // namespace dg::sim

@@ -48,7 +48,10 @@ void write_summary(std::ostream& os, const SimulationResult& result) {
      << result.wasted_fraction() << '\n'
      << "queue growth:    " << result.queue_growth_ratio << '\n'
      << "simulated:       " << result.end_time << " s, " << result.events_executed
-     << " events\n";
+     << " events\n"
+     << "kernel:          " << result.kernel.events_scheduled << " scheduled, "
+     << result.kernel.events_cancelled << " cancelled, heap peak "
+     << result.kernel.heap_peak << ", " << result.kernel.arena_slabs << " slab allocs\n";
 }
 
 }  // namespace dg::sim

@@ -164,6 +164,7 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   sim.run_until(horizon);
   const bool saturated = completed < total;
   const double end_time = sim.now();
+  if (observer != nullptr) observer->on_run_finished(sim.stats(), end_time);
 
   // --- results ---
   SimulationResult result;
@@ -185,6 +186,7 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   result.useful_compute_time = engine.useful_compute_time();
   result.lost_work = engine.lost_work();
   result.events_executed = sim.executed_events();
+  result.kernel = sim.stats();
 
   result.bots.reserve(bots.size());
   for (std::size_t i = 0; i < bots.size(); ++i) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "des/event.hpp"
 #include "grid/desktop_grid.hpp"
 #include "grid/trace.hpp"
 #include "sched/individual.hpp"
@@ -113,6 +114,10 @@ struct SimulationResult {
   double useful_compute_time = 0.0;
   double lost_work = 0.0;
   std::uint64_t events_executed = 0;
+  /// DES kernel counters for this run (events scheduled/fired/cancelled,
+  /// heap peak, arena slab allocations) — the raw material of the perf
+  /// trajectory; see docs/BENCHMARKING.md.
+  des::KernelStats kernel;
 
   /// Wasted / (wasted + useful) replica compute time.
   [[nodiscard]] double wasted_fraction() const noexcept {

@@ -20,10 +20,17 @@
 
 namespace dg::util {
 
+/// Thread-safety: submit() and wait_idle() may be called concurrently from
+/// any number of threads. Jobs themselves must not touch shared mutable
+/// state without their own synchronization (dgsched's jobs are whole
+/// simulation replications, which share nothing). The destructor drains
+/// already-submitted jobs, then joins; do not submit from a job after the
+/// destructor has started.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1; 0 means hardware concurrency).
   explicit ThreadPool(std::size_t num_threads = 0);
+  /// Drains the queue of already-submitted jobs, then joins all workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -50,7 +57,8 @@ class ThreadPool {
     return result;
   }
 
-  /// Blocks until every submitted job has finished executing.
+  /// Blocks until every submitted job has finished executing. Jobs
+  /// submitted while waiting extend the wait.
   void wait_idle();
 
  private:
