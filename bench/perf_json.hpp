@@ -19,7 +19,8 @@
 namespace dg::bench {
 
 /// One benchmark measurement. Schema (stable across PRs — append-only):
-/// {benchmark, events_per_sec, wall_s, peak_rss_kb, config, seed}.
+/// {benchmark, events_per_sec, wall_s, peak_rss_kb, config, seed,
+///  machines_per_dispatch}.
 struct PerfRecord {
   std::string benchmark;     ///< Stable identifier, e.g. "kernel/event_chain".
   double events_per_sec = 0; ///< Primary throughput metric.
@@ -27,6 +28,10 @@ struct PerfRecord {
   std::uint64_t peak_rss_kb = 0; ///< Process peak RSS after the run.
   std::string config;        ///< Free-form description of the workload knobs.
   std::uint64_t seed = 0;    ///< RNG seed the run used (0 = deterministic).
+  /// Dispatch-path cost: SchedStats.machines_examined / replicas started
+  /// (0 for kernel benchmarks, which have no scheduler). Deterministic for a
+  /// given config+seed, unlike the wall-clock fields.
+  double machines_per_dispatch = 0;
 };
 
 /// Peak resident set size of this process in kilobytes (0 when unavailable).
@@ -85,6 +90,7 @@ inline void write_perf_json(std::ostream& os, const std::vector<PerfRecord>& rec
     os << ",\n    \"config\": ";
     detail::write_json_string(os, r.config);
     os << ",\n    \"seed\": " << r.seed;
+    os << ",\n    \"machines_per_dispatch\": " << r.machines_per_dispatch;
     os << "\n  }" << (i + 1 < records.size() ? "," : "") << "\n";
   }
   os << "]\n";

@@ -30,6 +30,7 @@ using dg::bench::Stopwatch;
 
 constexpr int kKernelReps = 3;
 constexpr int kPolicyReps = 2;
+constexpr int kScaleReps = 2;
 
 /// Runs `body` (which returns the number of events processed) `reps` times
 /// and records the best events/sec.
@@ -141,11 +142,18 @@ dg::sim::SimulationConfig policy_config(dg::sched::PolicyKind policy, double gra
 }
 
 PerfRecord run_policy(const std::string& name, const std::string& config_desc,
-                      const dg::sim::SimulationConfig& config) {
-  return best_of(name, config_desc, config.seed, kPolicyReps, [&config] {
-    const auto result = dg::sim::Simulation(config).run();
-    return result.events_executed;
-  });
+                      const dg::sim::SimulationConfig& config, int reps = kPolicyReps) {
+  double machines_per_dispatch = 0.0;
+  PerfRecord record = best_of(name, config_desc, config.seed, reps,
+                              [&config, &machines_per_dispatch] {
+                                const auto result = dg::sim::Simulation(config).run();
+                                machines_per_dispatch =
+                                    result.sched.machines_per_dispatch(result.replicas_started);
+                                return result.events_executed;
+                              });
+  // Deterministic for a given config+seed, so any rep's value is the value.
+  record.machines_per_dispatch = machines_per_dispatch;
+  return record;
 }
 
 std::vector<PerfRecord> run_policy_suite() {
@@ -184,6 +192,42 @@ std::vector<PerfRecord> run_policy_suite() {
   return records;
 }
 
+// --- grid-scale benchmarks --------------------------------------------------
+//
+// 10x the paper's grid (total power 10000 -> 1000 hom machines) with a 200-bag
+// backlog: large enough that per-dispatch costs proportional to grid size or
+// backlog size dominate the run. machines_per_dispatch in the JSON output
+// tracks how many machine slots the trigger loop examined per started replica.
+
+dg::sim::SimulationConfig scale_config(dg::sched::PolicyKind policy) {
+  using namespace dg;
+  sim::SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHom,
+                                         grid::AvailabilityLevel::kHigh);
+  config.grid.total_power = 10000.0;  // 1000 machines at hom_power = 10
+  config.workload =
+      sim::make_paper_workload(config.grid, 5000.0, workload::Intensity::kLow, 200);
+  config.seed = 11;
+  config.policy = policy;
+  return config;
+}
+
+std::vector<PerfRecord> run_scale_suite() {
+  using dg::sched::PolicyKind;
+  std::printf("scale suite:\n");
+  std::vector<PerfRecord> records;
+  const std::string base = "hom/high-avail, 1000 machines, g=5000, 200 bags";
+  records.push_back(run_policy("policy_scale/fcfs_share", base,
+                               scale_config(PolicyKind::kFcfsShare), kScaleReps));
+  records.push_back(run_policy("policy_scale/round_robin", base,
+                               scale_config(PolicyKind::kRoundRobin), kScaleReps));
+  records.push_back(run_policy("policy_scale/round_robin_nrf", base,
+                               scale_config(PolicyKind::kRoundRobinNrf), kScaleReps));
+  records.push_back(run_policy("policy_scale/long_idle", base,
+                               scale_config(PolicyKind::kLongIdle), kScaleReps));
+  return records;
+}
+
 bool write_report(const std::string& path, const std::vector<PerfRecord>& records) {
   std::ofstream os(path);
   if (!os) {
@@ -200,7 +244,9 @@ bool write_report(const std::string& path, const std::vector<PerfRecord>& record
 int main(int argc, char** argv) {
   const std::string out_dir = argc > 1 ? argv[1] : ".";
   const std::vector<PerfRecord> kernel = run_kernel_suite();
-  const std::vector<PerfRecord> policies = run_policy_suite();
+  std::vector<PerfRecord> policies = run_policy_suite();
+  const std::vector<PerfRecord> scale = run_scale_suite();
+  policies.insert(policies.end(), scale.begin(), scale.end());
   bool ok = write_report(out_dir + "/BENCH_kernel.json", kernel);
   ok = write_report(out_dir + "/BENCH_policies.json", policies) && ok;
   return ok ? 0 : 1;

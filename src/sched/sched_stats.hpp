@@ -1,0 +1,42 @@
+// Dispatch-path counters for one MultiBotScheduler instance.
+//
+// The scheduling analogue of des::KernelStats: cheap, unconditionally
+// maintained counters that expose the *cost* of the dispatch path (how many
+// machines were probed, how many policy selections ran, how often the
+// incremental dispatch index was refreshed) without touching any scheduling
+// decision. Threaded into sim::SimulationResult and the observer's
+// on_run_finished hook so perf harnesses can derive machines-examined-per-
+// dispatch and similar ratios; see docs/BENCHMARKING.md.
+#pragma once
+
+#include <cstdint>
+
+namespace dg::sched {
+
+struct SchedStats {
+  /// trigger() entries that actually ran the dispatch loop (re-entrant calls
+  /// coalesce into the running loop and are not counted).
+  std::uint64_t triggers = 0;
+  /// Machines pulled from (or scanned by) the dispatch loop. On the indexed
+  /// path every probe yields an up-and-idle machine, so this tracks
+  /// dispatches + one terminating probe per trigger instead of grid size.
+  std::uint64_t machines_examined = 0;
+  /// Policy select() calls (one per examined machine, plus the final
+  /// nothing-dispatchable call that ends a loop).
+  std::uint64_t selects = 0;
+  /// Per-bag refreshes of the incremental DispatchIndex (0 on the legacy
+  /// scan path).
+  std::uint64_t index_updates = 0;
+  /// Full index rebuilds caused by replication-threshold changes.
+  std::uint64_t index_rebuilds = 0;
+
+  /// Machines examined per successful dispatch; the headline "is the
+  /// dispatch loop O(grid size) or O(1)" ratio.
+  [[nodiscard]] double machines_per_dispatch(std::uint64_t dispatches) const noexcept {
+    return dispatches > 0 ? static_cast<double>(machines_examined) /
+                                static_cast<double>(dispatches)
+                          : 0.0;
+  }
+};
+
+}  // namespace dg::sched

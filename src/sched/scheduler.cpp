@@ -38,10 +38,12 @@ void MultiBotScheduler::submit(BotState& bot) {
 void MultiBotScheduler::trigger() {
   if (in_trigger_) return;
   in_trigger_ = true;
+  ++stats_.triggers;
   DG_ASSERT_MSG(sink_ != nullptr, "MultiBotScheduler used without a DispatchSink");
   std::size_t m = 0;
   const std::size_t num_machines = grid_.size();
   while (m < num_machines) {
+    ++stats_.machines_examined;
     if (!grid_.machine(m).available()) {
       ++m;
       continue;
@@ -51,6 +53,7 @@ void MultiBotScheduler::trigger() {
     ctx.bots = active_bots_;
     ctx.individual = individual_.get();
     ctx.threshold = effective_threshold();
+    ++stats_.selects;
     TaskState* task = policy_->select(ctx);
     if (task == nullptr) break;  // nothing dispatchable anywhere
     DG_ASSERT(!task->completed());

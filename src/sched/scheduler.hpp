@@ -18,6 +18,7 @@
 #include "sched/individual.hpp"
 #include "sched/policy.hpp"
 #include "sched/replication.hpp"
+#include "sched/sched_stats.hpp"
 
 namespace dg::sched {
 
@@ -95,6 +96,9 @@ class MultiBotScheduler {
   /// Threshold in force for the next dispatch decision.
   [[nodiscard]] int effective_threshold() const;
 
+  /// Dispatch-path cost counters (see sched/sched_stats.hpp).
+  [[nodiscard]] const SchedStats& sched_stats() const noexcept { return stats_; }
+
   [[nodiscard]] std::uint64_t replicas_started() const noexcept { return replicas_started_; }
   [[nodiscard]] std::uint64_t tasks_completed() const noexcept { return tasks_completed_; }
   [[nodiscard]] std::uint64_t bots_completed() const noexcept { return bots_completed_; }
@@ -111,6 +115,7 @@ class MultiBotScheduler {
 
   std::vector<BotState*> active_bots_;  // incomplete, arrival order
   bool in_trigger_ = false;
+  SchedStats stats_;
 
   std::uint64_t replicas_started_ = 0;
   std::uint64_t tasks_completed_ = 0;

@@ -13,6 +13,7 @@
 #include "des/event.hpp"
 #include "grid/machine.hpp"
 #include "sched/bot_state.hpp"
+#include "sched/sched_stats.hpp"
 #include "sched/task_state.hpp"
 
 namespace dg::sim {
@@ -47,9 +48,11 @@ class SimulationObserver {
   virtual void on_machine_repaired(const grid::Machine& /*machine*/, double /*now*/) {}
 
   /// Fired once when the event loop has drained (or hit the horizon), with
-  /// the kernel's cumulative counters for the run. Instrumentation that
-  /// tracks simulator throughput (e.g. the perf harness) hooks this.
-  virtual void on_run_finished(const des::KernelStats& /*kernel*/, double /*now*/) {}
+  /// the kernel's and the scheduler's cumulative cost counters for the run.
+  /// Instrumentation that tracks simulator throughput or dispatch-path cost
+  /// (e.g. the perf harness) hooks this.
+  virtual void on_run_finished(const des::KernelStats& /*kernel*/,
+                               const sched::SchedStats& /*sched*/, double /*now*/) {}
 };
 
 }  // namespace dg::sim

@@ -164,7 +164,9 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   sim.run_until(horizon);
   const bool saturated = completed < total;
   const double end_time = sim.now();
-  if (observer != nullptr) observer->on_run_finished(sim.stats(), end_time);
+  if (observer != nullptr) {
+    observer->on_run_finished(sim.stats(), scheduler.sched_stats(), end_time);
+  }
 
   // --- results ---
   SimulationResult result;
@@ -187,6 +189,7 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   result.lost_work = engine.lost_work();
   result.events_executed = sim.executed_events();
   result.kernel = sim.stats();
+  result.sched = scheduler.sched_stats();
 
   result.bots.reserve(bots.size());
   for (std::size_t i = 0; i < bots.size(); ++i) {

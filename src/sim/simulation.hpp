@@ -18,6 +18,7 @@
 #include "grid/trace.hpp"
 #include "sched/individual.hpp"
 #include "sched/policy.hpp"
+#include "sched/sched_stats.hpp"
 #include "stats/online_stats.hpp"
 #include "workload/generator.hpp"
 
@@ -118,6 +119,9 @@ struct SimulationResult {
   /// heap peak, arena slab allocations) — the raw material of the perf
   /// trajectory; see docs/BENCHMARKING.md.
   des::KernelStats kernel;
+  /// Dispatch-path cost counters (triggers, machines examined, policy
+  /// selects, index updates) — the scheduler-layer sibling of `kernel`.
+  sched::SchedStats sched;
 
   /// Wasted / (wasted + useful) replica compute time.
   [[nodiscard]] double wasted_fraction() const noexcept {

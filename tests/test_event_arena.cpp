@@ -130,13 +130,16 @@ TEST(EventArena, KernelStatsArithmetic) {
 
 class KernelStatsProbe final : public sim::SimulationObserver {
  public:
-  void on_run_finished(const KernelStats& kernel, double now) override {
+  void on_run_finished(const KernelStats& kernel, const sched::SchedStats& sched,
+                       double now) override {
     kernel_ = kernel;
+    sched_ = sched;
     finished_at_ = now;
     ++calls_;
   }
 
   KernelStats kernel_;
+  sched::SchedStats sched_;
   double finished_at_ = -1.0;
   int calls_ = 0;
 };
@@ -163,6 +166,12 @@ TEST(KernelStatsPlumbing, ResultAndObserverSeeTheSameCounters) {
   EXPECT_GT(result.kernel.heap_peak, 0u);
   EXPECT_GT(result.kernel.arena_slabs, 0u);
   EXPECT_GT(result.kernel.arena_capacity, 0u);
+  // SchedStats rides along on the same hook and in the result.
+  EXPECT_EQ(probe.sched_.triggers, result.sched.triggers);
+  EXPECT_EQ(probe.sched_.selects, result.sched.selects);
+  EXPECT_GT(result.sched.triggers, 0u);
+  EXPECT_GE(result.sched.selects, result.replicas_started);
+  EXPECT_GE(result.sched.machines_examined, result.sched.selects);
 }
 
 }  // namespace
