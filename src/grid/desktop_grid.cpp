@@ -1,5 +1,6 @@
 #include "grid/desktop_grid.hpp"
 
+#include <bit>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -52,6 +53,52 @@ DesktopGrid::DesktopGrid(const GridConfig& config, des::Simulator& sim, std::uin
   }
   outages_ = std::make_unique<OutageProcess>(sim_, *this, config_.outages,
                                              rng::RandomStream::derive(seed, "grid.outages"));
+
+  // All machines start up and idle; seed the free-machine bitmap accordingly
+  // and subscribe to every machine's availability edges.
+  available_bits_.assign((machines_.size() + 63) / 64, 0);
+  for (const auto& machine : machines_) {
+    available_bits_[machine->id() / 64] |= std::uint64_t{1} << (machine->id() % 64);
+    machine->set_availability_listener(this);
+  }
+  available_count_ = machines_.size();
+}
+
+void DesktopGrid::on_machine_availability(Machine& machine, bool available) {
+  std::uint64_t& word = available_bits_[machine.id() / 64];
+  const std::uint64_t bit = std::uint64_t{1} << (machine.id() % 64);
+  // Edge-triggered by contract, so the bit always actually flips.
+  DG_ASSERT(((word & bit) != 0) != available);
+  word ^= bit;
+  if (available) {
+    ++available_count_;
+  } else {
+    --available_count_;
+  }
+}
+
+MachineId DesktopGrid::first_available() const noexcept {
+  for (std::size_t w = 0; w < available_bits_.size(); ++w) {
+    if (available_bits_[w] != 0) {
+      return static_cast<MachineId>(w * 64 +
+                                    static_cast<std::size_t>(std::countr_zero(available_bits_[w])));
+    }
+  }
+  return kNoMachine;
+}
+
+MachineId DesktopGrid::next_available(MachineId after) const noexcept {
+  std::size_t w = (static_cast<std::size_t>(after) + 1) / 64;
+  if (w >= available_bits_.size()) return kNoMachine;
+  std::uint64_t word = available_bits_[w] &
+                       ~((std::uint64_t{1} << ((static_cast<std::size_t>(after) + 1) % 64)) - 1);
+  for (;;) {
+    if (word != 0) {
+      return static_cast<MachineId>(w * 64 + static_cast<std::size_t>(std::countr_zero(word)));
+    }
+    if (++w >= available_bits_.size()) return kNoMachine;
+    word = available_bits_[w];
+  }
 }
 
 void DesktopGrid::start(TransitionCallback on_failure, TransitionCallback on_repair) {
@@ -63,8 +110,9 @@ void DesktopGrid::start(TransitionCallback on_failure, TransitionCallback on_rep
 
 std::vector<Machine*> DesktopGrid::available_machines() {
   std::vector<Machine*> result;
-  for (auto& machine : machines_) {
-    if (machine->available()) result.push_back(machine.get());
+  result.reserve(available_count_);
+  for (MachineId id = first_available(); id != kNoMachine; id = next_available(id)) {
+    result.push_back(machines_[id].get());
   }
   return result;
 }

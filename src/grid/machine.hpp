@@ -23,6 +23,20 @@ using MachineId = std::uint32_t;
 
 enum class MachineState : std::uint8_t { kUp, kDown };
 
+class Machine;
+
+/// Observer for a machine's available() edge transitions. A machine is
+/// available iff it is up and not busy; every mutation that crosses that
+/// boundary (set_busy, force_down, release_down) fires exactly one callback.
+/// DesktopGrid implements this to keep its free-machine index current.
+class MachineAvailabilityListener {
+ public:
+  virtual void on_machine_availability(Machine& machine, bool available) = 0;
+
+ protected:
+  ~MachineAvailabilityListener() = default;
+};
+
 class Machine {
  public:
   Machine(MachineId id, double power) : id_(id), power_(power) {
@@ -41,15 +55,27 @@ class Machine {
   [[nodiscard]] bool available() const noexcept { return up() && !busy_; }
   [[nodiscard]] bool busy() const noexcept { return busy_; }
 
-  void set_busy(bool busy) noexcept { busy_ = busy; }
+  void set_busy(bool busy) noexcept {
+    if (busy_ == busy) return;
+    const bool was_available = available();
+    busy_ = busy;
+    notify_availability(was_available);
+  }
+
+  /// Registers the (single) availability listener; nullptr detaches it.
+  void set_availability_listener(MachineAvailabilityListener* listener) noexcept {
+    listener_ = listener;
+  }
 
   /// Adds a down-cause at time `now`. Returns true iff the machine just
   /// transitioned up -> down (callers fire failure callbacks only then).
   bool force_down(double now) noexcept {
+    const bool was_available = available();
     ++down_causes_;
     if (down_causes_ == 1) {
       down_since_ = now;
       ++failures_;
+      notify_availability(was_available);
       return true;
     }
     return false;
@@ -59,9 +85,11 @@ class Machine {
   /// transitioned down -> up (callers fire repair callbacks only then).
   bool release_down(double now) noexcept {
     DG_ASSERT_MSG(down_causes_ > 0, "release_down on an up machine");
+    const bool was_available = available();
     --down_causes_;
     if (down_causes_ == 0) {
       total_downtime_ += now - down_since_;
+      notify_availability(was_available);
       return true;
     }
     return false;
@@ -81,8 +109,15 @@ class Machine {
   }
 
  private:
+  void notify_availability(bool was_available) noexcept {
+    if (listener_ != nullptr && was_available != available()) {
+      listener_->on_machine_availability(*this, available());
+    }
+  }
+
   MachineId id_;
   double power_;
+  MachineAvailabilityListener* listener_ = nullptr;
   int down_causes_ = 0;
   bool busy_ = false;
   std::uint64_t failures_ = 0;

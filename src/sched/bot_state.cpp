@@ -1,6 +1,9 @@
 #include "sched/bot_state.hpp"
 
 #include <algorithm>
+#include <climits>
+
+#include "sched/dispatch_index.hpp"
 
 namespace dg::sched {
 
@@ -21,7 +24,7 @@ BotState::BotState(const workload::BotSpec& spec, TaskOrder order)
   }
 }
 
-TaskState* BotState::peek_unstarted() {
+TaskState* BotState::peek_unstarted() const {
   while (unstarted_cursor_ < unstarted_order_.size()) {
     TaskState* task = unstarted_order_[unstarted_cursor_];
     if (!task->ever_started() && !task->completed()) return task;
@@ -30,7 +33,7 @@ TaskState* BotState::peek_unstarted() {
   return nullptr;
 }
 
-TaskState* BotState::peek_resubmission() {
+TaskState* BotState::peek_resubmission() const {
   while (!resubmission_queue_.empty()) {
     TaskState* task = resubmission_queue_.front();
     if (task->needs_resubmission() && !task->completed() && task->running_replicas() == 0) {
@@ -41,7 +44,7 @@ TaskState* BotState::peek_resubmission() {
   return nullptr;
 }
 
-TaskState* BotState::peek_requeued() {
+TaskState* BotState::peek_requeued() const {
   while (!requeue_.empty()) {
     TaskState* task = requeue_.front();
     if (task->needs_resubmission() && !task->completed() && task->running_replicas() == 0) {
@@ -55,19 +58,44 @@ TaskState* BotState::peek_requeued() {
 void BotState::push_resubmission(TaskState& task) {
   task.set_needs_resubmission(true);
   resubmission_queue_.push_back(&task);
+  refresh_dispatch_index();
 }
 
 void BotState::push_requeue(TaskState& task) {
   task.set_needs_resubmission(true);
   requeue_.push_back(&task);
+  refresh_dispatch_index();
 }
 
-bool BotState::has_pending() {
-  return peek_resubmission() != nullptr || peek_unstarted() != nullptr ||
-         peek_requeued() != nullptr;
+namespace {
+/// True iff `queue` holds an entry whose task is dispatchable right now.
+/// Pure scan — unlike the peeks it pops nothing: an entry that is stale at
+/// the moment (task running) regains its validity, and its queue position,
+/// if the task fails again before a real probe pops it. The dispatch index
+/// calls this on every task transition, so it must not disturb the queues.
+bool any_valid_entry(const std::deque<TaskState*>& queue) {
+  for (const TaskState* task : queue) {
+    if (task->needs_resubmission() && !task->completed() && task->running_replicas() == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool BotState::has_pending() const {
+  return any_valid_entry(resubmission_queue_) || peek_unstarted() != nullptr ||
+         any_valid_entry(requeue_);
 }
 
-TaskState* BotState::least_replicated_below(int threshold) {
+bool BotState::has_stale_queue_entries() const {
+  const auto stale = [](const std::deque<TaskState*>& queue) {
+    return !queue.empty() && !any_valid_entry(queue);
+  };
+  return stale(resubmission_queue_) || stale(requeue_);
+}
+
+TaskState* BotState::least_replicated_below(int threshold) const {
   for (const auto& [count, tasks] : buckets_) {
     if (count >= threshold) break;
     if (!tasks.empty()) return *tasks.begin();
@@ -102,15 +130,18 @@ void BotState::after_replica_started(TaskState& task) {
   if (count > 1) bucket_erase(task, count - 1);
   bucket_insert(task, count);
   ++total_running_;
+  refresh_dispatch_index();
 }
 
 void BotState::after_replica_stopped(TaskState& task) {
   --total_running_;
   DG_ASSERT(total_running_ >= 0);
-  if (task.completed()) return;  // buckets were cleared at completion
-  const int count = task.running_replicas();
-  bucket_erase(task, count + 1);
-  if (count >= 1) bucket_insert(task, count);
+  if (!task.completed()) {  // buckets were cleared at completion
+    const int count = task.running_replicas();
+    bucket_erase(task, count + 1);
+    if (count >= 1) bucket_insert(task, count);
+  }
+  refresh_dispatch_index();
 }
 
 void BotState::on_task_completed(TaskState& task) {
@@ -119,6 +150,15 @@ void BotState::on_task_completed(TaskState& task) {
   ++completed_count_;
   completed_work_ += task.work();
   DG_ASSERT(completed_count_ <= tasks_.size());
+  refresh_dispatch_index();
+}
+
+int BotState::min_replicated_count() const noexcept {
+  return buckets_.empty() ? INT_MAX : buckets_.begin()->first;
+}
+
+void BotState::refresh_dispatch_index() {
+  if (dispatch_index_ != nullptr) dispatch_index_->refresh(*this);
 }
 
 }  // namespace dg::sched

@@ -18,9 +18,12 @@
 #include <vector>
 
 #include "sched/task_state.hpp"
+#include "util/assert.hpp"
 #include "workload/bot.hpp"
 
 namespace dg::sched {
+
+class DispatchIndex;
 
 /// Ordering used for the unstarted-task cursor and replication tie-breaks.
 enum class TaskOrder : std::uint8_t {
@@ -43,25 +46,43 @@ class BotState {
   [[nodiscard]] const TaskState& task(std::size_t i) const { return *tasks_[i]; }
 
   // --- pending pools ---
+  //
+  // The peeks are logically const: they only advance lazy cursors past
+  // entries whose tasks already changed state (the answer is a function of
+  // task states alone), so the containers are mutable and the methods const.
 
   /// Next never-started task in this bag's order, or nullptr.
-  [[nodiscard]] TaskState* peek_unstarted();
+  [[nodiscard]] TaskState* peek_unstarted() const;
   /// Oldest failed task awaiting priority resubmission (WQR-FT), or nullptr.
-  [[nodiscard]] TaskState* peek_resubmission();
+  [[nodiscard]] TaskState* peek_resubmission() const;
   /// Oldest task re-queued without priority (WQR / WorkQueue), or nullptr.
-  [[nodiscard]] TaskState* peek_requeued();
+  [[nodiscard]] TaskState* peek_requeued() const;
 
   void push_resubmission(TaskState& task);
   void push_requeue(TaskState& task);
 
-  /// True if any pending (zero-replica, incomplete) task exists.
-  [[nodiscard]] bool has_pending();
+  /// True if any pending (zero-replica, incomplete) task exists. Unlike the
+  /// peeks this never pops queue entries: a stale entry whose task is merely
+  /// running keeps its position and revalidates if the task fails again —
+  /// the priority-resubmission order the probing pick path relies on.
+  [[nodiscard]] bool has_pending() const;
+
+  /// True if a resubmission/requeue pool is non-empty yet holds no currently
+  /// dispatchable entry — every entry's task is running or completed. Such a
+  /// bag is exactly one the positional policy scans used to probe (and
+  /// thereby prune) on their way to the selected bag; the dispatch index
+  /// tracks these so the probes can be replayed without a full scan.
+  [[nodiscard]] bool has_stale_queue_entries() const;
 
   // --- replication candidates ---
 
   /// Incomplete task with >= 1 and < `threshold` running replicas, fewest
   /// replicas first (ties by the bag's TaskOrder). nullptr if none.
-  [[nodiscard]] TaskState* least_replicated_below(int threshold);
+  [[nodiscard]] TaskState* least_replicated_below(int threshold) const;
+
+  /// Smallest running-replica count among incomplete tasks with >= 1 replica,
+  /// or INT_MAX when no task is running. O(1): the bucket map's first key.
+  [[nodiscard]] int min_replicated_count() const noexcept;
 
   // --- bookkeeping driven by the scheduler ---
 
@@ -73,6 +94,13 @@ class BotState {
   /// Call when `task` completes, BEFORE its sibling replicas are stopped
   /// (the bucket entry is keyed by the still-current replica count).
   void on_task_completed(TaskState& task);
+
+  /// Attaches the scheduler's DispatchIndex; every mutator above (and the
+  /// push_* pools) refresh this bag's index memberships before returning.
+  /// Wired at the BotState level — not the policy-hook level — because
+  /// sibling-replica stops of completed tasks bypass the policy hooks yet
+  /// still change total_running(). nullptr detaches.
+  void set_dispatch_index(DispatchIndex* index) noexcept { dispatch_index_ = index; }
 
   // --- bag-level status ---
 
@@ -128,12 +156,13 @@ class BotState {
   TaskOrder order_;
   std::vector<std::unique_ptr<TaskState>> tasks_;
 
-  // Unstarted cursor: precomputed dispatch order, advanced lazily.
+  // Unstarted cursor: precomputed dispatch order, advanced lazily (mutable:
+  // the const peeks skip already-consumed entries; see the peek docs).
   std::vector<TaskState*> unstarted_order_;
-  std::size_t unstarted_cursor_ = 0;
+  mutable std::size_t unstarted_cursor_ = 0;
 
-  std::deque<TaskState*> resubmission_queue_;
-  std::deque<TaskState*> requeue_;
+  mutable std::deque<TaskState*> resubmission_queue_;
+  mutable std::deque<TaskState*> requeue_;
 
   // running-replica-count -> candidate tasks (counts >= 1 only).
   std::map<int, std::set<TaskState*, OrderedLess>> buckets_;
@@ -144,6 +173,78 @@ class BotState {
   bool ever_dispatched_ = false;
   double first_dispatch_time_ = 0.0;
   double completion_time_ = 0.0;
+
+  DispatchIndex* dispatch_index_ = nullptr;
+  void refresh_dispatch_index();
+
+  // Intrusive links for ActiveBotList (owned by the scheduler).
+  friend class ActiveBotList;
+  BotState* active_prev_ = nullptr;
+  BotState* active_next_ = nullptr;
+  bool in_active_list_ = false;
+};
+
+/// Intrusive doubly-linked list of the incomplete bags, in arrival order.
+/// Replaces the scheduler's vector + O(B) std::find erase: membership is a
+/// flag on the BotState, so completion removes a bag in O(1) while iteration
+/// order (arrival order) is preserved — the invariant every FCFS-style
+/// policy's determinism rests on.
+class ActiveBotList {
+ public:
+  ActiveBotList() = default;
+  ActiveBotList(const ActiveBotList&) = delete;
+  ActiveBotList& operator=(const ActiveBotList&) = delete;
+
+  void push_back(BotState& bot) {
+    DG_ASSERT_MSG(!bot.in_active_list_, "bot already in active list");
+    bot.in_active_list_ = true;
+    bot.active_prev_ = tail_;
+    bot.active_next_ = nullptr;
+    (tail_ != nullptr ? tail_->active_next_ : head_) = &bot;
+    tail_ = &bot;
+    ++size_;
+  }
+
+  void erase(BotState& bot) {
+    DG_ASSERT_MSG(bot.in_active_list_, "bot not in active list");
+    (bot.active_prev_ != nullptr ? bot.active_prev_->active_next_ : head_) = bot.active_next_;
+    (bot.active_next_ != nullptr ? bot.active_next_->active_prev_ : tail_) = bot.active_prev_;
+    bot.active_prev_ = nullptr;
+    bot.active_next_ = nullptr;
+    bot.in_active_list_ = false;
+    --size_;
+  }
+
+  [[nodiscard]] BotState* front() const noexcept { return head_; }
+  [[nodiscard]] BotState* back() const noexcept { return tail_; }
+  [[nodiscard]] bool empty() const noexcept { return head_ == nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] static bool contains(const BotState& bot) noexcept {
+    return bot.in_active_list_;
+  }
+
+  /// Forward iterator yielding BotState* in arrival order.
+  class iterator {
+   public:
+    explicit iterator(BotState* bot = nullptr) noexcept : bot_(bot) {}
+    BotState* operator*() const noexcept { return bot_; }
+    iterator& operator++() noexcept {
+      bot_ = bot_->active_next_;
+      return *this;
+    }
+    bool operator==(const iterator&) const = default;
+
+   private:
+    BotState* bot_;
+  };
+
+  [[nodiscard]] iterator begin() const noexcept { return iterator{head_}; }
+  [[nodiscard]] iterator end() const noexcept { return iterator{}; }
+
+ private:
+  BotState* head_ = nullptr;
+  BotState* tail_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 }  // namespace dg::sched

@@ -30,7 +30,7 @@ std::optional<IndividualSchedulerKind> parse_individual_kind(std::string_view na
   return std::nullopt;
 }
 
-TaskState* IndividualScheduler::pick(BotState& bot, int threshold) const {
+TaskState* IndividualScheduler::pick(const BotState& bot, int threshold) const {
   if (resubmission_priority()) {
     if (TaskState* task = bot.peek_resubmission()) return task;
   }

@@ -55,7 +55,7 @@ class IndividualScheduler {
   /// Precondition: threshold >= 1. Postcondition: a non-null result is an
   /// incomplete task of `bot` with running_replicas() < threshold, in this
   /// scheduler's pick order (see file comment).
-  [[nodiscard]] virtual TaskState* pick(BotState& bot, int threshold) const;
+  [[nodiscard]] virtual TaskState* pick(const BotState& bot, int threshold) const;
 
   [[nodiscard]] static std::unique_ptr<IndividualScheduler> make(IndividualSchedulerKind kind);
 };

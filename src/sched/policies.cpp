@@ -68,8 +68,11 @@ std::unique_ptr<BagSelectionPolicy> make_policy(PolicyKind kind, std::uint64_t s
 // --- FCFS-Excl ---
 
 TaskState* FcfsExclPolicy::select(SchedulerContext& ctx) {
-  if (ctx.bots.empty()) return nullptr;
-  return ctx.pick_from(*ctx.bots.front());
+  // Exclusive allocation: only the oldest incomplete bag is ever consulted,
+  // even when it has nothing dispatchable and younger bags do.
+  BotState* front = ctx.bots->front();
+  if (front == nullptr) return nullptr;
+  return ctx.pick_from(*front);
 }
 
 // --- FCFS-Share ---
@@ -79,30 +82,37 @@ TaskState* FcfsSharePolicy::select(SchedulerContext& ctx) {
   // threshold — the WQR-FT order) strictly in arrival order: a machine goes
   // to the next bag only when every older bag has no use for it. In
   // particular a resubmitted replica of a failed task of the first BoT has
-  // priority over tasks of the second BoT, as the paper requires.
-  for (BotState* bot : ctx.bots) {
-    if (TaskState* task = ctx.pick_from(*bot)) return task;
+  // priority over tasks of the second BoT, as the paper requires. The index
+  // hands over the oldest bag with dispatchable work directly; the stale
+  // bags the arrival-order scan would have probed first are drained so the
+  // resubmission pools prune exactly as they did under that scan.
+  BotState* bot = ctx.index->first_dispatchable();
+  if (bot == nullptr) {
+    ctx.index->drain_stale_all(*ctx.individual);
+    return nullptr;
   }
-  return nullptr;
+  ctx.index->drain_stale_below(*ctx.individual, bot->id());
+  TaskState* task = ctx.pick_from(*bot);
+  DG_ASSERT_MSG(task != nullptr, "dispatchable bag yielded no task");
+  return task;
 }
 
 // --- RR ---
 
 TaskState* RoundRobinPolicy::round_robin_pick(SchedulerContext& ctx) {
-  const std::size_t n = ctx.bots.size();
-  if (n == 0) return nullptr;
   // Bags are in arrival order with increasing ids; resume after the cursor.
-  std::size_t start = 0;
-  while (start < n && static_cast<std::uint64_t>(ctx.bots[start]->id()) <= cursor_) ++start;
-  if (start == n) start = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    BotState* bot = ctx.bots[(start + i) % n];
-    if (TaskState* task = ctx.pick_from(*bot)) {
-      cursor_ = bot->id();
-      return task;
-    }
+  // Stale bags the circular scan would have passed over are drained so the
+  // resubmission pools prune exactly as they did under that scan.
+  BotState* bot = ctx.index->next_dispatchable_after(cursor_);
+  if (bot == nullptr) {
+    ctx.index->drain_stale_all(*ctx.individual);
+    return nullptr;
   }
-  return nullptr;
+  ctx.index->drain_stale_ring(*ctx.individual, cursor_, bot->id());
+  TaskState* task = ctx.pick_from(*bot);
+  DG_ASSERT_MSG(task != nullptr, "dispatchable bag yielded no task");
+  cursor_ = bot->id();
+  return task;
 }
 
 TaskState* RoundRobinPolicy::select(SchedulerContext& ctx) { return round_robin_pick(ctx); }
@@ -111,11 +121,14 @@ TaskState* RoundRobinPolicy::select(SchedulerContext& ctx) { return round_robin_
 
 TaskState* RoundRobinNrfPolicy::select(SchedulerContext& ctx) {
   // Bags with no running task instance first; the circular cursor is
-  // suspended (not advanced) while serving them.
-  for (BotState* bot : ctx.bots) {
-    if (bot->total_running() == 0) {
-      if (TaskState* task = ctx.pick_from(*bot)) return task;
-    }
+  // suspended (not advanced) while serving them. An incomplete bag with no
+  // running replica always has a pending task (every zero-replica incomplete
+  // task is either unstarted or queued for resubmission), so the oldest such
+  // bag is served unconditionally.
+  if (BotState* bot = ctx.index->first_no_running()) {
+    TaskState* task = ctx.pick_from(*bot);
+    DG_ASSERT_MSG(task != nullptr, "no-running bag must have pending work");
+    return task;
   }
   return round_robin_pick(ctx);
 }
@@ -183,44 +196,59 @@ double LongIdlePolicy::bag_priority(BagIndex& index, double now) {
 
 TaskState* LongIdlePolicy::select(SchedulerContext& ctx) {
   // Rank bags by the largest waiting time among their incomplete tasks;
-  // ties (and equal priorities) resolve to the older bag.
-  std::vector<std::pair<double, std::size_t>> ranked;
-  ranked.reserve(ctx.bots.size());
-  for (std::size_t i = 0; i < ctx.bots.size(); ++i) {
-    auto it = bags_.find(ctx.bots[i]->id());
-    DG_ASSERT_MSG(it != bags_.end(), "LongIdle missing bag index (arrival hook not called?)");
-    ranked.emplace_back(bag_priority(it->second, ctx.now), i);
+  // ties (and equal priorities) resolve to the older bag. The probe order
+  // over the ranked list matches the historical full-sort implementation,
+  // so the pick_from calls prune the per-bag pools identically — LongIdle
+  // needs none of the dispatch index's stale-drain machinery (and never
+  // touches ctx.bots / ctx.index; bags_ is its own active-bag view).
+  std::vector<std::pair<double, BotState*>> ranked;
+  ranked.reserve(bags_.size());
+  for (auto& [id, index] : bags_) {
+    ranked.emplace_back(bag_priority(index, ctx.now), index.bot);
   }
-  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  });
-  for (const auto& [priority, i] : ranked) {
-    if (TaskState* task = ctx.pick_from(*ctx.bots[i])) return task;
+  // bags_ iterates in increasing id = arrival order, so stable_sort keeps
+  // equal priorities in arrival order — the historical tie-break.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [priority, bot] : ranked) {
+    if (TaskState* task = ctx.pick_from(*bot)) return task;
   }
   return nullptr;
 }
 
+
 // --- PF-RR (hybrid extension) ---
 
 TaskState* PendingFirstPolicy::select(SchedulerContext& ctx) {
+  // Deliberately a positional scan, not an index walk: the probing peeks
+  // prune the resubmission pools of every bag visited, and PF-RR's
+  // pending-first pass visits bags an index jump would skip. PF-RR is an
+  // extension outside the paper's policy set and off the hot-path suites,
+  // so it keeps the probe-everything behaviour verbatim.
+  //
   // Pass 1: pending work (priority resubmissions, then unstarted tasks)
   // strictly in bag-arrival order.
-  for (BotState* bot : ctx.bots) {
-    if (bot->has_pending()) return ctx.pick_from(*bot);
+  for (BotState* bot : *ctx.bots) {
+    if (bot->peek_resubmission() != nullptr || bot->peek_unstarted() != nullptr ||
+        bot->peek_requeued() != nullptr) {
+      return ctx.pick_from(*bot);
+    }
   }
   // Pass 2: every task everywhere has a replica — replicate, but spread
   // across bags with a persistent circular cursor instead of favouring the
   // oldest bag.
-  const std::size_t n = ctx.bots.size();
+  const std::size_t n = ctx.bots->size();
   if (n == 0) return nullptr;
+  std::vector<BotState*> bots;
+  bots.reserve(n);
+  for (BotState* bot : *ctx.bots) bots.push_back(bot);
   std::size_t start = 0;
-  while (start < n && static_cast<std::uint64_t>(ctx.bots[start]->id()) <= replication_cursor_) {
+  while (start < n && static_cast<std::uint64_t>(bots[start]->id()) <= replication_cursor_) {
     ++start;
   }
   if (start == n) start = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    BotState* bot = ctx.bots[(start + i) % n];
+    BotState* bot = bots[(start + i) % n];
     if (TaskState* task = ctx.pick_from(*bot)) {
       replication_cursor_ = bot->id();
       return task;
@@ -231,14 +259,34 @@ TaskState* PendingFirstPolicy::select(SchedulerContext& ctx) {
 
 // --- SJF-Bag (knowledge-based baseline) ---
 
+void ShortestBagFirstPolicy::on_bot_arrival(BotState& bot, double /*now*/) {
+  order_.emplace(std::pair{bot.remaining_work(), bot.id()}, &bot);
+  keys_.emplace(bot.id(), bot.remaining_work());
+}
+
+void ShortestBagFirstPolicy::on_bot_completion(BotState& bot, double /*now*/) {
+  auto it = keys_.find(bot.id());
+  DG_ASSERT_MSG(it != keys_.end(), "SJF-Bag missing bag key (arrival hook not called?)");
+  order_.erase({it->second, bot.id()});
+  keys_.erase(it);
+}
+
+void ShortestBagFirstPolicy::on_task_transition(TaskState& task, double /*now*/) {
+  if (!task.completed()) return;  // remaining_work only changes at completion
+  BotState& bot = task.bot();
+  const auto it = keys_.find(bot.id());
+  if (it == keys_.end()) return;
+  const double work = bot.remaining_work();
+  if (work == it->second) return;
+  order_.erase({it->second, bot.id()});
+  order_.emplace(std::pair{work, bot.id()}, &bot);
+  it->second = work;
+}
+
 TaskState* ShortestBagFirstPolicy::select(SchedulerContext& ctx) {
-  // Bags sorted by remaining work ascending; ties resolve to the older bag
-  // (ctx.bots is in arrival order, stable_sort preserves it).
-  std::vector<BotState*> ranked(ctx.bots.begin(), ctx.bots.end());
-  std::stable_sort(ranked.begin(), ranked.end(), [](const BotState* a, const BotState* b) {
-    return a->remaining_work() < b->remaining_work();
-  });
-  for (BotState* bot : ranked) {
+  // Bags ordered by remaining work ascending, ties to the older bag — the
+  // map key is exactly that order, maintained incrementally.
+  for (const auto& [key, bot] : order_) {
     if (TaskState* task = ctx.pick_from(*bot)) return task;
   }
   return nullptr;
@@ -247,9 +295,13 @@ TaskState* ShortestBagFirstPolicy::select(SchedulerContext& ctx) {
 // --- Random ---
 
 TaskState* RandomPolicy::select(SchedulerContext& ctx) {
+  // Deliberately a probe-every-bag scan, not an index walk: probing every
+  // bag prunes every resubmission pool each select, and no range-limited
+  // drain reproduces that. Random is a baseline outside the paper's policy
+  // set and off the hot-path suites, so it keeps the O(B) loop verbatim.
   std::vector<BotState*> dispatchable;
-  dispatchable.reserve(ctx.bots.size());
-  for (BotState* bot : ctx.bots) {
+  dispatchable.reserve(ctx.bots->size());
+  for (BotState* bot : *ctx.bots) {
     if (ctx.pick_from(*bot) != nullptr) dispatchable.push_back(bot);
   }
   if (dispatchable.empty()) return nullptr;

@@ -3,8 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <queue>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "rng/random_stream.hpp"
@@ -61,16 +64,21 @@ class RoundRobinNrfPolicy final : public RoundRobinPolicy {
 };
 
 /// LongIdle: prefer the bag hosting the task with the largest accumulated
-/// waiting time (total time with zero running replicas). Maintains lazy
-/// max-heaps per bag so selection is O(active bags · log) amortized:
+/// waiting time (total time with zero running replicas). Maintains two lazy
+/// *global* max-heaps over all bags, so selection is O(log) amortized
+/// instead of a per-select sweep + sort over every active bag:
 ///   * never-started tasks all share the key -arrival_time (one sentinel
 ///     entry per bag covers them);
 ///   * an idle task's waiting time is frozen_idle + (now - idle_since); the
 ///     now-independent key frozen_idle - idle_since is stable while idle;
 ///   * a running task's waiting time is its frozen_idle, stable while it
 ///     runs.
-/// Stale heap entries are discarded on inspection (keys strictly decrease
-/// across idle periods, so stale entries surface first and are popped).
+/// The bag with the largest waiting time is the bag of the largest valid
+/// entry across the two heaps; ties resolve to the older bag (smaller bag
+/// id, equal to arrival order). Stale entries are discarded on inspection
+/// (keys strictly decrease across idle periods, so for any task the stale
+/// entries surface before the live one); entries of completed bags are
+/// recognized by id against `registered_` before any pointer is touched.
 class LongIdlePolicy final : public BagSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "LongIdle"; }
@@ -91,6 +99,15 @@ class LongIdlePolicy final : public BagSelectionPolicy {
       return a < b;
     }
   };
+  // Per-bag lazy-deletion heaps, NOT one global heap: a bag's priority is
+  // the max over its own entries, so the per-bag top is found by popping at
+  // most the entries invalidated since the last probe (amortized O(1) —
+  // every pop is paid by an on_task_transition push). A single global heap
+  // would have to dig past every entry of each threshold-capped bag — and
+  // past *all* live entries on the terminating null select of a trigger —
+  // re-pushing them afterwards, which measured ~9x slower on the scale
+  // suite. The O(B) ranked scan per select is cheap: B is active bags,
+  // orders of magnitude below the task-entry count.
   struct BagIndex {
     BotState* bot = nullptr;
     // Tasks currently idle: key = frozen_idle - idle_since.
@@ -103,7 +120,10 @@ class LongIdlePolicy final : public BagSelectionPolicy {
   /// -infinity when the bag has no incomplete task.
   [[nodiscard]] double bag_priority(BagIndex& index, double now);
 
-  std::unordered_map<workload::BotId, BagIndex> bags_;
+  /// Active bags keyed by id; ordered so iteration is arrival order (ids are
+  /// assigned in arrival order), which select's tie-break depends on. The
+  /// policy never consults ctx.bots / ctx.index — this map is authoritative.
+  std::map<workload::BotId, BagIndex> bags_;
 };
 
 /// PendingFirst (PF-RR): our answer to the paper's closing question — a
@@ -132,6 +152,17 @@ class ShortestBagFirstPolicy final : public BagSelectionPolicy {
  public:
   [[nodiscard]] std::string name() const override { return "SJF-Bag"; }
   [[nodiscard]] TaskState* select(SchedulerContext& ctx) override;
+  void on_bot_arrival(BotState& bot, double now) override;
+  void on_bot_completion(BotState& bot, double now) override;
+  void on_task_transition(TaskState& task, double now) override;
+
+ private:
+  // Active bags ordered by (remaining work asc, bag id asc) — the same order
+  // the per-select stable_sort used to produce. remaining_work only changes
+  // at task completion, so on_task_transition re-keys at most one bag.
+  std::map<std::pair<double, workload::BotId>, BotState*> order_;
+  /// Each bag's current key in `order_` (the erase handle).
+  std::unordered_map<workload::BotId, double> keys_;
 };
 
 /// Random: uniform choice among bags with dispatchable work (the naive

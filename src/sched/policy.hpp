@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "sched/bot_state.hpp"
+#include "sched/dispatch_index.hpp"
 #include "sched/individual.hpp"
 
 namespace dg::sched {
@@ -43,14 +44,18 @@ enum class PolicyKind : std::uint8_t {
 /// Everything a policy may consult when selecting.
 struct SchedulerContext {
   double now = 0.0;
-  /// Incomplete bags in arrival order.
-  std::span<BotState* const> bots;
+  /// Incomplete bags in arrival order (O(1) front/back, intrusive erase).
+  const ActiveBotList* bots = nullptr;
+  /// Incremental eligibility index over the same bags, kept current by
+  /// BotState's mutators; its threshold equals `threshold` below. Policies
+  /// query it instead of probing every bag (see sched/dispatch_index.hpp).
+  DispatchIndex* index = nullptr;
   const IndividualScheduler* individual = nullptr;
   /// Effective replication threshold for this dispatch decision.
   int threshold = 2;
 
   /// Within-bag choice via the individual scheduler.
-  [[nodiscard]] TaskState* pick_from(BotState& bot) const {
+  [[nodiscard]] TaskState* pick_from(const BotState& bot) const {
     return individual->pick(bot, threshold);
   }
 };

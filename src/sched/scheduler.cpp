@@ -1,6 +1,5 @@
 #include "sched/scheduler.hpp"
 
-#include <algorithm>
 #include <limits>
 
 #include "util/assert.hpp"
@@ -16,6 +15,7 @@ MultiBotScheduler::MultiBotScheduler(des::Simulator& sim, grid::DesktopGrid& gri
   DG_ASSERT(policy_ != nullptr);
   DG_ASSERT(individual_ != nullptr);
   DG_ASSERT(replication_ != nullptr);
+  index_.set_stats(&stats_);
 }
 
 int MultiBotScheduler::effective_threshold() const {
@@ -30,7 +30,9 @@ int MultiBotScheduler::effective_threshold() const {
 void MultiBotScheduler::submit(BotState& bot) {
   DG_ASSERT_MSG(active_bots_.empty() || active_bots_.back()->arrival_time() <= bot.arrival_time(),
                 "bags must be submitted in arrival order");
-  active_bots_.push_back(&bot);
+  active_bots_.push_back(bot);
+  bot.set_dispatch_index(&index_);
+  index_.register_bot(bot);
   policy_->on_bot_arrival(bot, sim_.now());
   trigger();
 }
@@ -40,19 +42,19 @@ void MultiBotScheduler::trigger() {
   in_trigger_ = true;
   ++stats_.triggers;
   DG_ASSERT_MSG(sink_ != nullptr, "MultiBotScheduler used without a DispatchSink");
-  std::size_t m = 0;
-  const std::size_t num_machines = grid_.size();
-  while (m < num_machines) {
+  // Dispatching only removes machines from the free set (nothing frees up
+  // mid-trigger), so repeatedly pulling the lowest-id available machine
+  // visits exactly the machines the old full forward scan dispatched to.
+  grid::MachineId m = grid_.first_available();
+  while (m != grid::DesktopGrid::kNoMachine) {
     ++stats_.machines_examined;
-    if (!grid_.machine(m).available()) {
-      ++m;
-      continue;
-    }
     SchedulerContext ctx;
     ctx.now = sim_.now();
-    ctx.bots = active_bots_;
+    ctx.bots = &active_bots_;
+    ctx.index = &index_;
     ctx.individual = individual_.get();
     ctx.threshold = effective_threshold();
+    index_.set_threshold(ctx.threshold);
     ++stats_.selects;
     TaskState* task = policy_->select(ctx);
     if (task == nullptr) break;  // nothing dispatchable anywhere
@@ -61,6 +63,7 @@ void MultiBotScheduler::trigger() {
     ++replicas_started_;
     sink_->start_replica(*task, grid_.machine(m));
     DG_ASSERT_MSG(grid_.machine(m).busy(), "engine must mark the machine busy");
+    m = grid_.first_available();
   }
   in_trigger_ = false;
 }
@@ -100,9 +103,11 @@ void MultiBotScheduler::notify_task_completed(TaskState& task) {
   if (bot.completed()) {
     bot.note_completion(sim_.now());
     policy_->on_bot_completion(bot, sim_.now());
-    auto it = std::find(active_bots_.begin(), active_bots_.end(), &bot);
-    DG_ASSERT(it != active_bots_.end());
-    active_bots_.erase(it);
+    index_.unregister_bot(bot);
+    // Detach before the completed task's sibling replicas are stopped: those
+    // stops still mutate the bag but must not resurrect index entries.
+    bot.set_dispatch_index(nullptr);
+    active_bots_.erase(bot);  // O(1): intrusive links
     ++bots_completed_;
     if (on_bot_completed_) on_bot_completed_(bot);
   }

@@ -15,6 +15,7 @@
 #include "des/simulator.hpp"
 #include "grid/desktop_grid.hpp"
 #include "sched/bot_state.hpp"
+#include "sched/dispatch_index.hpp"
 #include "sched/individual.hpp"
 #include "sched/policy.hpp"
 #include "sched/replication.hpp"
@@ -59,9 +60,12 @@ class MultiBotScheduler {
   void submit(BotState& bot);
 
   /// Dispatch loop: while an up-and-idle machine exists and the policy
-  /// yields a task, hand (task, machine) to the sink. Re-entrancy safe —
-  /// calls arriving while a dispatch is in flight (e.g. from an engine
-  /// notification) coalesce into the running loop instead of recursing.
+  /// yields a task, hand (task, machine) to the sink. Machines are pulled
+  /// from the grid's free-machine index in id order (the same order the old
+  /// full scan produced), so the loop's cost is proportional to the number
+  /// of dispatches, not the grid size. Re-entrancy safe — calls arriving
+  /// while a dispatch is in flight (e.g. from an engine notification)
+  /// coalesce into the running loop instead of recursing.
   void trigger();
 
   // --- engine notifications (see sim/execution_engine.cpp for call order) ---
@@ -80,14 +84,16 @@ class MultiBotScheduler {
   /// After task.mark_completed(), BEFORE sibling replicas are stopped.
   void notify_task_completed(TaskState& task);
 
-  /// A machine came back up (or otherwise became available).
-  void notify_capacity_change() { trigger(); }
+  /// `machine` came back up (or otherwise became available).
+  void notify_capacity_change(grid::Machine& machine) {
+    DG_ASSERT_MSG(machine.available(), "capacity change for an unavailable machine");
+    trigger();
+  }
 
   // --- queries ---
 
-  [[nodiscard]] const std::vector<BotState*>& active_bots() const noexcept {
-    return active_bots_;
-  }
+  [[nodiscard]] const ActiveBotList& active_bots() const noexcept { return active_bots_; }
+  [[nodiscard]] const DispatchIndex& dispatch_index() const noexcept { return index_; }
   [[nodiscard]] const BagSelectionPolicy& policy() const noexcept { return *policy_; }
   [[nodiscard]] const IndividualScheduler& individual() const noexcept { return *individual_; }
   [[nodiscard]] const ReplicationController& replication() const noexcept {
@@ -113,7 +119,8 @@ class MultiBotScheduler {
   DispatchSink* sink_ = nullptr;
   std::function<void(BotState&)> on_bot_completed_;
 
-  std::vector<BotState*> active_bots_;  // incomplete, arrival order
+  ActiveBotList active_bots_;  // incomplete, arrival order
+  DispatchIndex index_;        // eligibility sets over active_bots_
   bool in_trigger_ = false;
   SchedStats stats_;
 

@@ -194,7 +194,7 @@ void ExecutionEngine::on_machine_repair(grid::Machine& machine) {
   for (SimulationObserver* observer : observers_) {
     observer->on_machine_repaired(machine, sim_.now());
   }
-  scheduler_.notify_capacity_change();
+  scheduler_.notify_capacity_change(machine);
 }
 
 }  // namespace dg::sim

@@ -63,8 +63,11 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   const sched::TaskOrder task_order = individual->task_order();
   const bool resubmission_priority = individual->resubmission_priority();
   (void)resubmission_priority;
-  sched::MultiBotScheduler scheduler(sim, grid, sched::make_policy(config_.policy, config_.seed),
-                                     std::move(individual), std::move(replication));
+  std::unique_ptr<sched::BagSelectionPolicy> policy =
+      sched::make_policy(config_.policy, config_.seed);
+  if (config_.wrap_policy) policy = config_.wrap_policy(std::move(policy));
+  sched::MultiBotScheduler scheduler(sim, grid, std::move(policy), std::move(individual),
+                                     std::move(replication));
 
   // --- execution engine ---
   EngineConfig engine_config;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,6 +55,14 @@ struct SimulationConfig {
   /// Sampling period of the queue monitor (active bags / busy machines time
   /// series); 0 = auto (~512 samples across the horizon).
   double monitor_interval = 0.0;
+
+  /// Test hook: wraps the freshly constructed bag-selection policy before
+  /// the scheduler takes ownership — e.g. in a decorator asserting select()
+  /// postconditions on every dispatch. Must return a policy with identical
+  /// decisions; leave empty outside tests.
+  std::function<std::unique_ptr<sched::BagSelectionPolicy>(
+      std::unique_ptr<sched::BagSelectionPolicy>)>
+      wrap_policy;
 };
 
 struct BotRecord {

@@ -39,7 +39,8 @@ class ReferenceWorld {
   SchedulerContext context(double now) {
     SchedulerContext ctx;
     ctx.now = now;
-    ctx.bots = active_;
+    // LongIdle consults only its own heaps (never ctx.bots / ctx.index), so
+    // the reference world keeps its plain vector of active bags.
     ctx.individual = individual_.get();
     ctx.threshold = 2;
     return ctx;

@@ -26,9 +26,12 @@ class PolicyHarness {
     spec.arrival_time = arrival;
     for (double w : works) spec.tasks.push_back(workload::TaskSpec{w});
     bots_.push_back(std::make_unique<BotState>(spec, individual_->task_order()));
-    active_.push_back(bots_.back().get());
-    policy_->on_bot_arrival(*bots_.back(), arrival);
-    return *bots_.back();
+    BotState& bot = *bots_.back();
+    active_.push_back(bot);
+    bot.set_dispatch_index(&index_);
+    index_.register_bot(bot);
+    policy_->on_bot_arrival(bot, arrival);
+    return bot;
   }
 
   void start_replica(TaskState& task, double now) {
@@ -61,17 +64,21 @@ class PolicyHarness {
     }
     if (bot.completed()) {
       policy_->on_bot_completion(bot, now);
-      std::erase(active_, &bot);
+      index_.unregister_bot(bot);
+      bot.set_dispatch_index(nullptr);
+      active_.erase(bot);
     }
   }
 
   TaskState* select(double now, int threshold = 2) {
     SchedulerContext ctx;
     ctx.now = now;
-    ctx.bots = active_;
+    ctx.bots = &active_;
+    ctx.index = &index_;
     ctx.individual = individual_.get();
     ctx.threshold =
         policy_->unlimited_replication() ? std::numeric_limits<int>::max() / 2 : threshold;
+    index_.set_threshold(ctx.threshold);
     return policy_->select(ctx);
   }
 
@@ -81,7 +88,8 @@ class PolicyHarness {
   std::unique_ptr<BagSelectionPolicy> policy_;
   std::unique_ptr<IndividualScheduler> individual_;
   std::vector<std::unique_ptr<BotState>> bots_;
-  std::vector<BotState*> active_;
+  ActiveBotList active_;
+  DispatchIndex index_;
 };
 
 // --- IndividualScheduler pick order ---

@@ -1,0 +1,119 @@
+// Property test for BagSelectionPolicy::select()'s postcondition, enforced
+// on every dispatch of end-to-end runs across the stress matrix: a non-null
+// result must be an incomplete task of one of the active bags with fewer
+// running replicas than the effective threshold (which is "potentially
+// unlimited" for FCFS-Excl — the decorator checks the contract the
+// scheduler actually applies, ctx.threshold, in both cases).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "sched/policy.hpp"
+#include "sim/simulation.hpp"
+
+namespace dg::sim {
+namespace {
+
+/// Decorator forwarding every call to the wrapped policy and asserting the
+/// select() postcondition on each non-null result. Decisions (including the
+/// RNG stream of stochastic policies) are untouched.
+class CheckedPolicy final : public sched::BagSelectionPolicy {
+ public:
+  CheckedPolicy(std::unique_ptr<sched::BagSelectionPolicy> inner, long& dispatches)
+      : inner_(std::move(inner)), dispatches_(dispatches) {}
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] bool unlimited_replication() const override {
+    return inner_->unlimited_replication();
+  }
+  void on_bot_arrival(sched::BotState& bot, double now) override {
+    inner_->on_bot_arrival(bot, now);
+  }
+  void on_bot_completion(sched::BotState& bot, double now) override {
+    inner_->on_bot_completion(bot, now);
+  }
+  void on_task_transition(sched::TaskState& task, double now) override {
+    inner_->on_task_transition(task, now);
+  }
+
+  [[nodiscard]] sched::TaskState* select(sched::SchedulerContext& ctx) override {
+    sched::TaskState* task = inner_->select(ctx);
+    if (task == nullptr) return nullptr;
+    ++dispatches_;
+    EXPECT_FALSE(task->completed()) << "select() returned a completed task";
+    bool owner_active = false;
+    for (sched::BotState* bot : *ctx.bots) {
+      if (bot == &task->bot()) {
+        owner_active = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(owner_active) << "select() returned a task of an inactive bag";
+    // ctx.threshold is the effective threshold: the controller's value, or
+    // "potentially unlimited" under FCFS-Excl. Either way the scheduler
+    // relies on the result sitting strictly below it.
+    EXPECT_LT(task->running_replicas(), ctx.threshold);
+    if (inner_->unlimited_replication()) {
+      EXPECT_GT(ctx.threshold, 1000000) << "FCFS-Excl must see an unbounded threshold";
+    }
+    return task;
+  }
+
+ private:
+  std::unique_ptr<sched::BagSelectionPolicy> inner_;
+  long& dispatches_;
+};
+
+using PostconditionParam =
+    std::tuple<sched::PolicyKind, grid::AvailabilityLevel, sched::IndividualSchedulerKind>;
+
+std::string param_name(const ::testing::TestParamInfo<PostconditionParam>& info) {
+  std::string name = sched::to_string(std::get<0>(info.param)) + "_" +
+                     grid::to_string(std::get<1>(info.param)) + "_" +
+                     sched::to_string(std::get<2>(info.param));
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class SelectPostconditionTest : public ::testing::TestWithParam<PostconditionParam> {};
+
+TEST_P(SelectPostconditionTest, HoldsOnEveryDispatch) {
+  const auto [policy, level, individual] = GetParam();
+  SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHet, level);
+  config.workload = make_paper_workload(config.grid, 25000.0, workload::Intensity::kLow, 8);
+  config.policy = policy;
+  config.individual = individual;
+  config.seed = 20260806;
+
+  long dispatches = 0;
+  config.wrap_policy = [&dispatches](std::unique_ptr<sched::BagSelectionPolicy> inner) {
+    return std::make_unique<CheckedPolicy>(std::move(inner), dispatches);
+  };
+
+  const SimulationResult result = Simulation(config).run();
+  EXPECT_EQ(static_cast<std::uint64_t>(dispatches), result.replicas_started)
+      << "every started replica must have passed through select()";
+  EXPECT_GT(dispatches, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StressMatrix, SelectPostconditionTest,
+    ::testing::Combine(
+        ::testing::Values(sched::PolicyKind::kFcfsExcl, sched::PolicyKind::kFcfsShare,
+                          sched::PolicyKind::kRoundRobin, sched::PolicyKind::kRoundRobinNrf,
+                          sched::PolicyKind::kLongIdle, sched::PolicyKind::kRandom,
+                          sched::PolicyKind::kShortestBagFirst,
+                          sched::PolicyKind::kPendingFirst),
+        ::testing::Values(grid::AvailabilityLevel::kAlways, grid::AvailabilityLevel::kLow),
+        ::testing::Values(sched::IndividualSchedulerKind::kWqrFt,
+                          sched::IndividualSchedulerKind::kWorkQueue)),
+    param_name);
+
+}  // namespace
+}  // namespace dg::sim
