@@ -20,7 +20,7 @@ namespace dg::bench {
 
 /// One benchmark measurement. Schema (stable across PRs — append-only):
 /// {benchmark, events_per_sec, wall_s, peak_rss_kb, config, seed,
-///  machines_per_dispatch}.
+///  machines_per_dispatch, transfer_retries, replicas_degraded}.
 struct PerfRecord {
   std::string benchmark;     ///< Stable identifier, e.g. "kernel/event_chain".
   double events_per_sec = 0; ///< Primary throughput metric.
@@ -32,6 +32,11 @@ struct PerfRecord {
   /// (0 for kernel benchmarks, which have no scheduler). Deterministic for a
   /// given config+seed, unlike the wall-clock fields.
   double machines_per_dispatch = 0;
+  /// Checkpoint-server recovery counters (FaultStats); zero everywhere except
+  /// the chaos benchmarks, which run with an unreliable server. Deterministic
+  /// for a given config+seed.
+  std::uint64_t transfer_retries = 0;
+  std::uint64_t replicas_degraded = 0;
 };
 
 /// Peak resident set size of this process in kilobytes (0 when unavailable).
@@ -91,6 +96,8 @@ inline void write_perf_json(std::ostream& os, const std::vector<PerfRecord>& rec
     detail::write_json_string(os, r.config);
     os << ",\n    \"seed\": " << r.seed;
     os << ",\n    \"machines_per_dispatch\": " << r.machines_per_dispatch;
+    os << ",\n    \"transfer_retries\": " << r.transfer_retries;
+    os << ",\n    \"replicas_degraded\": " << r.replicas_degraded;
     os << "\n  }" << (i + 1 < records.size() ? "," : "") << "\n";
   }
   os << "]\n";

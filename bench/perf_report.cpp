@@ -19,6 +19,7 @@
 
 #include "des/simulator.hpp"
 #include "grid/desktop_grid.hpp"
+#include "sim/invariant_checker.hpp"
 #include "sim/simulation.hpp"
 
 #include "perf_json.hpp"
@@ -141,18 +142,34 @@ dg::sim::SimulationConfig policy_config(dg::sched::PolicyKind policy, double gra
   return config;
 }
 
+/// Set when any chaos run produces an invariant violation; fails the report.
+bool g_invariants_violated = false;
+
 PerfRecord run_policy(const std::string& name, const std::string& config_desc,
                       const dg::sim::SimulationConfig& config, int reps = kPolicyReps) {
   double machines_per_dispatch = 0.0;
-  PerfRecord record = best_of(name, config_desc, config.seed, reps,
-                              [&config, &machines_per_dispatch] {
-                                const auto result = dg::sim::Simulation(config).run();
-                                machines_per_dispatch =
-                                    result.sched.machines_per_dispatch(result.replicas_started);
-                                return result.events_executed;
-                              });
+  dg::sim::FaultStats faults;
+  const bool check_invariants = config.grid.checkpoint_server_faults.enabled;
+  PerfRecord record =
+      best_of(name, config_desc, config.seed, reps,
+              [&config, &machines_per_dispatch, &faults, check_invariants, &name] {
+                dg::sim::InvariantChecker checker;
+                const auto result =
+                    dg::sim::Simulation(config).run(check_invariants ? &checker : nullptr);
+                if (check_invariants && !checker.ok()) {
+                  std::cerr << "perf_report: invariant violations in " << name << ":\n"
+                            << checker.report();
+                  g_invariants_violated = true;
+                }
+                machines_per_dispatch =
+                    result.sched.machines_per_dispatch(result.replicas_started);
+                faults = result.faults;
+                return result.events_executed;
+              });
   // Deterministic for a given config+seed, so any rep's value is the value.
   record.machines_per_dispatch = machines_per_dispatch;
+  record.transfer_retries = faults.transfer_retries;
+  record.replicas_degraded = faults.replicas_degraded;
   return record;
 }
 
@@ -189,6 +206,20 @@ std::vector<PerfRecord> run_policy_suite() {
                                policy_config(PolicyKind::kRoundRobin, 25000.0, 10,
                                              dg::grid::Heterogeneity::kHet,
                                              dg::grid::AvailabilityLevel::kLow)));
+  // Chaos cell: the same low-availability grid with a *failing* checkpoint
+  // server (MTBF 8000 s, MTTR 4000 s, transfers aborted). Runs under the
+  // InvariantChecker; retry/degradation counters land in the JSON record.
+  {
+    dg::sim::SimulationConfig config =
+        policy_config(PolicyKind::kRoundRobin, 25000.0, 10, dg::grid::Heterogeneity::kHet,
+                      dg::grid::AvailabilityLevel::kLow);
+    config.grid.checkpoint_server_faults.enabled = true;
+    config.grid.checkpoint_server_faults.mtbf = 8000.0;
+    config.grid.checkpoint_server_faults.mttr = 4000.0;
+    records.push_back(run_policy("policy/server_chaos",
+                                 "het/low-avail, g=25000, 10 bags, server mtbf=8000 mttr=4000",
+                                 config));
+  }
   return records;
 }
 
@@ -249,5 +280,9 @@ int main(int argc, char** argv) {
   policies.insert(policies.end(), scale.begin(), scale.end());
   bool ok = write_report(out_dir + "/BENCH_kernel.json", kernel);
   ok = write_report(out_dir + "/BENCH_policies.json", policies) && ok;
+  if (g_invariants_violated) {
+    std::cerr << "perf_report: chaos runs violated simulation invariants\n";
+    ok = false;
+  }
   return ok ? 0 : 1;
 }

@@ -95,6 +95,9 @@ std::vector<CellResult> ExperimentRunner::run(const std::vector<NamedConfig>& ce
       cell.utilization.add(sim_result.utilization);
       cell.wasted_fraction.add(sim_result.wasted_fraction());
       cell.lost_work.add(sim_result.lost_work);
+      cell.transfer_retries.add(static_cast<double>(sim_result.faults.transfer_retries));
+      cell.replicas_degraded.add(static_cast<double>(sim_result.faults.replicas_degraded));
+      cell.server_downtime.add(sim_result.faults.server_downtime);
       ++cell.replications;
       if (sim_result.saturated) ++cell.saturated_replications;
     }

@@ -50,6 +50,11 @@ struct CellResult {
   stats::OnlineStats utilization;
   stats::OnlineStats wasted_fraction;
   stats::OnlineStats lost_work;
+  // Checkpoint-server fault/recovery counters (all zero for a reliable
+  // server); per-replication means of the SimulationResult::faults fields.
+  stats::OnlineStats transfer_retries;
+  stats::OnlineStats replicas_degraded;
+  stats::OnlineStats server_downtime;
   std::size_t replications = 0;
   std::size_t saturated_replications = 0;
 

@@ -2,7 +2,36 @@
 
 #include <cmath>
 
+#include "util/assert.hpp"
+
 namespace dg::grid {
+
+CheckpointServerFaultProcess::CheckpointServerFaultProcess(des::Simulator& sim,
+                                                           CheckpointServer& server,
+                                                           CheckpointServerFaultModel model,
+                                                           rng::RandomStream stream)
+    : sim_(sim), server_(server), model_(model), stream_(stream) {}
+
+void CheckpointServerFaultProcess::start(Callback on_down, Callback on_up) {
+  on_down_ = std::move(on_down);
+  on_up_ = std::move(on_up);
+  if (!model_.enabled) return;
+  DG_ASSERT_MSG(model_.mtbf > 0.0 && model_.mttr > 0.0,
+                "CheckpointServerFaultProcess: MTBF and MTTR must be positive");
+  sim_.schedule_after(stream_.exponential_mean(model_.mtbf), [this] { crash(); });
+}
+
+void CheckpointServerFaultProcess::crash() {
+  server_.set_down(sim_.now());
+  if (on_down_) on_down_();
+  sim_.schedule_after(stream_.exponential_mean(model_.mttr), [this] { repair(); });
+}
+
+void CheckpointServerFaultProcess::repair() {
+  server_.set_up(sim_.now());
+  if (on_up_) on_up_();
+  sim_.schedule_after(stream_.exponential_mean(model_.mtbf), [this] { crash(); });
+}
 
 double young_checkpoint_interval(double mean_checkpoint_cost, double mttf) noexcept {
   return std::sqrt(2.0 * mean_checkpoint_cost * mttf);

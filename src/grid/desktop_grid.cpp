@@ -33,7 +33,8 @@ std::string GridConfig::name() const {
 
 DesktopGrid::DesktopGrid(const GridConfig& config, des::Simulator& sim, std::uint64_t seed)
     : config_(config), sim_(sim),
-      checkpoint_server_(config.checkpoint_transfer, config.checkpoint_server_capacity) {
+      checkpoint_server_(config.checkpoint_transfer, config.checkpoint_server_capacity,
+                         config.checkpoint_server_release_slots) {
   DG_ASSERT(config.total_power > 0.0);
   rng::RandomStream power_stream = rng::RandomStream::derive(seed, "grid.machine_power");
   MachineId next_id = 0;

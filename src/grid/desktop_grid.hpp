@@ -40,6 +40,12 @@ struct GridConfig {
   /// Concurrent transfer slots at the checkpoint server (0 = unlimited, the
   /// paper's pure-delay model).
   std::size_t checkpoint_server_capacity = 0;
+  /// Release a reserved transfer slot when its client dies mid-transfer.
+  /// Set false to reproduce the historical slot leak for golden comparison.
+  bool checkpoint_server_release_slots = true;
+  /// Checkpoint-server outages (disabled by default = paper's perfectly
+  /// reliable server). Recovery semantics live in sim::ExecutionEngine.
+  CheckpointServerFaultModel checkpoint_server_faults{};
   /// Correlated outages (disabled by default); composes with the
   /// per-machine availability model.
   OutageModel outages{};

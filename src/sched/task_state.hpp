@@ -69,6 +69,11 @@ class TaskState {
     if (progress > checkpointed_work_) checkpointed_work_ = progress;
   }
 
+  /// Wipes the committed checkpoint — the *only* sanctioned regression,
+  /// driven by a checkpoint-server crash that loses stored data. The next
+  /// dispatched replica recomputes from scratch.
+  void invalidate_checkpoint() noexcept { checkpointed_work_ = 0.0; }
+
   // --- resubmission (WQR-FT fault handling) ---
 
   [[nodiscard]] bool needs_resubmission() const noexcept { return needs_resubmission_; }

@@ -43,7 +43,7 @@ SimulationConfig load_simulation_config(std::istream& is) {
   const util::IniFile ini = util::IniFile::parse(is);
   for (const std::string& section : ini.sections()) {
     if (section != "grid" && section != "workload" && section != "scheduler" &&
-        section != "run" && !section.empty()) {
+        section != "run" && section != "checkpoint_server" && !section.empty()) {
       fail("unknown section [" + section + "]");
     }
   }
@@ -82,8 +82,17 @@ SimulationConfig load_simulation_config(std::istream& is) {
   if (auto v = ini.get_double("grid", "het_power_lo")) config.grid.het_power_lo = *v;
   if (auto v = ini.get_double("grid", "het_power_hi")) config.grid.het_power_hi = *v;
   if (auto v = ini.get_bool("grid", "outages")) config.grid.outages.enabled = *v;
-  if (auto v = ini.get_double("grid", "outage_fraction")) config.grid.outages.fraction = *v;
+  if (auto v = ini.get_double("grid", "outage_fraction")) {
+    if (!(*v > 0.0 && *v <= 1.0)) {
+      fail("outage_fraction must be in (0, 1], got " + *ini.get("grid", "outage_fraction"));
+    }
+    config.grid.outages.fraction = *v;
+  }
   if (auto v = ini.get_double("grid", "outage_interarrival")) {
+    if (!(*v > 0.0)) {
+      fail("outage_interarrival must be positive, got " +
+           *ini.get("grid", "outage_interarrival"));
+    }
     config.grid.outages.mean_interarrival = *v;
   }
   if (auto v = ini.get_int("grid", "checkpoint_server_capacity")) {
@@ -95,7 +104,76 @@ SimulationConfig load_simulation_config(std::istream& is) {
     if (lo.has_value() != hi.has_value()) {
       fail("outage_duration_lo and outage_duration_hi must be given together");
     }
-    if (lo) config.grid.outages.duration = rng::UniformDist{*lo, *hi};
+    if (lo) {
+      if (!(*lo > 0.0) || !(*hi >= *lo)) {
+        fail("outage durations must satisfy 0 < outage_duration_lo <= outage_duration_hi");
+      }
+      config.grid.outages.duration = rng::UniformDist{*lo, *hi};
+    }
+  }
+
+  // --- [checkpoint_server] ---
+  check_known_keys(ini, "checkpoint_server",
+                   {"capacity", "release_slots", "faults", "mtbf", "mttr", "abort_transfers",
+                    "lose_data", "retry_max_attempts", "retry_backoff_base",
+                    "retry_backoff_cap", "attempt_timeout"});
+  if (auto v = ini.get_int("checkpoint_server", "capacity")) {
+    if (ini.get("grid", "checkpoint_server_capacity")) {
+      fail("give checkpoint-server capacity in [grid] or [checkpoint_server], not both");
+    }
+    config.grid.checkpoint_server_capacity = static_cast<std::size_t>(*v);
+  }
+  if (auto v = ini.get_bool("checkpoint_server", "release_slots")) {
+    config.grid.checkpoint_server_release_slots = *v;
+  }
+  auto& faults = config.grid.checkpoint_server_faults;
+  if (auto v = ini.get_bool("checkpoint_server", "faults")) faults.enabled = *v;
+  if (auto v = ini.get_double("checkpoint_server", "mtbf")) {
+    if (!(*v > 0.0)) {
+      fail("checkpoint_server mtbf must be positive, got " +
+           *ini.get("checkpoint_server", "mtbf"));
+    }
+    faults.mtbf = *v;
+  }
+  if (auto v = ini.get_double("checkpoint_server", "mttr")) {
+    if (!(*v > 0.0)) {
+      fail("checkpoint_server mttr must be positive, got " +
+           *ini.get("checkpoint_server", "mttr"));
+    }
+    faults.mttr = *v;
+  }
+  if (auto v = ini.get_bool("checkpoint_server", "abort_transfers")) faults.abort_transfers = *v;
+  if (auto v = ini.get_bool("checkpoint_server", "lose_data")) faults.lose_data = *v;
+  if (auto v = ini.get_int("checkpoint_server", "retry_max_attempts")) {
+    if (*v < 1) {
+      fail("retry_max_attempts must be >= 1, got " +
+           *ini.get("checkpoint_server", "retry_max_attempts"));
+    }
+    config.checkpoint_retry.max_attempts = static_cast<int>(*v);
+  }
+  if (auto v = ini.get_double("checkpoint_server", "retry_backoff_base")) {
+    if (!(*v > 0.0)) {
+      fail("retry_backoff_base must be positive, got " +
+           *ini.get("checkpoint_server", "retry_backoff_base"));
+    }
+    config.checkpoint_retry.backoff_base = *v;
+  }
+  if (auto v = ini.get_double("checkpoint_server", "retry_backoff_cap")) {
+    if (!(*v > 0.0)) {
+      fail("retry_backoff_cap must be positive, got " +
+           *ini.get("checkpoint_server", "retry_backoff_cap"));
+    }
+    config.checkpoint_retry.backoff_cap = *v;
+  }
+  if (config.checkpoint_retry.backoff_cap < config.checkpoint_retry.backoff_base) {
+    fail("retry_backoff_cap must be >= retry_backoff_base");
+  }
+  if (auto v = ini.get_double("checkpoint_server", "attempt_timeout")) {
+    if (*v < 0.0) {
+      fail("attempt_timeout must be >= 0 (0 disables the timeout), got " +
+           *ini.get("checkpoint_server", "attempt_timeout"));
+    }
+    config.checkpoint_retry.attempt_timeout = *v;
   }
 
   // --- [workload] ---
@@ -209,6 +287,25 @@ void save_simulation_config(std::ostream& os, const SimulationConfig& config) {
   if (config.grid.checkpoint_server_capacity != 0) {
     ini.set("grid", "checkpoint_server_capacity",
             std::to_string(config.grid.checkpoint_server_capacity));
+  }
+  if (!config.grid.checkpoint_server_release_slots) {
+    ini.set("checkpoint_server", "release_slots", "false");
+  }
+  if (config.grid.checkpoint_server_faults.enabled) {
+    const auto& faults = config.grid.checkpoint_server_faults;
+    ini.set("checkpoint_server", "faults", "true");
+    ini.set("checkpoint_server", "mtbf", number(faults.mtbf));
+    ini.set("checkpoint_server", "mttr", number(faults.mttr));
+    ini.set("checkpoint_server", "abort_transfers", faults.abort_transfers ? "true" : "false");
+    ini.set("checkpoint_server", "lose_data", faults.lose_data ? "true" : "false");
+    ini.set("checkpoint_server", "retry_max_attempts",
+            std::to_string(config.checkpoint_retry.max_attempts));
+    ini.set("checkpoint_server", "retry_backoff_base",
+            number(config.checkpoint_retry.backoff_base));
+    ini.set("checkpoint_server", "retry_backoff_cap",
+            number(config.checkpoint_retry.backoff_cap));
+    ini.set("checkpoint_server", "attempt_timeout",
+            number(config.checkpoint_retry.attempt_timeout));
   }
 
   if (config.workload.types.size() == 1) {

@@ -16,6 +16,14 @@ ExecutionEngine::ExecutionEngine(des::Simulator& sim, grid::DesktopGrid& grid,
     DG_ASSERT_MSG(config_.checkpoint_interval > 0.0,
                   "checkpointing requires a positive checkpoint interval");
   }
+  if (config_.server_faults.enabled) {
+    DG_ASSERT_MSG(config_.failable_server,
+                  "a stochastic server fault model requires the failable-server path");
+    fault_process_ = std::make_unique<grid::CheckpointServerFaultProcess>(
+        sim_, grid_.checkpoint_server(), config_.server_faults,
+        rng::RandomStream::derive(seed, "ckpt_server.faults"));
+    fault_process_->start([this] { on_server_down(); }, [this] { on_server_up(); });
+  }
   scheduler_.set_sink(*this);
 }
 
@@ -49,13 +57,151 @@ void ExecutionEngine::start_replica(sched::TaskState& task, grid::Machine& machi
   if (config_.checkpointing && ref.progress_base > 0.0) {
     // Restart: fetch the latest checkpoint from the server first.
     ref.phase = Phase::kRetrieving;
-    const double completion =
-        grid_.checkpoint_server().schedule_retrieve(sim_.now(), transfer_stream_);
-    const grid::MachineId id = machine.id();
-    ref.next_event = sim_.schedule_at(completion, [this, id] { on_retrieve_done(id); });
+    begin_transfer(ref);
   } else {
     begin_compute(ref);
   }
+}
+
+void ExecutionEngine::begin_transfer(Replica& replica) {
+  DG_ASSERT(replica.phase == Phase::kRetrieving || replica.phase == Phase::kCheckpointing);
+  DG_ASSERT(!replica.transfer_inflight);
+  const bool is_save = replica.phase == Phase::kCheckpointing;
+  grid::CheckpointServer& server = grid_.checkpoint_server();
+  const grid::MachineId id = replica.machine->id();
+
+  if (config_.failable_server) {
+    ++replica.transfer_attempts;
+    if (!server.up()) {
+      // Refused outright — no transfer-time draw, so the recovery machinery
+      // touches the transfer stream only when bytes actually move.
+      transfer_attempt_failed(replica);
+      return;
+    }
+  }
+
+  replica.transfer = is_save ? server.begin_save(sim_.now(), transfer_stream_)
+                             : server.begin_retrieve(sim_.now(), transfer_stream_);
+  replica.transfer_inflight = true;
+
+  const double timeout = config_.retry.attempt_timeout;
+  if (config_.failable_server && timeout > 0.0 &&
+      replica.transfer.completion > sim_.now() + timeout) {
+    // The transfer (incl. slot queueing) would blow the per-attempt budget;
+    // abandon it at the deadline instead of occupying the slot to the end.
+    replica.next_event = sim_.schedule_after(timeout, [this, id] { on_transfer_timeout(id); });
+    return;
+  }
+  if (is_save) {
+    replica.next_event =
+        sim_.schedule_at(replica.transfer.completion, [this, id] { on_checkpoint_end(id); });
+  } else {
+    replica.next_event =
+        sim_.schedule_at(replica.transfer.completion, [this, id] { on_retrieve_done(id); });
+  }
+}
+
+void ExecutionEngine::on_transfer_timeout(grid::MachineId machine_id) {
+  Replica* replica = replicas_[machine_id].get();
+  DG_ASSERT(replica != nullptr && replica->transfer_inflight);
+  ++faults_.transfer_timeouts;
+  drop_inflight_transfer(*replica);
+  transfer_attempt_failed(*replica);
+}
+
+void ExecutionEngine::drop_inflight_transfer(Replica& replica) {
+  if (!replica.transfer_inflight) return;
+  grid_.checkpoint_server().cancel_transfer(replica.transfer, sim_.now());
+  replica.transfer_inflight = false;
+}
+
+void ExecutionEngine::transfer_attempt_failed(Replica& replica) {
+  DG_ASSERT(config_.failable_server);
+  DG_ASSERT(!replica.transfer_inflight);
+  const bool is_save = replica.phase == Phase::kCheckpointing;
+  if (is_save) {
+    ++faults_.save_attempts_failed;
+  } else {
+    ++faults_.retrieve_attempts_failed;
+  }
+  for (SimulationObserver* observer : observers_) {
+    observer->on_checkpoint_failed(*replica.task, *replica.machine, is_save, sim_.now());
+  }
+
+  if (replica.transfer_attempts < config_.retry.max_attempts) {
+    ++faults_.transfer_retries;
+    const double delay = config_.retry.backoff_after(replica.transfer_attempts);
+    const grid::MachineId id = replica.machine->id();
+    replica.next_event = sim_.schedule_after(delay, [this, id] {
+      Replica* retrying = replicas_[id].get();
+      DG_ASSERT(retrying != nullptr);
+      begin_transfer(*retrying);
+    });
+    return;
+  }
+
+  // Retry budget exhausted: degrade gracefully rather than wedge.
+  replica.transfer_attempts = 0;
+  if (is_save) {
+    // Skip the save. The uncommitted leg stays in progress_base — it is
+    // simply at risk until the next successful save commits it.
+    ++faults_.saves_skipped;
+    begin_compute(replica);
+  } else {
+    // Restart from scratch: the committed checkpoint is unreachable.
+    ++faults_.replicas_degraded;
+    replica.progress_base = 0.0;
+    for (SimulationObserver* observer : observers_) {
+      observer->on_replica_degraded(*replica.task, *replica.machine, 0.0, sim_.now());
+    }
+    begin_compute(replica);
+  }
+}
+
+void ExecutionEngine::on_server_down() {
+  DG_ASSERT_MSG(config_.failable_server, "server outage without the failable-server path");
+  DG_ASSERT_MSG(!grid_.checkpoint_server().up(), "on_server_down with the server still up");
+  for (SimulationObserver* observer : observers_) {
+    observer->on_server_down(sim_.now());
+  }
+  // lose_data implies aborts: the wiped bytes cannot complete a transfer.
+  if (config_.server_faults.abort_transfers || config_.server_faults.lose_data) {
+    for (auto& slot : replicas_) {
+      Replica* replica = slot.get();
+      if (replica == nullptr || !replica->transfer_inflight) continue;
+      replica->next_event.cancel();
+      drop_inflight_transfer(*replica);
+      transfer_attempt_failed(*replica);
+    }
+  }
+  if (config_.server_faults.lose_data) {
+    for (sched::BotState* bot : scheduler_.active_bots()) {
+      for (std::size_t i = 0; i < bot->num_tasks(); ++i) {
+        sched::TaskState& task = bot->task(i);
+        if (task.completed() || task.checkpointed_work() <= 0.0) continue;
+        task.invalidate_checkpoint();
+        ++faults_.checkpoints_lost;
+        for (SimulationObserver* observer : observers_) {
+          observer->on_checkpoint_lost(task, sim_.now());
+        }
+      }
+    }
+  }
+}
+
+void ExecutionEngine::on_server_up() {
+  DG_ASSERT_MSG(grid_.checkpoint_server().up(), "on_server_up with the server still down");
+  // Pending retries are already sitting on backoff timers; nothing to kick.
+  for (SimulationObserver* observer : observers_) {
+    observer->on_server_up(sim_.now());
+  }
+}
+
+FaultStats ExecutionEngine::fault_stats(des::SimTime now) const noexcept {
+  FaultStats stats = faults_;
+  stats.server_outages = grid_.checkpoint_server().outage_count();
+  stats.server_downtime = grid_.checkpoint_server().total_downtime(now);
+  return stats;
 }
 
 void ExecutionEngine::begin_compute(Replica& replica) {
@@ -77,6 +223,13 @@ void ExecutionEngine::begin_compute(Replica& replica) {
 void ExecutionEngine::on_retrieve_done(grid::MachineId machine_id) {
   Replica* replica = replicas_[machine_id].get();
   DG_ASSERT(replica != nullptr && replica->phase == Phase::kRetrieving);
+  replica->transfer_inflight = false;
+  replica->transfer_attempts = 0;
+  // If a server crash wiped the stored checkpoint while this retrieve was
+  // pending, what came back is the post-loss state: never resume ahead of
+  // the committed value. No-op under a reliable server (progress_base was
+  // captured from checkpointed_work, which is otherwise monotone).
+  replica->progress_base = std::min(replica->progress_base, replica->task->checkpointed_work());
   ++retrievals_;  // counted on completion; a failure mid-transfer doesn't count
   for (SimulationObserver* observer : observers_) {
     observer->on_checkpoint_retrieved(*replica->task, *replica->machine, sim_.now());
@@ -91,15 +244,14 @@ void ExecutionEngine::on_checkpoint_begin(grid::MachineId machine_id) {
   replica->compute_invested += leg;
   replica->progress_base += leg * replica->machine->power();
   replica->phase = Phase::kCheckpointing;
-  const double completion =
-      grid_.checkpoint_server().schedule_save(sim_.now(), transfer_stream_);
-  replica->next_event =
-      sim_.schedule_at(completion, [this, machine_id] { on_checkpoint_end(machine_id); });
+  begin_transfer(*replica);
 }
 
 void ExecutionEngine::on_checkpoint_end(grid::MachineId machine_id) {
   Replica* replica = replicas_[machine_id].get();
   DG_ASSERT(replica != nullptr && replica->phase == Phase::kCheckpointing);
+  replica->transfer_inflight = false;
+  replica->transfer_attempts = 0;
   replica->task->commit_checkpoint(replica->progress_base);
   ++checkpoints_saved_;
   for (SimulationObserver* observer : observers_) {
@@ -137,6 +289,7 @@ void ExecutionEngine::on_complete(grid::MachineId machine_id) {
     const bool is_winner = candidate == winner;
     if (!is_winner) {
       candidate->next_event.cancel();
+      drop_inflight_transfer(*candidate);
       if (candidate->phase == Phase::kComputing) {
         candidate->compute_invested += sim_.now() - candidate->leg_start;
       }
@@ -167,6 +320,9 @@ void ExecutionEngine::on_machine_failure(grid::Machine& machine) {
   Replica* replica = replica_on(machine);
   if (replica == nullptr) return;  // idle machine went down
   replica->next_event.cancel();
+  // A transfer cut short by the death hands its unused slot time back to the
+  // server (the historical leak kept it reserved; see CheckpointServer).
+  drop_inflight_transfer(*replica);
   sched::TaskState& task = *replica->task;
   double progress = replica->progress_base;
   if (replica->phase == Phase::kComputing) {

@@ -7,6 +7,15 @@
 // committed checkpoint. When a replica finishes its task, every sibling
 // replica is cancelled and its machine freed.
 //
+// With `EngineConfig::failable_server`, checkpoint transfers run under the
+// recovery state machine of sim/fault_tolerance.hpp: an attempt can be
+// refused (server down), aborted (server crash with abort_transfers), or
+// abandoned at the per-attempt timeout; failed attempts retry with capped
+// exponential backoff, and an exhausted budget degrades gracefully (save:
+// skip and keep computing; retrieve: restart from scratch). The default
+// (failable_server = false) is the paper's reliable server, bit-identical to
+// the historical engine.
+//
 // Call-order contract with MultiBotScheduler (the scheduler's bucket and
 // policy indices rely on it):
 //   start:      machine.set_busy -> task.on_replica_started
@@ -28,6 +37,7 @@
 #include "grid/desktop_grid.hpp"
 #include "rng/random_stream.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/fault_tolerance.hpp"
 #include "sim/observer.hpp"
 #include "stats/online_stats.hpp"
 
@@ -39,6 +49,15 @@ struct EngineConfig {
   /// Compute seconds between checkpoint saves (Young's formula); must be
   /// positive when checkpointing is enabled.
   double checkpoint_interval = 0.0;
+  /// Run checkpoint transfers under the retry/backoff/degradation state
+  /// machine (required — and implied by Simulation — when server_faults is
+  /// enabled; tests may set it alone and inject server outages by hand).
+  bool failable_server = false;
+  /// Stochastic checkpoint-server outage process (engine-owned; draws from
+  /// its own RandomStream so every other stream is untouched).
+  grid::CheckpointServerFaultModel server_faults{};
+  /// Retry policy for checkpoint transfers when failable_server is set.
+  TransferRetryPolicy retry{};
 };
 
 class ExecutionEngine final : public sched::DispatchSink {
@@ -56,6 +75,12 @@ class ExecutionEngine final : public sched::DispatchSink {
   // Wire these into DesktopGrid::start().
   void on_machine_failure(grid::Machine& machine);
   void on_machine_repair(grid::Machine& machine);
+
+  // Checkpoint-server availability edges. Driven by the engine-owned
+  // CheckpointServerFaultProcess; tests flip the server state by hand
+  // (CheckpointServer::set_down / set_up) and then call these.
+  void on_server_down();
+  void on_server_up();
 
   /// Registers an observer for replica/checkpoint/machine events (the
   /// caller keeps ownership; lifetime must cover the run).
@@ -81,6 +106,9 @@ class ExecutionEngine final : public sched::DispatchSink {
   [[nodiscard]] double utilization(des::SimTime now) const noexcept {
     return busy_power_.time_average(now) / grid_.total_power();
   }
+  /// Fault-injection / recovery counters for the run so far; server outage
+  /// count and downtime are read back from the server at `now`.
+  [[nodiscard]] FaultStats fault_stats(des::SimTime now) const noexcept;
 
  private:
   enum class Phase : std::uint8_t { kRetrieving, kComputing, kCheckpointing };
@@ -96,6 +124,12 @@ class ExecutionEngine final : public sched::DispatchSink {
     /// Total compute time this replica has accumulated.
     double compute_invested = 0.0;
     des::EventHandle next_event;
+    /// Failed attempts of the current transfer (reset on success/degrade).
+    int transfer_attempts = 0;
+    /// A transfer slot reservation is outstanding (cancel it if the replica
+    /// dies, completes, or times out before `transfer.completion`).
+    bool transfer_inflight = false;
+    grid::CheckpointServer::Transfer transfer{};
   };
 
   [[nodiscard]] Replica* replica_on(const grid::Machine& machine) noexcept {
@@ -111,6 +145,17 @@ class ExecutionEngine final : public sched::DispatchSink {
   std::unique_ptr<Replica> detach_replica(grid::MachineId machine_id);
   void set_machine_busy(grid::Machine& machine, bool busy);
 
+  // --- failable-server transfer state machine ---
+
+  /// Starts (or retries) the transfer implied by replica.phase
+  /// (kCheckpointing = save, kRetrieving = retrieve).
+  void begin_transfer(Replica& replica);
+  void on_transfer_timeout(grid::MachineId machine_id);
+  /// One attempt failed: retry after backoff, or degrade when exhausted.
+  void transfer_attempt_failed(Replica& replica);
+  /// Releases the replica's outstanding slot reservation, if any.
+  void drop_inflight_transfer(Replica& replica);
+
   des::Simulator& sim_;
   grid::DesktopGrid& grid_;
   sched::MultiBotScheduler& scheduler_;
@@ -118,6 +163,8 @@ class ExecutionEngine final : public sched::DispatchSink {
   rng::RandomStream transfer_stream_;
   std::vector<std::unique_ptr<Replica>> replicas_;  // indexed by machine id
   std::vector<SimulationObserver*> observers_;
+  std::unique_ptr<grid::CheckpointServerFaultProcess> fault_process_;
+  FaultStats faults_;
 
   std::uint64_t checkpoints_saved_ = 0;
   std::uint64_t retrievals_ = 0;

@@ -1,0 +1,69 @@
+// Recovery semantics for checkpoint traffic against a failable server.
+//
+// The paper's checkpoint server never fails, so WQR-FT never needed a retry
+// story. With grid::CheckpointServerFaultModel enabled, every transfer can be
+// refused (server down), aborted mid-flight (server crash), or time out; the
+// execution engine then retries with capped exponential backoff, and when the
+// retry budget is exhausted it *degrades gracefully*:
+//
+//   save exhausted      -> skip the save; the replica keeps computing from
+//                          its last committed checkpoint (that leg's progress
+//                          is simply at risk until the next successful save);
+//   retrieve exhausted  -> restart from scratch: the replica recomputes from
+//                          progress 0 instead of wedging on the server.
+//
+// These types are plain config/counters shared by the engine, the simulation
+// result, config IO and the benches.
+#pragma once
+
+#include <cstdint>
+
+namespace dg::sim {
+
+/// Retry policy for one checkpoint transfer (save or retrieve).
+/// Attempt n waits min(backoff_base * 2^(n-1), backoff_cap) after failure n.
+struct TransferRetryPolicy {
+  /// Total attempts per transfer before degrading (>= 1).
+  int max_attempts = 4;
+  /// Backoff after the first failed attempt, seconds (> 0).
+  double backoff_base = 30.0;
+  /// Backoff ceiling, seconds (> 0).
+  double backoff_cap = 480.0;
+  /// Per-attempt wall-clock budget, seconds; an attempt whose transfer would
+  /// finish later than this is abandoned at the deadline. 0 disables the
+  /// timeout (attempts only fail on server outages).
+  double attempt_timeout = 1440.0;
+
+  /// Backoff delay after failed attempt number `attempt` (1-based).
+  [[nodiscard]] double backoff_after(int attempt) const noexcept {
+    double delay = backoff_base;
+    for (int i = 1; i < attempt && delay < backoff_cap; ++i) delay *= 2.0;
+    return delay < backoff_cap ? delay : backoff_cap;
+  }
+};
+
+/// Fault-injection and recovery counters for one run, reported in
+/// sim::SimulationResult next to KernelStats / SchedStats.
+struct FaultStats {
+  /// Checkpoint-server crashes observed.
+  std::uint64_t server_outages = 0;
+  /// Total simulated seconds the server spent down.
+  double server_downtime = 0.0;
+  /// Failed save attempts (refused, aborted, or timed out).
+  std::uint64_t save_attempts_failed = 0;
+  /// Failed retrieve attempts.
+  std::uint64_t retrieve_attempts_failed = 0;
+  /// Backoff retries scheduled (= failed attempts that had budget left).
+  std::uint64_t transfer_retries = 0;
+  /// Attempts abandoned at the per-attempt timeout.
+  std::uint64_t transfer_timeouts = 0;
+  /// Saves skipped after exhausting the retry budget.
+  std::uint64_t saves_skipped = 0;
+  /// Replicas degraded to restart-from-scratch after a retrieve exhausted
+  /// its retry budget.
+  std::uint64_t replicas_degraded = 0;
+  /// Stored checkpoints wiped by server crashes (lose_data faults).
+  std::uint64_t checkpoints_lost = 0;
+};
+
+}  // namespace dg::sim

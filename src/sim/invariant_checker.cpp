@@ -65,6 +65,7 @@ void InvariantChecker::on_replica_started(const sched::TaskState& task,
   if (!inserted) {
     violation("machine " + std::to_string(machine.id()) + " hosts two replicas at once");
   }
+  failed_attempts_[machine.id()] = 0;
 }
 
 void InvariantChecker::on_replica_stopped(const sched::TaskState& task,
@@ -101,6 +102,9 @@ void InvariantChecker::on_checkpoint_saved(const sched::TaskState& task,
                                            const grid::Machine& /*machine*/, double progress,
                                            double now) {
   last_time_ = now;
+  if (server_down_ && expect_transfer_aborts_) {
+    violation(task_name(task) + ": checkpoint save completed while the server is DOWN");
+  }
   TaskShadow& shadow = tasks_[&task];
   shadow.work = task.work();
   // Individual saves may carry less progress than the task's committed
@@ -116,6 +120,72 @@ void InvariantChecker::on_checkpoint_saved(const sched::TaskState& task,
     violation(task_name(task) + ": checkpoint beyond task work");
   }
   shadow.checkpointed = std::max(shadow.checkpointed, task.checkpointed_work());
+}
+
+void InvariantChecker::on_checkpoint_retrieved(const sched::TaskState& task,
+                                               const grid::Machine& /*machine*/, double now) {
+  last_time_ = now;
+  if (server_down_ && expect_transfer_aborts_) {
+    violation(task_name(task) + ": checkpoint retrieve completed while the server is DOWN");
+  }
+}
+
+void InvariantChecker::on_server_down(double now) {
+  last_time_ = now;
+  if (server_down_) {
+    violation("checkpoint server failed while already down");
+  }
+  server_down_ = true;
+}
+
+void InvariantChecker::on_server_up(double now) {
+  last_time_ = now;
+  if (!server_down_) {
+    violation("checkpoint server repaired while up");
+  }
+  server_down_ = false;
+}
+
+void InvariantChecker::on_checkpoint_failed(const sched::TaskState& /*task*/,
+                                            const grid::Machine& machine, bool /*is_save*/,
+                                            double now) {
+  last_time_ = now;
+  if (!machine_occupancy_.contains(machine.id())) {
+    violation("transfer failure on machine " + std::to_string(machine.id()) +
+              " with no replica on it");
+  }
+  ++failed_attempts_[machine.id()];
+}
+
+void InvariantChecker::on_checkpoint_lost(const sched::TaskState& task, double now) {
+  last_time_ = now;
+  if (!server_down_) {
+    violation(task_name(task) + ": stored checkpoint lost while the server is UP");
+  }
+  TaskShadow& shadow = tasks_[&task];
+  if (shadow.completed) {
+    violation(task_name(task) + ": checkpoint lost after task completion");
+  }
+  // The one sanctioned regression: the committed baseline resets with the
+  // wiped store, so later (smaller) commits are not flagged.
+  shadow.checkpointed = 0.0;
+  if (task.checkpointed_work() != 0.0) {
+    violation(task_name(task) + ": checkpoint-loss event but committed work not wiped");
+  }
+}
+
+void InvariantChecker::on_replica_degraded(const sched::TaskState& task,
+                                           const grid::Machine& machine, double restart_progress,
+                                           double now) {
+  last_time_ = now;
+  if (restart_progress != 0.0) {
+    violation(task_name(task) + ": degraded replica restarts at progress " +
+              std::to_string(restart_progress) + " (must be 0)");
+  }
+  auto it = failed_attempts_.find(machine.id());
+  if (it == failed_attempts_.end() || it->second <= 0) {
+    violation(task_name(task) + ": replica degraded without a preceding failed attempt");
+  }
 }
 
 void InvariantChecker::on_machine_failed(const grid::Machine& machine, double now) {

@@ -28,8 +28,25 @@ class InvariantChecker final : public SimulationObserver {
   void on_task_completed(const sched::TaskState& task, double now) override;
   void on_checkpoint_saved(const sched::TaskState& task, const grid::Machine& machine,
                            double progress, double now) override;
+  void on_checkpoint_retrieved(const sched::TaskState& task, const grid::Machine& machine,
+                               double now) override;
   void on_machine_failed(const grid::Machine& machine, double now) override;
   void on_machine_repaired(const grid::Machine& machine, double now) override;
+
+  // Checkpoint-server fault contracts (see fault_tolerance.hpp).
+  void on_server_down(double now) override;
+  void on_server_up(double now) override;
+  void on_checkpoint_failed(const sched::TaskState& task, const grid::Machine& machine,
+                            bool is_save, double now) override;
+  void on_checkpoint_lost(const sched::TaskState& task, double now) override;
+  void on_replica_degraded(const sched::TaskState& task, const grid::Machine& machine,
+                           double restart_progress, double now) override;
+
+  /// When transfers abort on a server crash (the default fault model), no
+  /// transfer may complete while the server is down. Set false when checking
+  /// a run with `abort_transfers = false` (resumable transfers legitimately
+  /// finish during outages).
+  void set_expect_transfer_aborts(bool value) noexcept { expect_transfer_aborts_ = value; }
 
   [[nodiscard]] const std::vector<std::string>& violations() const noexcept {
     return violations_;
@@ -54,12 +71,17 @@ class InvariantChecker final : public SimulationObserver {
 
   std::map<const sched::TaskState*, TaskShadow> tasks_;
   std::map<grid::MachineId, const sched::TaskState*> machine_occupancy_;
+  /// Failed transfer attempts per machine since its current replica started
+  /// (a degradation must be preceded by at least one failed attempt).
+  std::map<grid::MachineId, int> failed_attempts_;
   std::set<grid::MachineId> down_machines_;
   std::set<const sched::BotState*> submitted_bots_;
   std::set<const sched::BotState*> completed_bots_;
   std::vector<std::string> violations_;
   double last_time_ = 0.0;
   int max_replicas_ = 0;
+  bool server_down_ = false;
+  bool expect_transfer_aborts_ = true;
   static constexpr std::size_t kMaxViolations = 50;
 };
 

@@ -15,6 +15,7 @@
 #include "sched/bot_state.hpp"
 #include "sched/sched_stats.hpp"
 #include "sched/task_state.hpp"
+#include "sim/fault_tolerance.hpp"
 
 namespace dg::sim {
 
@@ -47,12 +48,32 @@ class SimulationObserver {
   virtual void on_machine_failed(const grid::Machine& /*machine*/, double /*now*/) {}
   virtual void on_machine_repaired(const grid::Machine& /*machine*/, double /*now*/) {}
 
+  // --- checkpoint-server fault injection (all no-ops unless the
+  // --- grid::CheckpointServerFaultModel is enabled) ---
+
+  /// The checkpoint server crashed / was repaired.
+  virtual void on_server_down(double /*now*/) {}
+  virtual void on_server_up(double /*now*/) {}
+  /// One transfer attempt failed (refused while down, aborted by a crash, or
+  /// timed out); the engine will retry or degrade.
+  virtual void on_checkpoint_failed(const sched::TaskState& /*task*/,
+                                    const grid::Machine& /*machine*/, bool /*is_save*/,
+                                    double /*now*/) {}
+  /// A server crash wiped the task's stored checkpoint (lose_data faults).
+  virtual void on_checkpoint_lost(const sched::TaskState& /*task*/, double /*now*/) {}
+  /// A retrieve exhausted its retry budget; the replica restarts from
+  /// `restart_progress` (always 0 under the from-scratch degradation rule).
+  virtual void on_replica_degraded(const sched::TaskState& /*task*/,
+                                   const grid::Machine& /*machine*/,
+                                   double /*restart_progress*/, double /*now*/) {}
+
   /// Fired once when the event loop has drained (or hit the horizon), with
-  /// the kernel's and the scheduler's cumulative cost counters for the run.
-  /// Instrumentation that tracks simulator throughput or dispatch-path cost
-  /// (e.g. the perf harness) hooks this.
+  /// the kernel's, the scheduler's, and the fault-injection cumulative
+  /// counters for the run. Instrumentation that tracks simulator throughput
+  /// or dispatch-path cost (e.g. the perf harness) hooks this.
   virtual void on_run_finished(const des::KernelStats& /*kernel*/,
-                               const sched::SchedStats& /*sched*/, double /*now*/) {}
+                               const sched::SchedStats& /*sched*/, const FaultStats& /*faults*/,
+                               double /*now*/) {}
 };
 
 }  // namespace dg::sim

@@ -84,6 +84,11 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
     engine_config.checkpoint_interval =
         grid::young_checkpoint_interval(config_.grid.checkpoint_transfer.mean(), mttf);
   }
+  if (config_.grid.checkpoint_server_faults.enabled) {
+    engine_config.failable_server = true;
+    engine_config.server_faults = config_.grid.checkpoint_server_faults;
+    engine_config.retry = config_.checkpoint_retry;
+  }
   ExecutionEngine engine(sim, grid, scheduler, engine_config, config_.seed);
   if (observer != nullptr) engine.add_observer(*observer);
 
@@ -168,7 +173,8 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   const bool saturated = completed < total;
   const double end_time = sim.now();
   if (observer != nullptr) {
-    observer->on_run_finished(sim.stats(), scheduler.sched_stats(), end_time);
+    observer->on_run_finished(sim.stats(), scheduler.sched_stats(), engine.fault_stats(end_time),
+                              end_time);
   }
 
   // --- results ---
@@ -193,6 +199,7 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   result.events_executed = sim.executed_events();
   result.kernel = sim.stats();
   result.sched = scheduler.sched_stats();
+  result.faults = engine.fault_stats(end_time);
 
   result.bots.reserve(bots.size());
   for (std::size_t i = 0; i < bots.size(); ++i) {

@@ -20,6 +20,7 @@
 #include "sched/individual.hpp"
 #include "sched/policy.hpp"
 #include "sched/sched_stats.hpp"
+#include "sim/fault_tolerance.hpp"
 #include "stats/online_stats.hpp"
 #include "workload/generator.hpp"
 
@@ -36,6 +37,9 @@ struct SimulationConfig {
   /// Use the adaptive threshold controller (future-work extension 2a).
   bool dynamic_replication = false;
   std::uint64_t seed = 1;
+  /// Retry/backoff policy for checkpoint transfers; only consulted when
+  /// `grid.checkpoint_server_faults` is enabled.
+  TransferRetryPolicy checkpoint_retry{};
   /// Hard stop; 0 = auto (comfortably past the last arrival plus drain time).
   /// Hitting it with incomplete bags marks the run saturated.
   double max_sim_time = 0.0;
@@ -131,6 +135,9 @@ struct SimulationResult {
   /// Dispatch-path cost counters (triggers, machines examined, policy
   /// selects, index updates) — the scheduler-layer sibling of `kernel`.
   sched::SchedStats sched;
+  /// Checkpoint-server fault-injection and recovery counters (all zero when
+  /// the server fault model is disabled — the default).
+  FaultStats faults;
 
   /// Wasted / (wasted + useful) replica compute time.
   [[nodiscard]] double wasted_fraction() const noexcept {

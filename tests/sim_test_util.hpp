@@ -25,6 +25,18 @@ struct WorldOptions {
   int threshold = 2;
   bool checkpointing = false;
   double checkpoint_interval = 0.0;  // required when checkpointing
+  /// Enable the engine's transfer retry/backoff/degradation path; server
+  /// outages are then injected by hand via fail_server()/repair_server()
+  /// (the stochastic CheckpointServerFaultProcess stays off so nothing
+  /// draws from the fault stream).
+  bool failable_server = false;
+  sim::TransferRetryPolicy retry{};
+  /// Consulted by the engine's outage handler (abort_transfers, lose_data);
+  /// `enabled` is left false so no stochastic process is created.
+  grid::CheckpointServerFaultModel server_faults{};
+  /// Checkpoint transfer time; a degenerate range (lo == hi) makes
+  /// transfer-heavy timelines exactly computable.
+  rng::UniformDist checkpoint_transfer{240.0, 720.0};
   std::uint64_t seed = 99;
 };
 
@@ -37,6 +49,7 @@ class World {
     grid_config.total_power =
         options.machine_power * static_cast<double>(options.num_machines);
     grid_config.availability = grid::AvailabilityModel::for_level(grid::AvailabilityLevel::kAlways);
+    grid_config.checkpoint_transfer = options.checkpoint_transfer;
     grid = std::make_unique<grid::DesktopGrid>(grid_config, sim, options.seed);
 
     scheduler = std::make_unique<sched::MultiBotScheduler>(
@@ -47,6 +60,10 @@ class World {
     sim::EngineConfig engine_config;
     engine_config.checkpointing = options.checkpointing;
     engine_config.checkpoint_interval = options.checkpoint_interval;
+    engine_config.failable_server = options.failable_server;
+    engine_config.retry = options.retry;
+    engine_config.server_faults = options.server_faults;
+    engine_config.server_faults.enabled = false;  // outages injected by hand
     engine = std::make_unique<sim::ExecutionEngine>(sim, *grid, *scheduler, engine_config,
                                                     options.seed);
     grid->start([this](grid::Machine& m) { engine->on_machine_failure(m); },
@@ -95,6 +112,25 @@ class World {
 
   void repair_machine_at(std::size_t index, double time) {
     sim.schedule_at(time, [this, index] { repair_machine(index); });
+  }
+
+  /// Takes the checkpoint server down at the current simulation time
+  /// (requires options.failable_server).
+  void fail_server() {
+    grid->checkpoint_server().set_down(sim.now());
+    engine->on_server_down();
+  }
+  void fail_server_at(double time) {
+    sim.schedule_at(time, [this] { fail_server(); });
+  }
+
+  /// Repairs the checkpoint server at the current simulation time.
+  void repair_server() {
+    grid->checkpoint_server().set_up(sim.now());
+    engine->on_server_up();
+  }
+  void repair_server_at(double time) {
+    sim.schedule_at(time, [this] { repair_server(); });
   }
 
   /// Count of replicas currently running for `task` across machines.

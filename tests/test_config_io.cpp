@@ -216,6 +216,126 @@ TEST(ConfigIo, LoadedConfigActuallyRuns) {
   EXPECT_EQ(result.bots_completed, 5u);
 }
 
+// --- [checkpoint_server]: faults, retry policy, slot release ---
+
+TEST(ConfigIo, LoadsCheckpointServerSection) {
+  std::istringstream in(
+      "[checkpoint_server]\n"
+      "capacity = 4\n"
+      "release_slots = false\n"
+      "faults = true\n"
+      "mtbf = 40000\n"
+      "mttr = 2000\n"
+      "abort_transfers = true\n"
+      "lose_data = true\n"
+      "retry_max_attempts = 6\n"
+      "retry_backoff_base = 15\n"
+      "retry_backoff_cap = 240\n"
+      "attempt_timeout = 900\n");
+  const sim::SimulationConfig config = sim::load_simulation_config(in);
+  EXPECT_EQ(config.grid.checkpoint_server_capacity, 4u);
+  EXPECT_FALSE(config.grid.checkpoint_server_release_slots);
+  const grid::CheckpointServerFaultModel& faults = config.grid.checkpoint_server_faults;
+  EXPECT_TRUE(faults.enabled);
+  EXPECT_DOUBLE_EQ(faults.mtbf, 40000.0);
+  EXPECT_DOUBLE_EQ(faults.mttr, 2000.0);
+  EXPECT_TRUE(faults.lose_data);
+  EXPECT_EQ(config.checkpoint_retry.max_attempts, 6);
+  EXPECT_DOUBLE_EQ(config.checkpoint_retry.backoff_base, 15.0);
+  EXPECT_DOUBLE_EQ(config.checkpoint_retry.backoff_cap, 240.0);
+  EXPECT_DOUBLE_EQ(config.checkpoint_retry.attempt_timeout, 900.0);
+}
+
+TEST(ConfigIo, CheckpointServerRoundTrip) {
+  std::istringstream in(
+      "[checkpoint_server]\n"
+      "release_slots = false\n"
+      "faults = true\n"
+      "mtbf = 40000\n"
+      "mttr = 2000\n"
+      "lose_data = true\n"
+      "retry_max_attempts = 6\n"
+      "retry_backoff_base = 15\n"
+      "retry_backoff_cap = 240\n"
+      "attempt_timeout = 900\n");
+  const sim::SimulationConfig original = sim::load_simulation_config(in);
+  std::stringstream buffer;
+  sim::save_simulation_config(buffer, original);
+  const sim::SimulationConfig loaded = sim::load_simulation_config(buffer);
+  EXPECT_EQ(loaded.grid.checkpoint_server_release_slots,
+            original.grid.checkpoint_server_release_slots);
+  EXPECT_EQ(loaded.grid.checkpoint_server_faults.enabled, true);
+  EXPECT_DOUBLE_EQ(loaded.grid.checkpoint_server_faults.mtbf, 40000.0);
+  EXPECT_DOUBLE_EQ(loaded.grid.checkpoint_server_faults.mttr, 2000.0);
+  EXPECT_EQ(loaded.grid.checkpoint_server_faults.lose_data, true);
+  EXPECT_EQ(loaded.checkpoint_retry.max_attempts, 6);
+  EXPECT_DOUBLE_EQ(loaded.checkpoint_retry.backoff_base, 15.0);
+  EXPECT_DOUBLE_EQ(loaded.checkpoint_retry.backoff_cap, 240.0);
+  EXPECT_DOUBLE_EQ(loaded.checkpoint_retry.attempt_timeout, 900.0);
+}
+
+TEST(ConfigIo, RejectsCapacityInBothSections) {
+  std::istringstream in(
+      "[grid]\ncheckpoint_server_capacity = 2\n"
+      "[checkpoint_server]\ncapacity = 4\n");
+  EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+}
+
+TEST(ConfigIo, RejectsNonPositiveServerFaultMeans) {
+  {
+    std::istringstream in("[checkpoint_server]\nmtbf = 0\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("[checkpoint_server]\nmttr = -5\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+}
+
+TEST(ConfigIo, RejectsBadRetryPolicy) {
+  {
+    std::istringstream in("[checkpoint_server]\nretry_max_attempts = 0\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("[checkpoint_server]\nretry_backoff_base = 0\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+  {
+    // cap below base (base defaults to 30)
+    std::istringstream in("[checkpoint_server]\nretry_backoff_cap = 5\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("[checkpoint_server]\nattempt_timeout = -1\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+}
+
+TEST(ConfigIo, RejectsBadOutageParameters) {
+  {
+    std::istringstream in("[grid]\noutage_fraction = 0\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("[grid]\noutage_fraction = 1.5\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("[grid]\noutage_interarrival = -100\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("[grid]\noutage_duration_lo = 500\noutage_duration_hi = 100\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+  {
+    // durations must come as a pair
+    std::istringstream in("[grid]\noutage_duration_lo = 500\n");
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+}
+
 // --- enum parsers ---
 
 TEST(EnumParsers, PolicyRoundTrip) {

@@ -131,15 +131,17 @@ TEST(EventArena, KernelStatsArithmetic) {
 class KernelStatsProbe final : public sim::SimulationObserver {
  public:
   void on_run_finished(const KernelStats& kernel, const sched::SchedStats& sched,
-                       double now) override {
+                       const sim::FaultStats& faults, double now) override {
     kernel_ = kernel;
     sched_ = sched;
+    faults_ = faults;
     finished_at_ = now;
     ++calls_;
   }
 
   KernelStats kernel_;
   sched::SchedStats sched_;
+  sim::FaultStats faults_;
   double finished_at_ = -1.0;
   int calls_ = 0;
 };

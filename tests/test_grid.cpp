@@ -255,6 +255,76 @@ TEST(CheckpointServer, SlotsFreeUpOverTime) {
   EXPECT_NEAR(server.schedule_save(1000.0, stream), 1100.0, 1e-6);
 }
 
+TEST(CheckpointServer, CancelTransferReleasesUnusedTail) {
+  CheckpointServer server(rng::UniformDist{100.0, 100.0}, /*capacity=*/1);
+  rng::RandomStream stream(9);
+  const CheckpointServer::Transfer first = server.begin_save(0.0, stream);
+  EXPECT_DOUBLE_EQ(first.completion, 100.0);
+  // Client dies at t=30: the remaining 70 s of reservation are handed back.
+  server.cancel_transfer(first, 30.0);
+  EXPECT_EQ(server.slots_released(), 1u);
+  const CheckpointServer::Transfer second = server.begin_save(30.0, stream);
+  EXPECT_DOUBLE_EQ(second.start, 30.0);
+  EXPECT_DOUBLE_EQ(second.completion, 130.0);
+  EXPECT_DOUBLE_EQ(server.total_queueing_time(), 0.0);
+}
+
+TEST(CheckpointServer, CancelAfterCompletionIsNoOp) {
+  CheckpointServer server(rng::UniformDist{100.0, 100.0}, /*capacity=*/1);
+  rng::RandomStream stream(10);
+  const CheckpointServer::Transfer first = server.begin_save(0.0, stream);
+  server.cancel_transfer(first, 150.0);  // already finished: nothing to free
+  EXPECT_EQ(server.slots_released(), 0u);
+  const CheckpointServer::Transfer second = server.begin_save(50.0, stream);
+  EXPECT_DOUBLE_EQ(second.start, 100.0);  // still queued behind the full first
+  EXPECT_DOUBLE_EQ(second.completion, 200.0);
+}
+
+TEST(CheckpointServer, UnlimitedCapacityHasNoSlotToRelease) {
+  CheckpointServer server(rng::UniformDist{100.0, 100.0});
+  rng::RandomStream stream(11);
+  const CheckpointServer::Transfer transfer = server.begin_save(0.0, stream);
+  EXPECT_EQ(transfer.slot, CheckpointServer::kNoSlot);
+  server.cancel_transfer(transfer, 10.0);
+  EXPECT_EQ(server.slots_released(), 0u);
+}
+
+TEST(CheckpointServer, ReleaseDisabledReproducesHistoricalLeak) {
+  // release_slots = false: a dead client's reservation runs to its end and
+  // the next transfer queues behind it — the documented pre-fix behaviour.
+  CheckpointServer server(rng::UniformDist{100.0, 100.0}, /*capacity=*/1,
+                          /*release_slots=*/false);
+  rng::RandomStream stream(12);
+  const CheckpointServer::Transfer first = server.begin_save(0.0, stream);
+  server.cancel_transfer(first, 30.0);
+  EXPECT_EQ(server.slots_released(), 0u);
+  const CheckpointServer::Transfer second = server.begin_save(30.0, stream);
+  EXPECT_DOUBLE_EQ(second.start, 100.0);
+  EXPECT_DOUBLE_EQ(second.completion, 200.0);
+  EXPECT_DOUBLE_EQ(server.total_queueing_time(), 70.0);
+}
+
+TEST(CheckpointServer, UpDownBookkeeping) {
+  CheckpointServer server;
+  EXPECT_TRUE(server.up());
+  server.set_down(10.0);
+  EXPECT_FALSE(server.up());
+  EXPECT_EQ(server.outage_count(), 1u);
+  EXPECT_DOUBLE_EQ(server.total_downtime(15.0), 5.0);  // open outage counts
+  server.set_up(20.0);
+  EXPECT_TRUE(server.up());
+  EXPECT_DOUBLE_EQ(server.total_downtime(100.0), 10.0);
+}
+
+TEST(CheckpointServerFaultModel, ImpliedAvailability) {
+  CheckpointServerFaultModel model;
+  EXPECT_DOUBLE_EQ(model.availability(), 1.0);  // disabled: perfectly reliable
+  model.enabled = true;
+  model.mtbf = 9000.0;
+  model.mttr = 1000.0;
+  EXPECT_DOUBLE_EQ(model.availability(), 0.9);
+}
+
 TEST(CheckpointServer, ContentionDelaysSimulation) {
   // End-to-end: a capacity-1 server under heavy checkpoint traffic stretches
   // turnaround relative to the unlimited server.

@@ -1,0 +1,216 @@
+// The InvariantChecker itself: feed it hand-crafted *bad* event sequences
+// and assert each contract actually fires. Everywhere else the checker is
+// only ever asserted empty; these tests pin that the contracts are live.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "grid/machine.hpp"
+#include "sched/bot_state.hpp"
+#include "sim/invariant_checker.hpp"
+#include "workload/bot.hpp"
+
+namespace dg::sim {
+namespace {
+
+bool mentions(const InvariantChecker& checker, const std::string& fragment) {
+  for (const std::string& violation : checker.violations()) {
+    if (violation.find(fragment) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// A one-bag fixture with real BotState/TaskState/Machine objects the checker
+// can cross-examine; tests then replay event sequences by hand.
+struct Fixture {
+  explicit Fixture(std::vector<double> works = {100.0}) {
+    workload::BotSpec spec;
+    spec.id = 0;
+    spec.arrival_time = 0.0;
+    spec.granularity = works.empty() ? 0.0 : works.front();
+    for (double w : works) spec.tasks.push_back(workload::TaskSpec{w});
+    bot = std::make_unique<sched::BotState>(spec);
+    machine_a = std::make_unique<grid::Machine>(0, 10.0);
+    machine_b = std::make_unique<grid::Machine>(1, 10.0);
+  }
+
+  [[nodiscard]] sched::TaskState& task(std::size_t i = 0) { return bot->task(i); }
+
+  std::unique_ptr<sched::BotState> bot;
+  std::unique_ptr<grid::Machine> machine_a;
+  std::unique_ptr<grid::Machine> machine_b;
+};
+
+TEST(InvariantCheckerSelf, CleanSequencePasses) {
+  Fixture f;
+  InvariantChecker checker;
+  checker.on_bot_submitted(*f.bot, 0.0);
+  f.task().on_replica_started(1.0);
+  f.bot->after_replica_started(f.task());
+  f.bot->note_dispatch(1.0);
+  checker.on_replica_started(f.task(), *f.machine_a, 1.0);
+  f.task().mark_completed(11.0);
+  f.bot->on_task_completed(f.task());
+  f.bot->note_completion(11.0);
+  checker.on_task_completed(f.task(), 11.0);
+  f.task().on_replica_stopped(11.0);
+  f.bot->after_replica_stopped(f.task());
+  checker.on_replica_stopped(f.task(), *f.machine_a, ReplicaStopKind::kCompleted, 11.0);
+  checker.on_bot_completed(*f.bot, 11.0);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, DoubleStartOnOneMachineFires) {
+  Fixture f({100.0, 100.0});
+  InvariantChecker checker;
+  f.task(0).on_replica_started(1.0);
+  checker.on_replica_started(f.task(0), *f.machine_a, 1.0);
+  f.task(1).on_replica_started(2.0);
+  checker.on_replica_started(f.task(1), *f.machine_a, 2.0);  // same machine!
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "hosts two replicas at once")) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, BotCompletionWithTasksRemainingFires) {
+  Fixture f;
+  InvariantChecker checker;
+  checker.on_bot_submitted(*f.bot, 0.0);
+  checker.on_bot_completed(*f.bot, 5.0);  // the task never completed
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "reported complete while tasks remain")) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, StopWithoutStartFires) {
+  Fixture f;
+  InvariantChecker checker;
+  checker.on_replica_stopped(f.task(), *f.machine_a, ReplicaStopKind::kCancelled, 1.0);
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "more stops than starts")) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, ReplicaCountMismatchFires) {
+  Fixture f;
+  InvariantChecker checker;
+  // Observer event without the matching TaskState transition: the shadow
+  // count (1) disagrees with the task's own running_replicas() (0).
+  checker.on_replica_started(f.task(), *f.machine_a, 1.0);
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "replica count mismatch")) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, UnsanctionedCheckpointRegressionFires) {
+  Fixture f;
+  InvariantChecker checker;
+  f.task().on_replica_started(1.0);
+  checker.on_replica_started(f.task(), *f.machine_a, 1.0);
+  f.task().commit_checkpoint(50.0);
+  checker.on_checkpoint_saved(f.task(), *f.machine_a, 50.0, 10.0);
+  // The committed value regresses without an on_checkpoint_lost event.
+  f.task().invalidate_checkpoint();
+  f.task().commit_checkpoint(20.0);
+  checker.on_checkpoint_saved(f.task(), *f.machine_a, 20.0, 20.0);
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "committed checkpoint regressed")) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, SanctionedLossResetsTheRegressionBaseline) {
+  Fixture f;
+  InvariantChecker checker;
+  f.task().on_replica_started(1.0);
+  checker.on_replica_started(f.task(), *f.machine_a, 1.0);
+  f.task().commit_checkpoint(50.0);
+  checker.on_checkpoint_saved(f.task(), *f.machine_a, 50.0, 10.0);
+  // A server crash wipes the store: the regression is sanctioned.
+  checker.on_server_down(15.0);
+  f.task().invalidate_checkpoint();
+  checker.on_checkpoint_lost(f.task(), 15.0);
+  checker.on_server_up(16.0);
+  f.task().commit_checkpoint(20.0);
+  checker.on_checkpoint_saved(f.task(), *f.machine_a, 20.0, 20.0);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, CheckpointLossWhileServerUpFires) {
+  Fixture f;
+  InvariantChecker checker;
+  f.task().commit_checkpoint(50.0);
+  f.task().invalidate_checkpoint();
+  checker.on_checkpoint_lost(f.task(), 5.0);  // no preceding on_server_down
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "lost while the server is UP")) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, TransferCompletionDuringOutageFires) {
+  Fixture f;
+  InvariantChecker checker;
+  f.task().on_replica_started(1.0);
+  checker.on_replica_started(f.task(), *f.machine_a, 1.0);
+  checker.on_server_down(2.0);
+  checker.on_checkpoint_retrieved(f.task(), *f.machine_a, 3.0);
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "retrieve completed while the server is DOWN"))
+      << checker.report();
+}
+
+TEST(InvariantCheckerSelf, TransferCompletionDuringOutageAllowedWithoutAborts) {
+  Fixture f;
+  InvariantChecker checker;
+  checker.set_expect_transfer_aborts(false);  // resumable-transfer fault model
+  f.task().on_replica_started(1.0);
+  checker.on_replica_started(f.task(), *f.machine_a, 1.0);
+  checker.on_server_down(2.0);
+  checker.on_checkpoint_retrieved(f.task(), *f.machine_a, 3.0);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, DoubleServerDownFires) {
+  InvariantChecker checker;
+  checker.on_server_down(1.0);
+  checker.on_server_down(2.0);
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "failed while already down")) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, ServerUpWithoutDownFires) {
+  InvariantChecker checker;
+  checker.on_server_up(1.0);
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "repaired while up")) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, DegradationWithoutFailedAttemptFires) {
+  Fixture f;
+  InvariantChecker checker;
+  f.task().on_replica_started(1.0);
+  checker.on_replica_started(f.task(), *f.machine_a, 1.0);
+  checker.on_replica_degraded(f.task(), *f.machine_a, 0.0, 5.0);
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "without a preceding failed attempt")) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, DegradationAtNonzeroProgressFires) {
+  Fixture f;
+  InvariantChecker checker;
+  f.task().on_replica_started(1.0);
+  checker.on_replica_started(f.task(), *f.machine_a, 1.0);
+  checker.on_checkpoint_failed(f.task(), *f.machine_a, /*is_save=*/false, 4.0);
+  checker.on_replica_degraded(f.task(), *f.machine_a, 30.0, 5.0);
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(mentions(checker, "must be 0")) << checker.report();
+}
+
+TEST(InvariantCheckerSelf, ProperDegradationSequencePasses) {
+  Fixture f;
+  InvariantChecker checker;
+  f.task().on_replica_started(1.0);
+  checker.on_replica_started(f.task(), *f.machine_a, 1.0);
+  checker.on_server_down(2.0);
+  checker.on_checkpoint_failed(f.task(), *f.machine_a, /*is_save=*/false, 2.0);
+  checker.on_checkpoint_failed(f.task(), *f.machine_a, /*is_save=*/false, 12.0);
+  checker.on_replica_degraded(f.task(), *f.machine_a, 0.0, 12.0);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+}  // namespace
+}  // namespace dg::sim

@@ -1,0 +1,225 @@
+// Failable checkpoint server: retry with capped exponential backoff,
+// per-attempt timeouts, and graceful degradation (skip the save / restart the
+// retrieve from scratch). Deterministic single-machine timelines with a
+// degenerate (constant) transfer time, so every completion instant is exact.
+#include <gtest/gtest.h>
+
+#include "sim/invariant_checker.hpp"
+#include "sim_test_util.hpp"
+
+namespace dg::test {
+namespace {
+
+// One machine of power 10, WQR-FT with threshold 1, 300 s transfers.
+WorldOptions fault_world_options() {
+  WorldOptions options;
+  options.num_machines = 1;
+  options.machine_power = 10.0;
+  options.threshold = 1;
+  options.checkpointing = true;
+  options.checkpoint_interval = 4.0;  // 40 work per leg at power 10
+  options.checkpoint_transfer = rng::UniformDist{300.0, 300.0};
+  options.failable_server = true;
+  options.retry.attempt_timeout = 0.0;  // timeouts off unless a test opts in
+  return options;
+}
+
+TEST(ServerFaults, SaveRefusedWhileDownRetriesWithExponentialBackoff) {
+  WorldOptions options = fault_world_options();
+  options.retry.max_attempts = 5;
+  options.retry.backoff_base = 10.0;
+  options.retry.backoff_cap = 40.0;
+  World world(options);
+  sim::InvariantChecker checker;
+  world.engine->add_observer(checker);
+
+  sched::BotState& bot = world.add_bot({100.0});
+  world.fail_server_at(3.0);
+  world.repair_server_at(50.0);
+  world.sim.run();
+
+  // Save attempts at t=4 (refused), 14 (+10), 34 (+20), then 74 (+40, capped)
+  // which succeeds: transfer [74, 374] commits 40; leg [374, 378];
+  // save [378, 678] commits 80; final leg [678, 680].
+  EXPECT_TRUE(bot.completed());
+  EXPECT_DOUBLE_EQ(bot.completion_time(), 680.0);
+  const sim::FaultStats faults = world.engine->fault_stats(world.sim.now());
+  EXPECT_EQ(faults.save_attempts_failed, 3u);
+  EXPECT_EQ(faults.transfer_retries, 3u);
+  EXPECT_EQ(faults.saves_skipped, 0u);
+  EXPECT_EQ(faults.server_outages, 1u);
+  EXPECT_DOUBLE_EQ(faults.server_downtime, 47.0);
+  EXPECT_EQ(world.engine->checkpoints_saved(), 2u);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(ServerFaults, SaveSkippedAfterRetryBudgetExhausted) {
+  WorldOptions options = fault_world_options();
+  options.retry.max_attempts = 2;
+  options.retry.backoff_base = 10.0;
+  options.retry.backoff_cap = 10.0;
+  World world(options);
+  sim::InvariantChecker checker;
+  world.engine->add_observer(checker);
+
+  sched::BotState& bot = world.add_bot({100.0});
+  world.fail_server_at(1.0);  // down for the rest of the run
+  world.sim.run();
+
+  // Every save fails twice and is skipped; the replica keeps computing from
+  // its own (uncommitted) progress: legs [0,4], [14,18], [28,30].
+  EXPECT_TRUE(bot.completed());
+  EXPECT_DOUBLE_EQ(bot.completion_time(), 30.0);
+  const sim::FaultStats faults = world.engine->fault_stats(world.sim.now());
+  EXPECT_EQ(faults.saves_skipped, 2u);
+  EXPECT_EQ(faults.save_attempts_failed, 4u);
+  EXPECT_EQ(faults.transfer_retries, 2u);
+  EXPECT_EQ(world.engine->checkpoints_saved(), 0u);
+  EXPECT_DOUBLE_EQ(bot.task(0).checkpointed_work(), 0.0);
+  EXPECT_DOUBLE_EQ(world.engine->useful_compute_time(), 10.0);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(ServerFaults, RetrieveExhaustionDegradesToRestartFromScratch) {
+  WorldOptions options = fault_world_options();
+  options.retry.max_attempts = 2;
+  options.retry.backoff_base = 10.0;
+  options.retry.backoff_cap = 10.0;
+  World world(options);
+  sim::InvariantChecker checker;
+  world.engine->add_observer(checker);
+
+  sched::BotState& bot = world.add_bot({100.0});
+  // Save [4, 304] commits 40; machine dies in the next leg at t=305 having
+  // 50 work (10 uncommitted). The server goes down before the machine comes
+  // back, so the restart's retrieve fails at t=400 and 410 and the replica
+  // degrades to progress 0.
+  world.fail_machine_at(0, 305.0);
+  world.fail_server_at(350.0);
+  world.repair_machine_at(0, 400.0);
+  world.sim.run();
+
+  // From scratch with every save refused twice then skipped:
+  // legs [410,414], [424,428], [438,440].
+  EXPECT_TRUE(bot.completed());
+  EXPECT_DOUBLE_EQ(bot.completion_time(), 440.0);
+  const sim::FaultStats faults = world.engine->fault_stats(world.sim.now());
+  EXPECT_EQ(faults.replicas_degraded, 1u);
+  EXPECT_EQ(faults.retrieve_attempts_failed, 2u);
+  EXPECT_EQ(world.engine->checkpoint_retrievals(), 0u);
+  EXPECT_DOUBLE_EQ(world.engine->lost_work(), 10.0);
+  // The stored checkpoint survives (no lose_data) — it was unreachable, not
+  // wiped — but the degraded replica never used it.
+  EXPECT_DOUBLE_EQ(bot.task(0).checkpointed_work(), 40.0);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(ServerFaults, CrashAbortsInFlightTransferAndRetrySucceeds) {
+  WorldOptions options = fault_world_options();
+  options.retry.max_attempts = 5;
+  options.retry.backoff_base = 10.0;
+  options.retry.backoff_cap = 10.0;
+  World world(options);
+  sim::InvariantChecker checker;
+  world.engine->add_observer(checker);
+
+  sched::BotState& bot = world.add_bot({100.0});
+  world.fail_server_at(100.0);  // save 1 is in flight [4, 304]
+  world.repair_server_at(105.0);
+  world.sim.run();
+
+  // Aborted at 100, retried at 110: save [110, 410] commits 40;
+  // leg [410, 414]; save [414, 714]; final leg [714, 716].
+  EXPECT_TRUE(bot.completed());
+  EXPECT_DOUBLE_EQ(bot.completion_time(), 716.0);
+  const sim::FaultStats faults = world.engine->fault_stats(world.sim.now());
+  EXPECT_EQ(faults.save_attempts_failed, 1u);
+  EXPECT_EQ(faults.transfer_retries, 1u);
+  EXPECT_EQ(faults.transfer_timeouts, 0u);
+  EXPECT_EQ(world.engine->checkpoints_saved(), 2u);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(ServerFaults, AttemptTimeoutAbandonsSlowTransfers) {
+  WorldOptions options = fault_world_options();
+  options.retry.max_attempts = 2;
+  options.retry.backoff_base = 10.0;
+  options.retry.backoff_cap = 10.0;
+  options.retry.attempt_timeout = 100.0;  // every 300 s transfer times out
+  World world(options);
+  sim::InvariantChecker checker;
+  world.engine->add_observer(checker);
+
+  sched::BotState& bot = world.add_bot({100.0});
+  world.sim.run();
+
+  // Save 1: attempts [4,104] and [114,214] both time out -> skipped.
+  // Leg [214,218]; save 2 attempts [218,318], [328,428] -> skipped.
+  // Final leg [428,430].
+  EXPECT_TRUE(bot.completed());
+  EXPECT_DOUBLE_EQ(bot.completion_time(), 430.0);
+  const sim::FaultStats faults = world.engine->fault_stats(world.sim.now());
+  EXPECT_EQ(faults.transfer_timeouts, 4u);
+  EXPECT_EQ(faults.saves_skipped, 2u);
+  EXPECT_EQ(faults.save_attempts_failed, 4u);
+  EXPECT_EQ(world.engine->checkpoints_saved(), 0u);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(ServerFaults, LoseDataWipesStoreAndRetrieveResumesFromCommitted) {
+  WorldOptions options = fault_world_options();
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base = 10.0;
+  options.retry.backoff_cap = 10.0;
+  options.server_faults.lose_data = true;
+  World world(options);
+  sim::InvariantChecker checker;
+  world.engine->add_observer(checker);
+
+  sched::BotState& bot = world.add_bot({100.0});
+  // Save [4, 304] commits 40; machine dies at 305 and comes back at 320.
+  // The restart's retrieve [320, 620] is in flight when the server crashes
+  // at 330 and wipes the store; the retry at 340 "succeeds" but resumes at
+  // the post-loss committed value: 0, from scratch.
+  world.fail_machine_at(0, 305.0);
+  world.fail_server_at(330.0);
+  world.repair_server_at(335.0);
+  world.repair_machine_at(0, 320.0);
+  world.sim.run();
+
+  // Retrieve [340, 640]; then full recompute with checkpoints:
+  // leg [640,644], save [644,944] commits 40, leg [944,948],
+  // save [948,1248] commits 80, final leg [1248,1250].
+  EXPECT_TRUE(bot.completed());
+  EXPECT_DOUBLE_EQ(bot.completion_time(), 1250.0);
+  const sim::FaultStats faults = world.engine->fault_stats(world.sim.now());
+  EXPECT_EQ(faults.checkpoints_lost, 1u);
+  EXPECT_EQ(faults.retrieve_attempts_failed, 1u);
+  EXPECT_EQ(faults.replicas_degraded, 0u);
+  EXPECT_EQ(world.engine->checkpoint_retrievals(), 1u);
+  EXPECT_EQ(world.engine->checkpoints_saved(), 3u);  // 40, then 40 and 80 again
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(ServerFaults, ReliableServerPathUnaffectedByRetryConfig) {
+  // failable_server off: the retry policy is dead config and the timeline is
+  // the classic one (compute legs + uninterrupted transfers).
+  WorldOptions options = fault_world_options();
+  options.failable_server = false;
+  options.retry.max_attempts = 1;
+  options.retry.attempt_timeout = 1.0;  // would abandon everything if live
+  World world(options);
+  sched::BotState& bot = world.add_bot({100.0});
+  world.sim.run();
+
+  // legs [0,4] save [4,304]; [304,308] save [308,608]; [608,610].
+  EXPECT_TRUE(bot.completed());
+  EXPECT_DOUBLE_EQ(bot.completion_time(), 610.0);
+  const sim::FaultStats faults = world.engine->fault_stats(world.sim.now());
+  EXPECT_EQ(faults.save_attempts_failed, 0u);
+  EXPECT_EQ(faults.transfer_timeouts, 0u);
+  EXPECT_EQ(faults.server_outages, 0u);
+}
+
+}  // namespace
+}  // namespace dg::test

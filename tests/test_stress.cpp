@@ -105,6 +105,65 @@ INSTANTIATE_TEST_SUITE_P(Levels, DynamicReplicationStressTest,
                            return grid::to_string(info.param);
                          });
 
+// Chaos matrix: every policy under a *failing* checkpoint server (with and
+// without stored-data loss). The InvariantChecker shadows the server state,
+// so this checks the recovery contracts — no transfer completes during an
+// outage, degraded replicas restart at 0, losses only regress sanctioned —
+// end to end under stochastic fault timing.
+using ChaosParam = std::tuple<sched::PolicyKind, bool /*lose_data*/>;
+
+std::string chaos_param_name(const ::testing::TestParamInfo<ChaosParam>& info) {
+  std::string name = sched::to_string(std::get<0>(info.param)) +
+                     (std::get<1>(info.param) ? "_LoseData" : "_KeepData");
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+class ServerChaosTest : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(ServerChaosTest, RecoveryContractsHoldUnderServerFaults) {
+  const auto [policy, lose_data] = GetParam();
+  SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHet,
+                                         grid::AvailabilityLevel::kLow);
+  config.grid.checkpoint_server_faults.enabled = true;
+  config.grid.checkpoint_server_faults.mtbf = 8000.0;
+  config.grid.checkpoint_server_faults.mttr = 4000.0;
+  config.grid.checkpoint_server_faults.lose_data = lose_data;
+  config.workload = make_paper_workload(config.grid, 25000.0, workload::Intensity::kLow, 8);
+  config.policy = policy;
+  config.individual = sched::IndividualSchedulerKind::kWqrFt;  // checkpointing on
+  config.seed = 4242;
+  config.warmup_bots = 1;
+
+  InvariantChecker checker;
+  const SimulationResult result = Simulation(config).run(&checker);
+
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  // The fault process actually fired and the engine exercised its recovery
+  // path; a silent all-green run would mean the injection is dead config.
+  EXPECT_GE(result.faults.server_outages, 1u);
+  EXPECT_GT(result.faults.server_downtime, 0.0);
+  EXPECT_GT(result.faults.save_attempts_failed + result.faults.retrieve_attempts_failed, 0u);
+  if (lose_data) {
+    EXPECT_GT(result.faults.checkpoints_lost, 0u);
+  }
+  EXPECT_EQ(result.bots_completed, result.bots.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ServerChaosTest,
+    ::testing::Combine(
+        ::testing::Values(sched::PolicyKind::kFcfsExcl, sched::PolicyKind::kFcfsShare,
+                          sched::PolicyKind::kRoundRobin, sched::PolicyKind::kRoundRobinNrf,
+                          sched::PolicyKind::kLongIdle, sched::PolicyKind::kRandom,
+                          sched::PolicyKind::kShortestBagFirst,
+                          sched::PolicyKind::kPendingFirst),
+        ::testing::Values(false, true)),
+    chaos_param_name);
+
 // Different seeds keep the invariants too (a cheap fuzz over randomness).
 class SeedSweepTest : public ::testing::TestWithParam<int> {};
 
