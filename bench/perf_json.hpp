@@ -20,7 +20,8 @@ namespace dg::bench {
 
 /// One benchmark measurement. Schema (stable across PRs — append-only):
 /// {benchmark, events_per_sec, wall_s, peak_rss_kb, config, seed,
-///  machines_per_dispatch, transfer_retries, replicas_degraded}.
+///  machines_per_dispatch, transfer_retries, replicas_degraded,
+///  replications_per_sec, threads, allocs_per_replication}.
 struct PerfRecord {
   std::string benchmark;     ///< Stable identifier, e.g. "kernel/event_chain".
   double events_per_sec = 0; ///< Primary throughput metric.
@@ -37,6 +38,13 @@ struct PerfRecord {
   /// for a given config+seed.
   std::uint64_t transfer_retries = 0;
   std::uint64_t replicas_degraded = 0;
+  /// Replication-throughput suite (bench/replication_throughput.cpp) only;
+  /// zero elsewhere. Completed simulation replications per wall-clock second
+  /// at `threads` pool workers, and global operator-new calls per
+  /// steady-state replication (warmed workspaces; ~0 on the workspace path).
+  double replications_per_sec = 0;
+  std::uint64_t threads = 0;
+  double allocs_per_replication = 0;
 };
 
 /// Peak resident set size of this process in kilobytes (0 when unavailable).
@@ -98,6 +106,9 @@ inline void write_perf_json(std::ostream& os, const std::vector<PerfRecord>& rec
     os << ",\n    \"machines_per_dispatch\": " << r.machines_per_dispatch;
     os << ",\n    \"transfer_retries\": " << r.transfer_retries;
     os << ",\n    \"replicas_degraded\": " << r.replicas_degraded;
+    os << ",\n    \"replications_per_sec\": " << r.replications_per_sec;
+    os << ",\n    \"threads\": " << r.threads;
+    os << ",\n    \"allocs_per_replication\": " << r.allocs_per_replication;
     os << "\n  }" << (i + 1 < records.size() ? "," : "") << "\n";
   }
   os << "]\n";

@@ -110,6 +110,27 @@ class EventArena {
   /// Events currently armed (scheduled, not yet fired or cancelled).
   [[nodiscard]] std::size_t live() const noexcept { return live_; }
 
+  /// Returns the arena to its just-constructed state while keeping every
+  /// slab allocated: all slots are disarmed (actions released, generations
+  /// bumped so outstanding handles read stale) and the free list is rebuilt
+  /// in ascending index order — the same hand-out order a fresh arena
+  /// produces as it grows. Stats restart from zero except arena_capacity,
+  /// which keeps reporting the retained slots; arena_slabs therefore counts
+  /// slab allocations *since the reset* (zero for a warmed arena).
+  void reset() noexcept {
+    free_head_ = kInvalidSlot;
+    for (std::uint32_t index = capacity_; index-- > 0;) {
+      EventSlot& slot = (*this)[index];
+      if (slot.action) slot.action = nullptr;  // release captures eagerly
+      ++slot.generation;
+      slot.next_free = free_head_;
+      free_head_ = index;
+    }
+    live_ = 0;
+    stats_ = KernelStats{};
+    stats_.arena_capacity = capacity_;
+  }
+
   [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
   [[nodiscard]] KernelStats& stats_mut() noexcept { return stats_; }
 

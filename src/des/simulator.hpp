@@ -74,8 +74,22 @@ class Simulator {
   [[nodiscard]] bool empty() const noexcept { return arena_->live() == 0; }
 
   /// Kernel counters for this simulator (see KernelStats). Values are
-  /// cumulative over the simulator's lifetime.
+  /// cumulative since construction or the last reset().
   [[nodiscard]] const KernelStats& stats() const noexcept { return arena_->stats(); }
+
+  /// Returns the simulator to t = 0 with an empty queue while retaining the
+  /// arena slabs and heap capacity — the reuse hook sim::SimulationWorkspace
+  /// is built on. Every outstanding EventHandle turns stale (pending() ==
+  /// false, cancel() == false); the next run schedules into recycled slots
+  /// and sequence numbers restart at 0, so a (config, seed)-identical run
+  /// after reset() is bit-identical to one on a fresh Simulator.
+  void reset() noexcept {
+    arena_->reset();
+    heap_.clear();
+    now_ = 0.0;
+    next_sequence_ = 0;
+    stopped_ = false;
+  }
 
  private:
   /// One priority-queue entry. Stale entries (slot generation moved on) are

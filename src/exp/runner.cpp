@@ -1,11 +1,17 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <exception>
 #include <future>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "rng/splitmix64.hpp"
+#include "sim/workspace.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
@@ -19,14 +25,97 @@ std::optional<std::string> env_string(const char* name) {
   return std::string(value);
 }
 
+[[noreturn]] void bad_env(const char* name, const std::string& text, const char* expected) {
+  throw std::invalid_argument(std::string(name) + ": expected " + expected + ", got \"" + text +
+                              "\"");
+}
+
 std::optional<double> env_double(const char* name) {
-  if (auto text = env_string(name)) return std::stod(*text);
-  return std::nullopt;
+  const auto text = env_string(name);
+  if (!text) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(*text, &consumed);
+    if (consumed != text->size()) bad_env(name, *text, "a number");
+    return value;
+  } catch (const std::invalid_argument&) {
+    bad_env(name, *text, "a number");
+  } catch (const std::out_of_range&) {
+    bad_env(name, *text, "a number in double range");
+  }
 }
 
 std::optional<std::size_t> env_size(const char* name) {
-  if (auto text = env_string(name)) return static_cast<std::size_t>(std::stoull(*text));
-  return std::nullopt;
+  const auto text = env_string(name);
+  if (!text) return std::nullopt;
+  if (text->front() == '-') bad_env(name, *text, "a non-negative integer");
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(*text, &consumed);
+    if (consumed != text->size()) bad_env(name, *text, "a non-negative integer");
+    return static_cast<std::size_t>(value);
+  } catch (const std::invalid_argument&) {
+    bad_env(name, *text, "a non-negative integer");
+  } catch (const std::out_of_range&) {
+    bad_env(name, *text, "a non-negative integer in range");
+  }
+}
+
+/// The per-replication scalars a CellResult folds in — everything a worker
+/// needs to hand back, without retaining the full SimulationResult (whose
+/// buffers live in the worker's workspace and are reused by the next run).
+struct ReplicationSummary {
+  double turnaround_mean = 0.0;
+  double waiting_mean = 0.0;
+  double makespan_mean = 0.0;
+  double utilization = 0.0;
+  double wasted_fraction = 0.0;
+  double lost_work = 0.0;
+  double transfer_retries = 0.0;
+  double replicas_degraded = 0.0;
+  double server_downtime = 0.0;
+  bool saturated = false;
+};
+
+ReplicationSummary summarize(const sim::SimulationResult& result) {
+  ReplicationSummary summary;
+  summary.turnaround_mean = result.turnaround.mean();
+  summary.waiting_mean = result.waiting.mean();
+  summary.makespan_mean = result.makespan.mean();
+  summary.utilization = result.utilization;
+  summary.wasted_fraction = result.wasted_fraction();
+  summary.lost_work = result.lost_work;
+  summary.transfer_retries = static_cast<double>(result.faults.transfer_retries);
+  summary.replicas_degraded = static_cast<double>(result.faults.replicas_degraded);
+  summary.server_downtime = result.faults.server_downtime;
+  summary.saturated = result.saturated;
+  return summary;
+}
+
+void fold(CellResult& cell, const ReplicationSummary& summary) {
+  cell.turnaround.add(summary.turnaround_mean);
+  cell.waiting.add(summary.waiting_mean);
+  cell.makespan.add(summary.makespan_mean);
+  cell.utilization.add(summary.utilization);
+  cell.wasted_fraction.add(summary.wasted_fraction);
+  cell.lost_work.add(summary.lost_work);
+  cell.transfer_retries.add(summary.transfer_retries);
+  cell.replicas_degraded.add(summary.replicas_degraded);
+  cell.server_downtime.add(summary.server_downtime);
+  ++cell.replications;
+  if (summary.saturated) ++cell.saturated_replications;
+}
+
+/// Rough relative wall-clock cost of one replication of a cell: event count
+/// scales with bags x tasks-per-bag. Only used to order job hand-out
+/// (largest first, so no worker is left holding the one huge cell at the end
+/// of a round); accuracy beyond the ordering does not matter.
+double expected_cost(const sim::SimulationConfig& config) {
+  const double granularity =
+      config.workload.types.empty() ? 1000.0 : config.workload.types.front().granularity;
+  const double tasks_per_bot =
+      granularity > 0.0 ? std::max(1.0, config.workload.bag_size / granularity) : 1.0;
+  return static_cast<double>(config.workload.num_bots) * tasks_per_bot;
 }
 
 }  // namespace
@@ -37,6 +126,8 @@ RunOptions RunOptions::from_env(RunOptions defaults) {
   if (auto v = env_double("DGSCHED_TRE")) defaults.target_relative_error = *v;
   if (auto v = env_size("DGSCHED_THREADS")) defaults.threads = *v;
   if (auto v = env_size("DGSCHED_SEED")) defaults.base_seed = *v;
+  if (auto v = env_size("DGSCHED_WORKSPACES")) defaults.reuse_workspaces = *v != 0;
+  if (auto v = env_size("DGSCHED_BATCH")) defaults.batch_size = *v;
   if (defaults.max_replications < defaults.min_replications) {
     defaults.max_replications = defaults.min_replications;
   }
@@ -58,61 +149,109 @@ std::vector<CellResult> ExperimentRunner::run(const std::vector<NamedConfig>& ce
     results.push_back(std::move(result));
   }
 
+  // Workspaces before the pool: jobs reference them, and the pool's
+  // destructor (which drains any still-queued jobs on an exceptional unwind)
+  // must run first.
+  std::vector<std::unique_ptr<sim::SimulationWorkspace>> workspaces;
   util::ThreadPool pool(options_.threads);
-  struct Pending {
-    std::size_t cell_index;
-    std::future<sim::SimulationResult> future;
+  workspaces.resize(pool.size());
+
+  struct Job {
+    std::size_t cell = 0;
+    std::size_t replication = 0;
   };
 
-  auto launch = [&](std::size_t cell_index, std::size_t replication) {
-    sim::SimulationConfig config = results[cell_index].config;
+  // Runs one replication on the calling pool worker, through that worker's
+  // lazily-created workspace (or fresh construction when reuse is off / the
+  // caller is not a pool thread), and writes its summary into `slot`.
+  auto run_one = [&](const Job& job, ReplicationSummary& slot) {
+    sim::SimulationConfig config = results[job.cell].config;
     // Seeds depend only on (base_seed, replication): common random numbers
     // across cells that differ only in scheduling policy.
-    config.seed = rng::mix_seed(options_.base_seed, replication);
-    return Pending{cell_index,
-                   pool.submit([config]() { return sim::Simulation(config).run(); })};
+    config.seed = rng::mix_seed(options_.base_seed, job.replication);
+    sim::Simulation simulation(std::move(config));
+    sim::SimulationWorkspace* workspace = nullptr;
+    if (options_.reuse_workspaces) {
+      const std::size_t worker = util::ThreadPool::current_worker_index();
+      if (worker < workspaces.size()) {
+        if (!workspaces[worker]) {
+          workspaces[worker] = std::make_unique<sim::SimulationWorkspace>();
+        }
+        workspace = workspaces[worker].get();
+      }
+    }
+    slot = workspace != nullptr ? summarize(simulation.run(*workspace))
+                                : summarize(simulation.run());
   };
 
-  // Round 0: the minimum replications for every cell, all in flight at once.
   std::vector<std::size_t> reps_launched(cells.size(), 0);
-  std::vector<Pending> in_flight;
+
+  // Round 0: the minimum replications for every cell. Later rounds: one more
+  // replication for each cell still imprecise, unsaturated, and under the
+  // cap. Jobs are built cell-major / ascending replication — the fold order.
+  std::vector<Job> round_jobs;
   for (std::size_t c = 0; c < cells.size(); ++c) {
     for (std::size_t r = 0; r < options_.min_replications; ++r) {
-      in_flight.push_back(launch(c, reps_launched[c]++));
+      round_jobs.push_back(Job{c, reps_launched[c]++});
     }
   }
 
-  // Subsequent rounds: whichever cells are still imprecise get one more
-  // replication each, until precise or capped.
-  while (!in_flight.empty()) {
-    std::vector<Pending> next_round;
-    for (Pending& pending : in_flight) {
-      const sim::SimulationResult sim_result = pending.future.get();
-      CellResult& cell = results[pending.cell_index];
-      cell.turnaround.add(sim_result.turnaround.mean());
-      cell.waiting.add(sim_result.waiting.mean());
-      cell.makespan.add(sim_result.makespan.mean());
-      cell.utilization.add(sim_result.utilization);
-      cell.wasted_fraction.add(sim_result.wasted_fraction());
-      cell.lost_work.add(sim_result.lost_work);
-      cell.transfer_retries.add(static_cast<double>(sim_result.faults.transfer_retries));
-      cell.replicas_degraded.add(static_cast<double>(sim_result.faults.replicas_degraded));
-      cell.server_downtime.add(sim_result.faults.server_downtime);
-      ++cell.replications;
-      if (sim_result.saturated) ++cell.saturated_replications;
+  while (!round_jobs.empty()) {
+    // Summary slots are preallocated so workers write without touching any
+    // shared container.
+    std::vector<ReplicationSummary> summaries(round_jobs.size());
+
+    // Hand jobs out in descending expected-cost order so the big cells start
+    // first and the small ones backfill; ties keep build order (stable).
+    std::vector<std::size_t> order(round_jobs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return expected_cost(results[round_jobs[a].cell].config) >
+             expected_cost(results[round_jobs[b].cell].config);
+    });
+
+    const std::size_t batch =
+        options_.batch_size > 0
+            ? options_.batch_size
+            : std::max<std::size_t>(1, order.size() / (pool.size() * 4));
+    std::vector<std::future<void>> futures;
+    futures.reserve((order.size() + batch - 1) / batch);
+    for (std::size_t begin = 0; begin < order.size(); begin += batch) {
+      const std::size_t end = std::min(begin + batch, order.size());
+      std::vector<std::size_t> chunk(order.begin() + static_cast<std::ptrdiff_t>(begin),
+                                     order.begin() + static_cast<std::ptrdiff_t>(end));
+      futures.push_back(pool.submit([&, chunk = std::move(chunk)] {
+        for (std::size_t index : chunk) run_one(round_jobs[index], summaries[index]);
+      }));
     }
-    in_flight.clear();
+
+    // Round barrier. Drain every future even on failure — jobs reference
+    // this frame's summaries, so nothing may still be running when we leave.
+    std::exception_ptr error;
+    for (std::future<void>& future : futures) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+
+    // Fold in build order (cell-major, ascending replication): bit-identical
+    // accumulator sequences to the historical sequential fold.
+    for (std::size_t i = 0; i < round_jobs.size(); ++i) {
+      fold(results[round_jobs[i].cell], summaries[i]);
+    }
+
+    round_jobs.clear();
     for (std::size_t c = 0; c < cells.size(); ++c) {
       CellResult& cell = results[c];
-      const bool all_back = cell.replications == reps_launched[c];
-      if (!all_back) continue;
       // Saturated cells never converge (censored means); stop at minimum.
       if (cell.saturated()) continue;
       if (cell.turnaround.precise_enough()) continue;
       if (reps_launched[c] >= options_.max_replications) continue;
-      next_round.push_back(launch(c, reps_launched[c]++));
+      round_jobs.push_back(Job{c, reps_launched[c]++});
     }
-    in_flight = std::move(next_round);
   }
 
   for (const CellResult& cell : results) {

@@ -27,8 +27,19 @@ struct RunOptions {
   std::uint64_t base_seed = 0x5eedULL;
   /// 0 = hardware concurrency.
   std::size_t threads = 0;
+  /// Run replications through one reusable sim::SimulationWorkspace per pool
+  /// worker (the zero-allocation path; see sim/workspace.hpp). Off =
+  /// historical fresh-construction per replication. Either way the results
+  /// are bit-identical.
+  bool reuse_workspaces = true;
+  /// Replications per submitted pool job; 0 = auto (about four jobs per
+  /// worker per round). Batching amortizes queue/future overhead without
+  /// hurting balance — jobs are handed out largest-expected-cost first.
+  std::size_t batch_size = 0;
 
-  /// Reads DGSCHED_{MIN_REPS,MAX_REPS,TRE,THREADS,SEED} overrides.
+  /// Reads DGSCHED_{MIN_REPS,MAX_REPS,TRE,THREADS,SEED,WORKSPACES,BATCH}
+  /// overrides. Malformed values raise std::invalid_argument naming the
+  /// offending variable.
   [[nodiscard]] static RunOptions from_env(RunOptions defaults);
   [[nodiscard]] static RunOptions from_env() { return from_env(RunOptions{}); }
 };
@@ -65,11 +76,14 @@ struct CellResult {
 };
 
 /// Thread-safety: run() is internally parallel (replications fan out over a
-/// util::ThreadPool of options().threads workers) but the runner itself is
-/// not re-entrant — one run() at a time per instance. Each replication owns
-/// a private Simulator/grid/workload, so no simulation state is shared;
-/// results are folded in deterministically per cell regardless of worker
-/// completion order.
+/// util::ThreadPool of options().threads workers, batched into jobs that
+/// each run several replications through their worker's private
+/// SimulationWorkspace) but the runner itself is not re-entrant — one run()
+/// at a time per instance. Workers share nothing: each writes its summaries
+/// into preallocated per-round slots, and the fold into the per-cell
+/// accumulators happens after the round barrier, in cell order / ascending
+/// replication order — the exact accumulator sequences of a sequential run,
+/// regardless of worker completion order, batch shape, or thread count.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(RunOptions options) : options_(options) {}

@@ -31,10 +31,12 @@ std::string GridConfig::name() const {
   return to_string(heterogeneity) + "-" + avail;
 }
 
-DesktopGrid::DesktopGrid(const GridConfig& config, des::Simulator& sim, std::uint64_t seed)
-    : config_(config), sim_(sim),
+DesktopGrid::DesktopGrid(const GridConfig& config, des::Simulator& sim, std::uint64_t seed,
+                         std::pmr::memory_resource* mem)
+    : config_(config), sim_(sim), machines_(mem), processes_(mem),
       checkpoint_server_(config.checkpoint_transfer, config.checkpoint_server_capacity,
-                         config.checkpoint_server_release_slots) {
+                         config.checkpoint_server_release_slots),
+      available_bits_(mem) {
   DG_ASSERT(config.total_power > 0.0);
   rng::RandomStream power_stream = rng::RandomStream::derive(seed, "grid.machine_power");
   MachineId next_id = 0;
@@ -42,15 +44,13 @@ DesktopGrid::DesktopGrid(const GridConfig& config, des::Simulator& sim, std::uin
     const double power = config_.heterogeneity == Heterogeneity::kHom
                              ? config_.hom_power
                              : power_stream.uniform(config_.het_power_lo, config_.het_power_hi);
-    machines_.push_back(std::make_unique<Machine>(next_id, power));
+    machines_.emplace_back(next_id, power);
     total_power_ += power;
     ++next_id;
   }
-  processes_.reserve(machines_.size());
-  for (const auto& machine : machines_) {
-    processes_.push_back(std::make_unique<AvailabilityProcess>(
-        sim_, *machine, config_.availability,
-        rng::RandomStream::derive(seed, "grid.availability", machine->id())));
+  for (Machine& machine : machines_) {
+    processes_.emplace_back(sim_, machine, config_.availability,
+                            rng::RandomStream::derive(seed, "grid.availability", machine.id()));
   }
   outages_ = std::make_unique<OutageProcess>(sim_, *this, config_.outages,
                                              rng::RandomStream::derive(seed, "grid.outages"));
@@ -58,9 +58,9 @@ DesktopGrid::DesktopGrid(const GridConfig& config, des::Simulator& sim, std::uin
   // All machines start up and idle; seed the free-machine bitmap accordingly
   // and subscribe to every machine's availability edges.
   available_bits_.assign((machines_.size() + 63) / 64, 0);
-  for (const auto& machine : machines_) {
-    available_bits_[machine->id() / 64] |= std::uint64_t{1} << (machine->id() % 64);
-    machine->set_availability_listener(this);
+  for (Machine& machine : machines_) {
+    available_bits_[machine.id() / 64] |= std::uint64_t{1} << (machine.id() % 64);
+    machine.set_availability_listener(this);
   }
   available_count_ = machines_.size();
 }
@@ -103,8 +103,8 @@ MachineId DesktopGrid::next_available(MachineId after) const noexcept {
 }
 
 void DesktopGrid::start(TransitionCallback on_failure, TransitionCallback on_repair) {
-  for (auto& process : processes_) {
-    process->start(on_failure, on_repair);
+  for (AvailabilityProcess& process : processes_) {
+    process.start(on_failure, on_repair);
   }
   outages_->start(on_failure, on_repair);
 }
@@ -113,15 +113,15 @@ std::vector<Machine*> DesktopGrid::available_machines() {
   std::vector<Machine*> result;
   result.reserve(available_count_);
   for (MachineId id = first_available(); id != kNoMachine; id = next_available(id)) {
-    result.push_back(machines_[id].get());
+    result.push_back(&machines_[id]);
   }
   return result;
 }
 
 std::size_t DesktopGrid::up_count() const noexcept {
   std::size_t count = 0;
-  for (const auto& machine : machines_) {
-    if (machine->up()) ++count;
+  for (const Machine& machine : machines_) {
+    if (machine.up()) ++count;
   }
   return count;
 }
@@ -130,14 +130,14 @@ std::uint64_t DesktopGrid::total_failures() const noexcept {
   // Summed from the machines themselves so it also covers trace-driven
   // failures that bypass the stochastic availability processes.
   std::uint64_t count = 0;
-  for (const auto& machine : machines_) count += machine->failures();
+  for (const Machine& machine : machines_) count += machine.failures();
   return count;
 }
 
 double DesktopGrid::measured_availability(des::SimTime now) const noexcept {
   double weighted = 0.0;
-  for (const auto& machine : machines_) {
-    weighted += machine->power() * machine->measured_availability(now);
+  for (const Machine& machine : machines_) {
+    weighted += machine.power() * machine.measured_availability(now);
   }
   return total_power_ > 0.0 ? weighted / total_power_ : 1.0;
 }

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <memory_resource>
 #include <string>
 #include <vector>
 
@@ -63,8 +65,11 @@ class DesktopGrid final : public MachineAvailabilityListener {
   /// is up-and-idle.
   static constexpr MachineId kNoMachine = ~MachineId{0};
 
-  /// Builds the machine population deterministically from `seed`.
-  DesktopGrid(const GridConfig& config, des::Simulator& sim, std::uint64_t seed);
+  /// Builds the machine population deterministically from `seed`. The
+  /// machine/process storage and the free-machine bitmap allocate from `mem`
+  /// (default: global heap; see sim::SimulationWorkspace).
+  DesktopGrid(const GridConfig& config, des::Simulator& sim, std::uint64_t seed,
+              std::pmr::memory_resource* mem = std::pmr::get_default_resource());
 
   DesktopGrid(const DesktopGrid&) = delete;
   DesktopGrid& operator=(const DesktopGrid&) = delete;
@@ -74,8 +79,8 @@ class DesktopGrid final : public MachineAvailabilityListener {
   void start(TransitionCallback on_failure, TransitionCallback on_repair);
 
   [[nodiscard]] std::size_t size() const noexcept { return machines_.size(); }
-  [[nodiscard]] Machine& machine(std::size_t i) { return *machines_[i]; }
-  [[nodiscard]] const Machine& machine(std::size_t i) const { return *machines_[i]; }
+  [[nodiscard]] Machine& machine(std::size_t i) { return machines_[i]; }
+  [[nodiscard]] const Machine& machine(std::size_t i) const { return machines_[i]; }
 
   /// Sum of machine powers (>= config.total_power by construction).
   [[nodiscard]] double total_power() const noexcept { return total_power_; }
@@ -101,7 +106,7 @@ class DesktopGrid final : public MachineAvailabilityListener {
   [[nodiscard]] std::size_t available_count() const noexcept { return available_count_; }
 
   [[nodiscard]] const AvailabilityProcess& availability_process(std::size_t i) const {
-    return *processes_[i];
+    return processes_[i];
   }
   /// The correlated-outage process (present even when disabled).
   [[nodiscard]] const OutageProcess& outage_process() const noexcept { return *outages_; }
@@ -114,13 +119,15 @@ class DesktopGrid final : public MachineAvailabilityListener {
 
   GridConfig config_;
   des::Simulator& sim_;
-  std::vector<std::unique_ptr<Machine>> machines_;
-  std::vector<std::unique_ptr<AvailabilityProcess>> processes_;
+  // Deques for pointer stability (Machine*/process references are handed
+  // out) with per-replication allocator reuse — see the constructor.
+  std::pmr::deque<Machine> machines_;
+  std::pmr::deque<AvailabilityProcess> processes_;
   std::unique_ptr<OutageProcess> outages_;
   CheckpointServer checkpoint_server_;
   double total_power_ = 0.0;
   /// One bit per machine id; set = available. Sized at construction.
-  std::vector<std::uint64_t> available_bits_;
+  std::pmr::vector<std::uint64_t> available_bits_;
   std::size_t available_count_ = 0;
 };
 

@@ -7,17 +7,19 @@
 
 namespace dg::sched {
 
-BotState::BotState(const workload::BotSpec& spec, TaskOrder order)
+BotState::BotState(const workload::BotSpec& spec, TaskOrder order,
+                   std::pmr::memory_resource* mem)
     : id_(spec.id), arrival_time_(spec.arrival_time), granularity_(spec.granularity),
-      order_(order) {
+      order_(order), mem_(mem), tasks_(mem), unstarted_order_(mem), resubmission_queue_(mem),
+      requeue_(mem), buckets_(mem) {
   tasks_.reserve(spec.tasks.size());
   for (std::size_t i = 0; i < spec.tasks.size(); ++i) {
-    tasks_.push_back(std::make_unique<TaskState>(*this, static_cast<workload::TaskIndex>(i),
-                                                 spec.tasks[i].work, spec.arrival_time));
+    tasks_.emplace_back(*this, static_cast<workload::TaskIndex>(i), spec.tasks[i].work,
+                        spec.arrival_time);
     total_work_ += spec.tasks[i].work;
   }
   unstarted_order_.reserve(tasks_.size());
-  for (const auto& task : tasks_) unstarted_order_.push_back(task.get());
+  for (auto& task : tasks_) unstarted_order_.push_back(&task);
   if (order_ == TaskOrder::kDescendingWork) {
     std::stable_sort(unstarted_order_.begin(), unstarted_order_.end(),
                      [](const TaskState* a, const TaskState* b) { return a->work() > b->work(); });
@@ -73,7 +75,7 @@ namespace {
 /// the moment (task running) regains its validity, and its queue position,
 /// if the task fails again before a real probe pops it. The dispatch index
 /// calls this on every task transition, so it must not disturb the queues.
-bool any_valid_entry(const std::deque<TaskState*>& queue) {
+bool any_valid_entry(const std::pmr::deque<TaskState*>& queue) {
   for (const TaskState* task : queue) {
     if (task->needs_resubmission() && !task->completed() && task->running_replicas() == 0) {
       return true;
@@ -89,7 +91,7 @@ bool BotState::has_pending() const {
 }
 
 bool BotState::has_stale_queue_entries() const {
-  const auto stale = [](const std::deque<TaskState*>& queue) {
+  const auto stale = [](const std::pmr::deque<TaskState*>& queue) {
     return !queue.empty() && !any_valid_entry(queue);
   };
   return stale(resubmission_queue_) || stale(requeue_);
@@ -107,8 +109,8 @@ void BotState::bucket_insert(TaskState& task, int count) {
   auto it = buckets_.find(count);
   if (it == buckets_.end()) {
     it = buckets_
-             .emplace(count, std::set<TaskState*, OrderedLess>(
-                                 OrderedLess{order_ == TaskOrder::kDescendingWork}))
+             .emplace(count, std::pmr::set<TaskState*, OrderedLess>(
+                                 OrderedLess{order_ == TaskOrder::kDescendingWork}, mem_))
              .first;
   }
   const bool inserted = it->second.insert(&task).second;

@@ -14,6 +14,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <memory_resource>
 #include <set>
 #include <vector>
 
@@ -33,7 +34,11 @@ enum class TaskOrder : std::uint8_t {
 
 class BotState {
  public:
-  BotState(const workload::BotSpec& spec, TaskOrder order = TaskOrder::kArrival);
+  /// All internal containers (task slab, queues, replica buckets) allocate
+  /// from `mem`; pass a per-replication pool (sim::SimulationWorkspace) to
+  /// recycle their memory across runs. The default is the global heap.
+  explicit BotState(const workload::BotSpec& spec, TaskOrder order = TaskOrder::kArrival,
+                    std::pmr::memory_resource* mem = std::pmr::get_default_resource());
 
   BotState(const BotState&) = delete;
   BotState& operator=(const BotState&) = delete;
@@ -42,8 +47,8 @@ class BotState {
   [[nodiscard]] double arrival_time() const noexcept { return arrival_time_; }
   [[nodiscard]] double granularity() const noexcept { return granularity_; }
   [[nodiscard]] std::size_t num_tasks() const noexcept { return tasks_.size(); }
-  [[nodiscard]] TaskState& task(std::size_t i) { return *tasks_[i]; }
-  [[nodiscard]] const TaskState& task(std::size_t i) const { return *tasks_[i]; }
+  [[nodiscard]] TaskState& task(std::size_t i) { return tasks_[i]; }
+  [[nodiscard]] const TaskState& task(std::size_t i) const { return tasks_[i]; }
 
   // --- pending pools ---
   //
@@ -154,18 +159,22 @@ class BotState {
   double granularity_;
   double total_work_ = 0.0;
   TaskOrder order_;
-  std::vector<std::unique_ptr<TaskState>> tasks_;
+  /// Allocator for every container below (see the constructor).
+  std::pmr::memory_resource* mem_;
+  /// Task slab: reserved once at construction and never resized, so the
+  /// TaskState* handed out everywhere stay stable.
+  std::pmr::vector<TaskState> tasks_;
 
   // Unstarted cursor: precomputed dispatch order, advanced lazily (mutable:
   // the const peeks skip already-consumed entries; see the peek docs).
-  std::vector<TaskState*> unstarted_order_;
+  std::pmr::vector<TaskState*> unstarted_order_;
   mutable std::size_t unstarted_cursor_ = 0;
 
-  mutable std::deque<TaskState*> resubmission_queue_;
-  mutable std::deque<TaskState*> requeue_;
+  mutable std::pmr::deque<TaskState*> resubmission_queue_;
+  mutable std::pmr::deque<TaskState*> requeue_;
 
   // running-replica-count -> candidate tasks (counts >= 1 only).
-  std::map<int, std::set<TaskState*, OrderedLess>> buckets_;
+  std::pmr::map<int, std::pmr::set<TaskState*, OrderedLess>> buckets_;
 
   std::size_t completed_count_ = 0;
   double completed_work_ = 0.0;

@@ -42,7 +42,7 @@ void DispatchIndex::unregister_bot(BotState& bot) {
 void DispatchIndex::refresh(BotState& bot) {
   if (!bots_.contains(bot.id())) return;
   if (stats_ != nullptr) ++stats_->index_updates;
-  const auto update = [&](std::map<workload::BotId, BotState*>& set, bool member) {
+  const auto update = [&](std::pmr::map<workload::BotId, BotState*>& set, bool member) {
     if (member) {
       set.emplace(bot.id(), &bot);
     } else {

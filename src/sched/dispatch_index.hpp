@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory_resource>
 
 #include "workload/bot.hpp"
 
@@ -53,7 +54,10 @@ struct SchedStats;
 
 class DispatchIndex {
  public:
-  DispatchIndex() = default;
+  /// The membership maps allocate from `mem` (default: global heap); pass a
+  /// per-replication pool to recycle their nodes across runs.
+  explicit DispatchIndex(std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : bots_(mem), dispatchable_(mem), no_running_(mem), stale_(mem) {}
   DispatchIndex(const DispatchIndex&) = delete;
   DispatchIndex& operator=(const DispatchIndex&) = delete;
 
@@ -102,10 +106,10 @@ class DispatchIndex {
   [[nodiscard]] bool is_dispatchable(const BotState& bot) const;
   void probe_stale(BotState& bot, const IndividualScheduler& individual);
 
-  std::map<workload::BotId, BotState*> bots_;          // registered bags
-  std::map<workload::BotId, BotState*> dispatchable_;  // can accept a machine
-  std::map<workload::BotId, BotState*> no_running_;    // total_running() == 0
-  std::map<workload::BotId, BotState*> stale_;         // has_stale_queue_entries()
+  std::pmr::map<workload::BotId, BotState*> bots_;          // registered bags
+  std::pmr::map<workload::BotId, BotState*> dispatchable_;  // can accept a machine
+  std::pmr::map<workload::BotId, BotState*> no_running_;    // total_running() == 0
+  std::pmr::map<workload::BotId, BotState*> stale_;         // has_stale_queue_entries()
   int threshold_ = 0;
   SchedStats* stats_ = nullptr;
 };

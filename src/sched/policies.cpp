@@ -51,15 +51,16 @@ std::span<const PolicyKind> paper_policies() noexcept {
   return kPolicies;
 }
 
-std::unique_ptr<BagSelectionPolicy> make_policy(PolicyKind kind, std::uint64_t seed) {
+std::unique_ptr<BagSelectionPolicy> make_policy(PolicyKind kind, std::uint64_t seed,
+                                                std::pmr::memory_resource* mem) {
   switch (kind) {
     case PolicyKind::kFcfsExcl: return std::make_unique<FcfsExclPolicy>();
     case PolicyKind::kFcfsShare: return std::make_unique<FcfsSharePolicy>();
     case PolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
     case PolicyKind::kRoundRobinNrf: return std::make_unique<RoundRobinNrfPolicy>();
-    case PolicyKind::kLongIdle: return std::make_unique<LongIdlePolicy>();
+    case PolicyKind::kLongIdle: return std::make_unique<LongIdlePolicy>(mem);
     case PolicyKind::kRandom: return std::make_unique<RandomPolicy>(seed);
-    case PolicyKind::kShortestBagFirst: return std::make_unique<ShortestBagFirstPolicy>();
+    case PolicyKind::kShortestBagFirst: return std::make_unique<ShortestBagFirstPolicy>(mem);
     case PolicyKind::kPendingFirst: return std::make_unique<PendingFirstPolicy>();
   }
   throw std::invalid_argument("make_policy: unknown policy kind");

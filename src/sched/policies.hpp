@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory_resource>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -81,6 +82,9 @@ class RoundRobinNrfPolicy final : public RoundRobinPolicy {
 /// recognized by id against `registered_` before any pointer is touched.
 class LongIdlePolicy final : public BagSelectionPolicy {
  public:
+  /// Per-bag index nodes and heap storage allocate from `mem`.
+  explicit LongIdlePolicy(std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : bags_(mem) {}
   [[nodiscard]] std::string name() const override { return "LongIdle"; }
   [[nodiscard]] TaskState* select(SchedulerContext& ctx) override;
   void on_bot_arrival(BotState& bot, double now) override;
@@ -108,12 +112,21 @@ class LongIdlePolicy final : public BagSelectionPolicy {
   // re-pushing them afterwards, which measured ~9x slower on the scale
   // suite. The O(B) ranked scan per select is cheap: B is active bags,
   // orders of magnitude below the task-entry count.
+  using EntryHeap = std::priority_queue<Entry, std::pmr::vector<Entry>>;
   struct BagIndex {
+    // Allocator-aware so std::pmr::map propagates its resource into the
+    // heaps via uses-allocator construction (operator[] below).
+    using allocator_type = std::pmr::polymorphic_allocator<Entry>;
+    BagIndex() = default;
+    explicit BagIndex(const allocator_type& alloc) : idle(alloc), frozen(alloc) {}
+    BagIndex(BagIndex&& other, const allocator_type& alloc)
+        : bot(other.bot), idle(std::move(other.idle), alloc), frozen(std::move(other.frozen), alloc) {}
+
     BotState* bot = nullptr;
     // Tasks currently idle: key = frozen_idle - idle_since.
-    std::priority_queue<Entry> idle;
+    EntryHeap idle;
     // Tasks currently running (incomplete): key = frozen_idle.
-    std::priority_queue<Entry> frozen;
+    EntryHeap frozen;
   };
 
   /// Largest waiting time over the bag's incomplete tasks at `now`,
@@ -123,7 +136,7 @@ class LongIdlePolicy final : public BagSelectionPolicy {
   /// Active bags keyed by id; ordered so iteration is arrival order (ids are
   /// assigned in arrival order), which select's tie-break depends on. The
   /// policy never consults ctx.bots / ctx.index — this map is authoritative.
-  std::map<workload::BotId, BagIndex> bags_;
+  std::pmr::map<workload::BotId, BagIndex> bags_;
 };
 
 /// PendingFirst (PF-RR): our answer to the paper's closing question — a
@@ -150,6 +163,10 @@ class PendingFirstPolicy final : public BagSelectionPolicy {
 /// policies give up by not knowing task execution times.
 class ShortestBagFirstPolicy final : public BagSelectionPolicy {
  public:
+  /// Per-bag index nodes allocate from `mem`.
+  explicit ShortestBagFirstPolicy(
+      std::pmr::memory_resource* mem = std::pmr::get_default_resource())
+      : order_(mem), keys_(mem) {}
   [[nodiscard]] std::string name() const override { return "SJF-Bag"; }
   [[nodiscard]] TaskState* select(SchedulerContext& ctx) override;
   void on_bot_arrival(BotState& bot, double now) override;
@@ -160,9 +177,9 @@ class ShortestBagFirstPolicy final : public BagSelectionPolicy {
   // Active bags ordered by (remaining work asc, bag id asc) — the same order
   // the per-select stable_sort used to produce. remaining_work only changes
   // at task completion, so on_task_transition re-keys at most one bag.
-  std::map<std::pair<double, workload::BotId>, BotState*> order_;
+  std::pmr::map<std::pair<double, workload::BotId>, BotState*> order_;
   /// Each bag's current key in `order_` (the erase handle).
-  std::unordered_map<workload::BotId, double> keys_;
+  std::pmr::unordered_map<workload::BotId, double> keys_;
 };
 
 /// Random: uniform choice among bags with dispatchable work (the naive

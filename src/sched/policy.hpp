@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <optional>
 #include <span>
 #include <string>
@@ -89,8 +90,11 @@ class BagSelectionPolicy {
 };
 
 /// Factory for the built-in policies. `seed` feeds stochastic policies
-/// (kRandom); deterministic policies ignore it.
-[[nodiscard]] std::unique_ptr<BagSelectionPolicy> make_policy(PolicyKind kind,
-                                                              std::uint64_t seed = 0);
+/// (kRandom); deterministic policies ignore it. Policies with internal
+/// per-bag containers (LongIdle, SJF-Bag) allocate them from `mem` (default:
+/// global heap; see sim::SimulationWorkspace).
+[[nodiscard]] std::unique_ptr<BagSelectionPolicy> make_policy(
+    PolicyKind kind, std::uint64_t seed = 0,
+    std::pmr::memory_resource* mem = std::pmr::get_default_resource());
 
 }  // namespace dg::sched

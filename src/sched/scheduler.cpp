@@ -9,9 +9,10 @@ namespace dg::sched {
 MultiBotScheduler::MultiBotScheduler(des::Simulator& sim, grid::DesktopGrid& grid,
                                      std::unique_ptr<BagSelectionPolicy> policy,
                                      std::unique_ptr<IndividualScheduler> individual,
-                                     std::unique_ptr<ReplicationController> replication)
+                                     std::unique_ptr<ReplicationController> replication,
+                                     std::pmr::memory_resource* mem)
     : sim_(sim), grid_(grid), policy_(std::move(policy)), individual_(std::move(individual)),
-      replication_(std::move(replication)) {
+      replication_(std::move(replication)), index_(mem) {
   DG_ASSERT(policy_ != nullptr);
   DG_ASSERT(individual_ != nullptr);
   DG_ASSERT(replication_ != nullptr);

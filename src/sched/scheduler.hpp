@@ -40,11 +40,13 @@ class MultiBotScheduler {
  public:
   /// Takes ownership of the policy/individual/replication strategy objects.
   /// A DispatchSink must be attached via set_sink() before the first
-  /// submit()/trigger() can dispatch anything.
+  /// submit()/trigger() can dispatch anything. The dispatch index allocates
+  /// from `mem` (default: global heap; see sim::SimulationWorkspace).
   MultiBotScheduler(des::Simulator& sim, grid::DesktopGrid& grid,
                     std::unique_ptr<BagSelectionPolicy> policy,
                     std::unique_ptr<IndividualScheduler> individual,
-                    std::unique_ptr<ReplicationController> replication);
+                    std::unique_ptr<ReplicationController> replication,
+                    std::pmr::memory_resource* mem = std::pmr::get_default_resource());
 
   MultiBotScheduler(const MultiBotScheduler&) = delete;
   MultiBotScheduler& operator=(const MultiBotScheduler&) = delete;

@@ -8,10 +8,10 @@ namespace dg::sim {
 
 ExecutionEngine::ExecutionEngine(des::Simulator& sim, grid::DesktopGrid& grid,
                                  sched::MultiBotScheduler& scheduler, EngineConfig config,
-                                 std::uint64_t seed)
+                                 std::uint64_t seed, std::pmr::memory_resource* mem)
     : sim_(sim), grid_(grid), scheduler_(scheduler), config_(config),
       transfer_stream_(rng::RandomStream::derive(seed, "engine.transfer")),
-      replicas_(grid.size()) {
+      replicas_(grid.size(), Replica{}, mem) {
   if (config_.checkpointing) {
     DG_ASSERT_MSG(config_.checkpoint_interval > 0.0,
                   "checkpointing requires a positive checkpoint interval");
@@ -46,13 +46,12 @@ void ExecutionEngine::start_replica(sched::TaskState& task, grid::Machine& machi
     observer->on_replica_started(task, machine, sim_.now());
   }
 
-  auto replica = std::make_unique<Replica>();
-  replica->task = &task;
-  replica->machine = &machine;
-  replica->progress_base = config_.checkpointing ? task.checkpointed_work() : 0.0;
-  Replica& ref = *replica;
-  DG_ASSERT_MSG(replicas_[machine.id()] == nullptr, "machine already hosts a replica");
-  replicas_[machine.id()] = std::move(replica);
+  Replica& ref = replicas_[machine.id()];
+  DG_ASSERT_MSG(ref.task == nullptr, "machine already hosts a replica");
+  ref = Replica{};
+  ref.task = &task;
+  ref.machine = &machine;
+  ref.progress_base = config_.checkpointing ? task.checkpointed_work() : 0.0;
 
   if (config_.checkpointing && ref.progress_base > 0.0) {
     // Restart: fetch the latest checkpoint from the server first.
@@ -102,7 +101,7 @@ void ExecutionEngine::begin_transfer(Replica& replica) {
 }
 
 void ExecutionEngine::on_transfer_timeout(grid::MachineId machine_id) {
-  Replica* replica = replicas_[machine_id].get();
+  Replica* replica = replica_at(machine_id);
   DG_ASSERT(replica != nullptr && replica->transfer_inflight);
   ++faults_.transfer_timeouts;
   drop_inflight_transfer(*replica);
@@ -133,7 +132,7 @@ void ExecutionEngine::transfer_attempt_failed(Replica& replica) {
     const double delay = config_.retry.backoff_after(replica.transfer_attempts);
     const grid::MachineId id = replica.machine->id();
     replica.next_event = sim_.schedule_after(delay, [this, id] {
-      Replica* retrying = replicas_[id].get();
+      Replica* retrying = replica_at(id);
       DG_ASSERT(retrying != nullptr);
       begin_transfer(*retrying);
     });
@@ -166,8 +165,8 @@ void ExecutionEngine::on_server_down() {
   }
   // lose_data implies aborts: the wiped bytes cannot complete a transfer.
   if (config_.server_faults.abort_transfers || config_.server_faults.lose_data) {
-    for (auto& slot : replicas_) {
-      Replica* replica = slot.get();
+    for (Replica& slot : replicas_) {
+      Replica* replica = slot.task != nullptr ? &slot : nullptr;
       if (replica == nullptr || !replica->transfer_inflight) continue;
       replica->next_event.cancel();
       drop_inflight_transfer(*replica);
@@ -221,7 +220,7 @@ void ExecutionEngine::begin_compute(Replica& replica) {
 }
 
 void ExecutionEngine::on_retrieve_done(grid::MachineId machine_id) {
-  Replica* replica = replicas_[machine_id].get();
+  Replica* replica = replica_at(machine_id);
   DG_ASSERT(replica != nullptr && replica->phase == Phase::kRetrieving);
   replica->transfer_inflight = false;
   replica->transfer_attempts = 0;
@@ -238,7 +237,7 @@ void ExecutionEngine::on_retrieve_done(grid::MachineId machine_id) {
 }
 
 void ExecutionEngine::on_checkpoint_begin(grid::MachineId machine_id) {
-  Replica* replica = replicas_[machine_id].get();
+  Replica* replica = replica_at(machine_id);
   DG_ASSERT(replica != nullptr && replica->phase == Phase::kComputing);
   const double leg = sim_.now() - replica->leg_start;
   replica->compute_invested += leg;
@@ -248,7 +247,7 @@ void ExecutionEngine::on_checkpoint_begin(grid::MachineId machine_id) {
 }
 
 void ExecutionEngine::on_checkpoint_end(grid::MachineId machine_id) {
-  Replica* replica = replicas_[machine_id].get();
+  Replica* replica = replica_at(machine_id);
   DG_ASSERT(replica != nullptr && replica->phase == Phase::kCheckpointing);
   replica->transfer_inflight = false;
   replica->transfer_attempts = 0;
@@ -261,16 +260,16 @@ void ExecutionEngine::on_checkpoint_end(grid::MachineId machine_id) {
   begin_compute(*replica);
 }
 
-std::unique_ptr<ExecutionEngine::Replica> ExecutionEngine::detach_replica(
-    grid::MachineId machine_id) {
-  std::unique_ptr<Replica> replica = std::move(replicas_[machine_id]);
-  DG_ASSERT(replica != nullptr);
-  set_machine_busy(*replica->machine, false);
+ExecutionEngine::Replica ExecutionEngine::detach_replica(grid::MachineId machine_id) {
+  Replica replica = replicas_[machine_id];
+  DG_ASSERT(replica.task != nullptr);
+  replicas_[machine_id] = Replica{};
+  set_machine_busy(*replica.machine, false);
   return replica;
 }
 
 void ExecutionEngine::on_complete(grid::MachineId machine_id) {
-  Replica* winner = replicas_[machine_id].get();
+  Replica* winner = replica_at(machine_id);
   DG_ASSERT(winner != nullptr && winner->phase == Phase::kComputing);
   winner->compute_invested += sim_.now() - winner->leg_start;
   winner->progress_base = winner->task->work();
@@ -284,7 +283,7 @@ void ExecutionEngine::on_complete(grid::MachineId machine_id) {
 
   // Stop the winner and every sibling replica (freeing their machines).
   for (grid::MachineId id = 0; id < replicas_.size(); ++id) {
-    Replica* candidate = replicas_[id].get();
+    Replica* candidate = replica_at(id);
     if (candidate == nullptr || candidate->task != &task) continue;
     const bool is_winner = candidate == winner;
     if (!is_winner) {
@@ -298,14 +297,14 @@ void ExecutionEngine::on_complete(grid::MachineId machine_id) {
     } else {
       useful_compute_time_ += candidate->compute_invested;
     }
-    std::unique_ptr<Replica> owned = detach_replica(id);
+    const Replica owned = detach_replica(id);
     task.on_replica_stopped(sim_.now());
     scheduler_.notify_replica_stopped(task, is_winner
                                                 ? sched::MultiBotScheduler::StopReason::kWinner
                                                 : sched::MultiBotScheduler::StopReason::kCancelled);
     for (SimulationObserver* observer : observers_) {
       observer->on_replica_stopped(
-          task, *owned->machine,
+          task, *owned.machine,
           is_winner ? ReplicaStopKind::kCompleted : ReplicaStopKind::kCancelled, sim_.now());
     }
   }
@@ -334,7 +333,7 @@ void ExecutionEngine::on_machine_failure(grid::Machine& machine) {
   lost_work_ += std::max(0.0, progress - task.checkpointed_work());
   wasted_compute_time_ += replica->compute_invested;
   ++failed_replicas_;
-  std::unique_ptr<Replica> owned = detach_replica(machine.id());
+  const Replica owned = detach_replica(machine.id());
   task.on_replica_stopped(sim_.now());
   scheduler_.notify_replica_stopped(task, sched::MultiBotScheduler::StopReason::kFailed);
   for (SimulationObserver* observer : observers_) {

@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <vector>
 
 #include "des/simulator.hpp"
@@ -62,8 +63,11 @@ struct EngineConfig {
 
 class ExecutionEngine final : public sched::DispatchSink {
  public:
+  /// The replica table allocates from `mem` (default: global heap; see
+  /// sim::SimulationWorkspace for the pooled per-replication alternative).
   ExecutionEngine(des::Simulator& sim, grid::DesktopGrid& grid,
-                  sched::MultiBotScheduler& scheduler, EngineConfig config, std::uint64_t seed);
+                  sched::MultiBotScheduler& scheduler, EngineConfig config, std::uint64_t seed,
+                  std::pmr::memory_resource* mem = std::pmr::get_default_resource());
 
   ExecutionEngine(const ExecutionEngine&) = delete;
   ExecutionEngine& operator=(const ExecutionEngine&) = delete;
@@ -113,6 +117,9 @@ class ExecutionEngine final : public sched::DispatchSink {
  private:
   enum class Phase : std::uint8_t { kRetrieving, kComputing, kCheckpointing };
 
+  /// One machine's replica slot. Slots live by value in `replicas_` (one per
+  /// machine id); `task == nullptr` marks an idle machine — no per-dispatch
+  /// heap allocation.
   struct Replica {
     sched::TaskState* task = nullptr;
     grid::Machine* machine = nullptr;
@@ -132,17 +139,21 @@ class ExecutionEngine final : public sched::DispatchSink {
     grid::CheckpointServer::Transfer transfer{};
   };
 
+  [[nodiscard]] Replica* replica_at(grid::MachineId machine_id) noexcept {
+    Replica& slot = replicas_[machine_id];
+    return slot.task != nullptr ? &slot : nullptr;
+  }
   [[nodiscard]] Replica* replica_on(const grid::Machine& machine) noexcept {
-    return replicas_[machine.id()].get();
+    return replica_at(machine.id());
   }
   void begin_compute(Replica& replica);
   void on_checkpoint_begin(grid::MachineId machine_id);
   void on_checkpoint_end(grid::MachineId machine_id);
   void on_retrieve_done(grid::MachineId machine_id);
   void on_complete(grid::MachineId machine_id);
-  /// Frees the machine and removes the replica record (event must already be
-  /// cancelled / expired). Returns the owned record.
-  std::unique_ptr<Replica> detach_replica(grid::MachineId machine_id);
+  /// Frees the machine and clears the replica slot (event must already be
+  /// cancelled / expired). Returns the detached record by value.
+  Replica detach_replica(grid::MachineId machine_id);
   void set_machine_busy(grid::Machine& machine, bool busy);
 
   // --- failable-server transfer state machine ---
@@ -161,7 +172,7 @@ class ExecutionEngine final : public sched::DispatchSink {
   sched::MultiBotScheduler& scheduler_;
   EngineConfig config_;
   rng::RandomStream transfer_stream_;
-  std::vector<std::unique_ptr<Replica>> replicas_;  // indexed by machine id
+  std::pmr::vector<Replica> replicas_;  // indexed by machine id; task==nullptr = idle
   std::vector<SimulationObserver*> observers_;
   std::unique_ptr<grid::CheckpointServerFaultProcess> fault_process_;
   FaultStats faults_;

@@ -1,8 +1,10 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <functional>
 #include <limits>
+#include <memory_resource>
 
 #include "des/simulator.hpp"
 #include "grid/checkpoint_server.hpp"
@@ -10,6 +12,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/execution_engine.hpp"
 #include "sim/observer.hpp"
+#include "sim/workspace.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -40,15 +43,63 @@ workload::WorkloadConfig make_paper_workload(const grid::GridConfig& grid_config
   return config;
 }
 
+namespace {
+
+/// Shared state of the arrival / completion callbacks. Lives on run()'s
+/// stack so the event lambdas capture a single reference (16 bytes with the
+/// bag pointer — inside std::function's small-buffer optimization, so
+/// scheduling an arrival never touches the heap).
+struct ArrivalContext {
+  sched::MultiBotScheduler* scheduler = nullptr;
+  SimulationObserver* observer = nullptr;
+  des::Simulator* sim = nullptr;
+  std::size_t completed = 0;
+  std::size_t total = 0;
+};
+
+/// Self-rescheduling queue monitor. The tick event captures only `this`
+/// (8 bytes, SBO), unlike the old self-copying std::function whose by-ref
+/// capture block was re-allocated on the heap at every sample.
+struct QueueMonitor {
+  des::Simulator* sim = nullptr;
+  sched::MultiBotScheduler* scheduler = nullptr;
+  grid::DesktopGrid* grid = nullptr;
+  std::vector<MonitorSample>* samples = nullptr;
+  double interval = 0.0;
+
+  void tick() {
+    MonitorSample sample;
+    sample.time = sim->now();
+    sample.active_bots = scheduler->active_bots().size();
+    for (std::size_t m = 0; m < grid->size(); ++m) {
+      if (grid->machine(m).busy()) ++sample.busy_machines;
+      if (grid->machine(m).up()) ++sample.up_machines;
+    }
+    samples->push_back(sample);
+    if (!sim->stopped()) sim->schedule_after(interval, [this] { tick(); });
+  }
+};
+
+}  // namespace
+
 SimulationResult Simulation::run(SimulationObserver* observer) {
-  des::Simulator sim;
+  SimulationWorkspace workspace;
+  return run(workspace, observer);  // copies the result out of the workspace
+}
+
+const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
+                                        SimulationObserver* observer) {
+  workspace.begin_replication();
+  des::Simulator& sim = workspace.simulator();
+  std::pmr::memory_resource* const mem = workspace.resource();
+
   const bool trace_driven_grid = config_.availability_trace != nullptr;
   grid::GridConfig grid_config = config_.grid;
   if (trace_driven_grid) {
     // Machine up/down comes from the trace; disable the stochastic processes.
     grid_config.availability = grid::AvailabilityModel::for_level(grid::AvailabilityLevel::kAlways);
   }
-  grid::DesktopGrid grid(grid_config, sim, config_.seed);
+  grid::DesktopGrid grid(grid_config, sim, config_.seed, mem);
 
   // --- scheduler stack ---
   auto individual = sched::IndividualScheduler::make(config_.individual);
@@ -64,10 +115,10 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   const bool resubmission_priority = individual->resubmission_priority();
   (void)resubmission_priority;
   std::unique_ptr<sched::BagSelectionPolicy> policy =
-      sched::make_policy(config_.policy, config_.seed);
+      sched::make_policy(config_.policy, config_.seed, mem);
   if (config_.wrap_policy) policy = config_.wrap_policy(std::move(policy));
   sched::MultiBotScheduler scheduler(sim, grid, std::move(policy), std::move(individual),
-                                     std::move(replication));
+                                     std::move(replication), mem);
 
   // --- execution engine ---
   EngineConfig engine_config;
@@ -89,7 +140,7 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
     engine_config.server_faults = config_.grid.checkpoint_server_faults;
     engine_config.retry = config_.checkpoint_retry;
   }
-  ExecutionEngine engine(sim, grid, scheduler, engine_config, config_.seed);
+  ExecutionEngine engine(sim, grid, scheduler, engine_config, config_.seed, mem);
   if (observer != nullptr) engine.add_observer(*observer);
 
   std::unique_ptr<grid::TraceAvailabilityDriver> trace_driver;
@@ -105,36 +156,35 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   }
 
   // --- workload ---
-  std::vector<workload::BotSpec> specs;
+  std::vector<workload::BotSpec>& specs = workspace.specs();
   if (config_.trace_bots != nullptr) {
     specs = *config_.trace_bots;
   } else {
     workload::WorkloadGenerator generator(config_.workload,
                                           rng::RandomStream::derive(config_.seed, "workload"));
-    specs = generator.generate();
+    generator.generate_into(specs);
   }
   DG_ASSERT(!specs.empty());
 
-  std::vector<std::unique_ptr<sched::BotState>> bots;
-  bots.reserve(specs.size());
+  // Bag states live in a pooled deque (stable addresses, no per-bag
+  // unique_ptr); their task slabs and dispatch structures draw from `mem`.
+  std::pmr::deque<sched::BotState> bots{mem};
   for (const workload::BotSpec& spec : specs) {
-    bots.push_back(std::make_unique<sched::BotState>(spec, task_order));
+    bots.emplace_back(spec, task_order, mem);
   }
 
-  std::size_t completed = 0;
-  const std::size_t total = bots.size();
-  scheduler.set_bot_completed_callback(
-      [&completed, total, &sim, observer](sched::BotState& bot) {
-        ++completed;
-        if (observer != nullptr) observer->on_bot_completed(bot, sim.now());
-        if (completed == total) sim.stop();  // availability events would run forever
-      });
+  ArrivalContext ctx{&scheduler, observer, &sim, 0, bots.size()};
+  scheduler.set_bot_completed_callback([&ctx](sched::BotState& bot) {
+    ++ctx.completed;
+    if (ctx.observer != nullptr) ctx.observer->on_bot_completed(bot, ctx.sim->now());
+    if (ctx.completed == ctx.total) ctx.sim->stop();  // availability events would run forever
+  });
 
-  for (std::size_t i = 0; i < bots.size(); ++i) {
-    sched::BotState* bot = bots[i].get();
-    sim.schedule_at(bot->arrival_time(), [&scheduler, bot, observer, &sim] {
-      if (observer != nullptr) observer->on_bot_submitted(*bot, sim.now());
-      scheduler.submit(*bot);
+  for (sched::BotState& bot_ref : bots) {
+    sched::BotState* bot = &bot_ref;
+    sim.schedule_at(bot->arrival_time(), [&ctx, bot] {
+      if (ctx.observer != nullptr) ctx.observer->on_bot_submitted(*bot, ctx.sim->now());
+      ctx.scheduler->submit(*bot);
     });
   }
 
@@ -153,24 +203,17 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   }
 
   // --- queue monitor ---
-  std::vector<MonitorSample> monitor_samples;
+  // Samples go straight into the workspace's result buffer (capacity kept
+  // across replications — no steady-state growth).
   const double monitor_interval =
       config_.monitor_interval > 0.0 ? config_.monitor_interval : horizon / 512.0;
-  std::function<void()> take_sample = [&] {
-    MonitorSample sample;
-    sample.time = sim.now();
-    sample.active_bots = scheduler.active_bots().size();
-    for (std::size_t m = 0; m < grid.size(); ++m) {
-      if (grid.machine(m).busy()) ++sample.busy_machines;
-      if (grid.machine(m).up()) ++sample.up_machines;
-    }
-    monitor_samples.push_back(sample);
-    if (!sim.stopped()) sim.schedule_after(monitor_interval, take_sample);
-  };
-  sim.schedule_after(monitor_interval, take_sample);
+  QueueMonitor monitor{&sim, &scheduler, &grid, &workspace.result().monitor, monitor_interval};
+  sim.schedule_after(monitor_interval, [&monitor] { monitor.tick(); });
 
+  if (config_.before_run_loop) config_.before_run_loop();
   sim.run_until(horizon);
-  const bool saturated = completed < total;
+  if (config_.after_run_loop) config_.after_run_loop();
+  const bool saturated = ctx.completed < ctx.total;
   const double end_time = sim.now();
   if (observer != nullptr) {
     observer->on_run_finished(sim.stats(), scheduler.sched_stats(), engine.fault_stats(end_time),
@@ -178,9 +221,12 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
   }
 
   // --- results ---
-  SimulationResult result;
+  // Assembled in place in the workspace's result (monitor samples already
+  // there); begin_replication() reset every field while keeping the bots /
+  // monitor buffer capacity.
+  SimulationResult& result = workspace.result();
   result.saturated = saturated;
-  result.bots_completed = completed;
+  result.bots_completed = ctx.completed;
   result.end_time = end_time;
   result.utilization = engine.utilization(end_time);
   result.measured_availability = trace_driven_grid
@@ -203,7 +249,7 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
 
   result.bots.reserve(bots.size());
   for (std::size_t i = 0; i < bots.size(); ++i) {
-    const sched::BotState& bot = *bots[i];
+    const sched::BotState& bot = bots[i];
     BotRecord record;
     record.id = bot.id();
     record.arrival_time = bot.arrival_time();
@@ -236,25 +282,26 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
     }
     result.bots.push_back(record);
   }
-  result.monitor = std::move(monitor_samples);
   {
     // Queue stability is judged while load is still being offered: compare
     // the active-bag level early vs late within the arrival window (after
     // the last arrival the queue always drains in a finite-workload run).
+    // Sample times are monotonic, so the window is the contiguous index
+    // range [lo, hi) — no materialized pointer vector needed.
     const double first_arrival = specs.front().arrival_time;
     const double last_arrival = specs.back().arrival_time;
-    std::vector<const MonitorSample*> window;
-    for (const MonitorSample& sample : result.monitor) {
-      if (sample.time >= first_arrival && sample.time <= last_arrival) {
-        window.push_back(&sample);
-      }
-    }
-    if (window.size() >= 8) {
-      const std::size_t quarter = window.size() / 4;
+    const std::vector<MonitorSample>& samples = result.monitor;
+    std::size_t lo = 0;
+    while (lo < samples.size() && samples[lo].time < first_arrival) ++lo;
+    std::size_t hi = samples.size();
+    while (hi > lo && samples[hi - 1].time > last_arrival) --hi;
+    const std::size_t window = hi - lo;
+    if (window >= 8) {
+      const std::size_t quarter = window / 4;
       double first = 0.0, last = 0.0;
       for (std::size_t i = 0; i < quarter; ++i) {
-        first += static_cast<double>(window[i]->active_bots);
-        last += static_cast<double>(window[window.size() - 1 - i]->active_bots);
+        first += static_cast<double>(samples[lo + i].active_bots);
+        last += static_cast<double>(samples[hi - 1 - i].active_bots);
       }
       if (first > 0.0) {
         result.queue_growth_ratio = last / first;
@@ -264,8 +311,9 @@ SimulationResult Simulation::run(SimulationObserver* observer) {
     }
   }
   if (saturated) {
-    util::log_debug("simulation saturated: ", completed, "/", total, " bags completed by t=",
-                    end_time, " (policy ", sched::to_string(config_.policy), ")");
+    util::log_debug("simulation saturated: ", ctx.completed, "/", ctx.total,
+                    " bags completed by t=", end_time, " (policy ",
+                    sched::to_string(config_.policy), ")");
   }
   return result;
 }

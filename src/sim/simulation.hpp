@@ -67,6 +67,14 @@ struct SimulationConfig {
   std::function<std::unique_ptr<sched::BagSelectionPolicy>(
       std::unique_ptr<sched::BagSelectionPolicy>)>
       wrap_policy;
+
+  /// Test hooks bracketing the event-loop drive (the call to run_until):
+  /// before_run_loop fires after setup (grid/scheduler/workload built,
+  /// arrivals scheduled), after_run_loop before result assembly. Used by the
+  /// allocation-interposer tests to meter the run loop; leave empty
+  /// otherwise.
+  std::function<void()> before_run_loop;
+  std::function<void()> after_run_loop;
 };
 
 struct BotRecord {
@@ -151,6 +159,7 @@ struct SimulationResult {
 };
 
 class SimulationObserver;
+class SimulationWorkspace;
 
 class Simulation {
  public:
@@ -159,7 +168,16 @@ class Simulation {
   /// Runs the simulation to completion (or saturation horizon). When an
   /// observer is passed it receives every bag/replica/checkpoint/machine
   /// event (see sim/observer.hpp); its lifetime must cover the call.
+  /// Delegates to the workspace overload below with a run-local workspace.
   [[nodiscard]] SimulationResult run(SimulationObserver* observer = nullptr);
+
+  /// Runs inside `workspace`, reusing its simulator, memory pool, and
+  /// buffers (see sim/workspace.hpp). Bit-identical to run() for the same
+  /// (config, seed) apart from the arena allocation counters. The returned
+  /// reference lives in the workspace and is overwritten by the next run
+  /// through it; one workspace serves one run at a time, on one thread.
+  [[nodiscard]] const SimulationResult& run(SimulationWorkspace& workspace,
+                                            SimulationObserver* observer = nullptr);
 
   [[nodiscard]] const SimulationConfig& config() const noexcept { return config_; }
 

@@ -1,0 +1,39 @@
+#include "sim/workspace.hpp"
+
+#include <utility>
+
+namespace dg::sim {
+
+namespace {
+
+// Pool tuning: the largest per-replication allocation is a bag's task slab
+// (num_tasks * sizeof(TaskState), ~160 KiB for the paper's finest
+// granularity). The default largest_required_pool_block (a few KiB) would
+// route those straight to the global heap on every replication, defeating
+// the reuse; 1 MiB keeps every simulation-sized block in the pool.
+std::pmr::pool_options workspace_pool_options() {
+  std::pmr::pool_options options;
+  options.largest_required_pool_block = std::size_t{1} << 20;
+  return options;
+}
+
+}  // namespace
+
+SimulationWorkspace::SimulationWorkspace() : pool_(workspace_pool_options()) {}
+
+void SimulationWorkspace::begin_replication() {
+  sim_.reset();
+  specs_.clear();
+  // Reset the result to default values while keeping the buffer capacity of
+  // its vectors (moved out, cleared, moved back in).
+  auto bots = std::move(result_.bots);
+  auto monitor = std::move(result_.monitor);
+  bots.clear();
+  monitor.clear();
+  result_ = SimulationResult{};
+  result_.bots = std::move(bots);
+  result_.monitor = std::move(monitor);
+  ++replications_;
+}
+
+}  // namespace dg::sim

@@ -1,0 +1,72 @@
+// Global operator-new call counter for allocation tests and benchmarks.
+//
+// A binary that wants to meter heap traffic includes this header in exactly
+// ONE translation unit and invokes DG_DEFINE_ALLOC_INTERPOSER() at namespace
+// scope there: the macro defines replacement global operator new/delete
+// (replacements must be ordinary non-inline definitions, hence the macro
+// instead of inline functions) that bump dg::util::alloc_count() on every
+// allocation. Read the counter before/after a region to meter it.
+//
+// Test/bench-only: the production libraries never include this header; the
+// allocation-free guarantees of sim::SimulationWorkspace are asserted by the
+// dedicated dgsched_alloc_tests binary and measured by
+// bench/replication_throughput.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace dg::util {
+
+/// Number of global operator new / new[] calls since process start (only
+/// meaningful in binaries that invoked DG_DEFINE_ALLOC_INTERPOSER()).
+inline std::atomic<std::uint64_t>& alloc_count() noexcept {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+}  // namespace dg::util
+
+// NOLINTBEGIN — replacement allocation functions, signatures fixed by the
+// standard; sized/aligned variants all funnel through malloc/free so the
+// count is exact regardless of which form the compiler selects.
+#define DG_DEFINE_ALLOC_INTERPOSER()                                                    \
+  static void* dg_counted_alloc(std::size_t size) {                                     \
+    ::dg::util::alloc_count().fetch_add(1, std::memory_order_relaxed);                  \
+    if (size == 0) size = 1;                                                            \
+    if (void* ptr = std::malloc(size)) return ptr;                                      \
+    throw std::bad_alloc();                                                             \
+  }                                                                                     \
+  static void* dg_counted_alloc(std::size_t size, std::align_val_t align) {             \
+    ::dg::util::alloc_count().fetch_add(1, std::memory_order_relaxed);                  \
+    const std::size_t alignment = static_cast<std::size_t>(align);                      \
+    size = (size + alignment - 1) / alignment * alignment; /* C11 aligned_alloc rule */ \
+    if (size == 0) size = alignment;                                                    \
+    if (void* ptr = std::aligned_alloc(alignment, size)) return ptr;                    \
+    throw std::bad_alloc();                                                             \
+  }                                                                                     \
+  void* operator new(std::size_t size) { return dg_counted_alloc(size); }               \
+  void* operator new[](std::size_t size) { return dg_counted_alloc(size); }             \
+  void* operator new(std::size_t size, std::align_val_t align) {                        \
+    return dg_counted_alloc(size, align);                                               \
+  }                                                                                     \
+  void* operator new[](std::size_t size, std::align_val_t align) {                      \
+    return dg_counted_alloc(size, align);                                               \
+  }                                                                                     \
+  void operator delete(void* ptr) noexcept { std::free(ptr); }                          \
+  void operator delete[](void* ptr) noexcept { std::free(ptr); }                        \
+  void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }             \
+  void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }           \
+  void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }        \
+  void operator delete[](void* ptr, std::align_val_t) noexcept { std::free(ptr); }      \
+  void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {             \
+    std::free(ptr);                                                                     \
+  }                                                                                     \
+  void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {           \
+    std::free(ptr);                                                                     \
+  }                                                                                     \
+  static_assert(true, "")
+// NOLINTEND

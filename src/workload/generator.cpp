@@ -164,26 +164,39 @@ double WorkloadGenerator::next_arrival(double clock) {
 }
 
 BotSpec WorkloadGenerator::make_bot(BotId id, double arrival_time, const BotType& type) {
+  BotSpec bot;
+  make_bot_into(bot, id, arrival_time, type);
+  return bot;
+}
+
+void WorkloadGenerator::make_bot_into(BotSpec& out, BotId id, double arrival_time,
+                                      const BotType& type) {
   DG_ASSERT(type.granularity > 0.0);
   DG_ASSERT(type.spread >= 0.0 && type.spread < 1.0);
-  BotSpec bot;
-  bot.id = id;
-  bot.arrival_time = arrival_time;
-  bot.granularity = type.granularity;
+  out.id = id;
+  out.arrival_time = arrival_time;
+  out.granularity = type.granularity;
+  out.tasks.clear();  // capacity kept
   const double lo = (1.0 - type.spread) * type.granularity;
   const double hi = (1.0 + type.spread) * type.granularity;
   double accumulated = 0.0;
   while (accumulated < config_.bag_size) {
     const double work = stream_.uniform(lo, hi);
-    bot.tasks.push_back(TaskSpec{work});
+    out.tasks.push_back(TaskSpec{work});
     accumulated += work;
   }
-  return bot;
 }
 
 std::vector<BotSpec> WorkloadGenerator::generate() {
   std::vector<BotSpec> bots;
-  bots.reserve(config_.num_bots);
+  generate_into(bots);
+  return bots;
+}
+
+void WorkloadGenerator::generate_into(std::vector<BotSpec>& out) {
+  // resize (not clear+push_back) so surviving elements keep their task
+  // vectors' capacity; make_bot_into overwrites every field.
+  out.resize(config_.num_bots);
   double clock = 0.0;
   for (std::size_t i = 0; i < config_.num_bots; ++i) {
     clock = next_arrival(clock);
@@ -192,9 +205,8 @@ std::vector<BotSpec> WorkloadGenerator::generate() {
                           ? 0
                           : static_cast<std::size_t>(
                                 stream_.uniform_int(0, config_.types.size() - 1))];
-    bots.push_back(make_bot(static_cast<BotId>(i), clock, type));
+    make_bot_into(out[i], static_cast<BotId>(i), clock, type);
   }
-  return bots;
 }
 
 }  // namespace dg::workload

@@ -91,8 +91,17 @@ class WorkloadGenerator {
   /// Generates the full arrival sequence (deterministic for a given stream).
   [[nodiscard]] std::vector<BotSpec> generate();
 
+  /// generate() into a caller-owned buffer, reusing its capacity — and the
+  /// per-bag task vectors' capacity — across calls. Identical output to
+  /// generate(); sim::SimulationWorkspace uses this to keep steady-state
+  /// replications allocation-free.
+  void generate_into(std::vector<BotSpec>& out);
+
   /// Generates a single bag of the given type arriving at `arrival_time`.
   [[nodiscard]] BotSpec make_bot(BotId id, double arrival_time, const BotType& type);
+
+  /// make_bot() into a caller-owned spec, reusing its task-vector capacity.
+  void make_bot_into(BotSpec& out, BotId id, double arrival_time, const BotType& type);
 
   [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
 

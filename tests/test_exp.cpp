@@ -4,6 +4,8 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "exp/paper.hpp"
 #include "exp/runner.hpp"
@@ -77,6 +79,81 @@ TEST(ExperimentRunner, CommonRandomNumbersAcrossCells) {
   EXPECT_EQ(results[0].turnaround.stats().mean(), results[1].turnaround.stats().mean());
 }
 
+TEST(ExperimentRunner, ReplicationCapHonored) {
+  // An unreachable precision target must stop exactly at the cap.
+  RunOptions options;
+  options.min_replications = 2;
+  options.max_replications = 5;
+  options.target_relative_error = 1e-9;
+  options.threads = 2;
+  ExperimentRunner runner(options);
+  const auto results = runner.run({{"cell", tiny_config(sched::PolicyKind::kFcfsShare)}});
+  EXPECT_EQ(results[0].replications, 5u);
+  EXPECT_FALSE(results[0].saturated());
+}
+
+TEST(ExperimentRunner, SaturatedCellStopsAtMinimumAndIsCounted) {
+  sim::SimulationConfig config = tiny_config(sched::PolicyKind::kFcfsShare);
+  config.max_sim_time = 1.0;  // horizon hit with every bag incomplete
+  RunOptions options;
+  options.min_replications = 3;
+  options.max_replications = 12;
+  options.target_relative_error = 1e-9;  // would keep going if not saturated
+  options.threads = 2;
+  ExperimentRunner runner(options);
+  const auto results = runner.run({{"sat", config}});
+  EXPECT_EQ(results[0].replications, 3u);
+  EXPECT_EQ(results[0].saturated_replications, 3u);
+  EXPECT_TRUE(results[0].saturated());
+}
+
+TEST(ExperimentRunner, WorkspacePathMatchesFreshPath) {
+  const std::vector<NamedConfig> cells = {{"a", tiny_config(sched::PolicyKind::kFcfsShare)},
+                                          {"b", tiny_config(sched::PolicyKind::kLongIdle, 6)}};
+  RunOptions options;
+  options.min_replications = 3;
+  options.max_replications = 6;
+  options.target_relative_error = 0.2;
+  options.threads = 2;
+
+  options.reuse_workspaces = true;
+  const auto reused = ExperimentRunner(options).run(cells);
+  options.reuse_workspaces = false;
+  const auto fresh = ExperimentRunner(options).run(cells);
+
+  ASSERT_EQ(reused.size(), fresh.size());
+  for (std::size_t i = 0; i < reused.size(); ++i) {
+    EXPECT_EQ(reused[i].replications, fresh[i].replications);
+    EXPECT_EQ(reused[i].turnaround.stats().mean(), fresh[i].turnaround.stats().mean());
+    EXPECT_EQ(reused[i].turnaround.stats().variance(), fresh[i].turnaround.stats().variance());
+    EXPECT_EQ(reused[i].waiting.mean(), fresh[i].waiting.mean());
+    EXPECT_EQ(reused[i].makespan.mean(), fresh[i].makespan.mean());
+    EXPECT_EQ(reused[i].utilization.mean(), fresh[i].utilization.mean());
+    EXPECT_EQ(reused[i].wasted_fraction.mean(), fresh[i].wasted_fraction.mean());
+    EXPECT_EQ(reused[i].saturated_replications, fresh[i].saturated_replications);
+  }
+}
+
+TEST(ExperimentRunner, BatchShapeDoesNotChangeResults) {
+  const std::vector<NamedConfig> cells = {{"a", tiny_config(sched::PolicyKind::kFcfsShare)},
+                                          {"b", tiny_config(sched::PolicyKind::kRoundRobin)}};
+  RunOptions options;
+  options.min_replications = 4;
+  options.max_replications = 4;
+  options.threads = 3;
+
+  options.batch_size = 1;
+  const auto fine = ExperimentRunner(options).run(cells);
+  options.batch_size = 7;  // bigger than a whole round
+  const auto coarse = ExperimentRunner(options).run(cells);
+
+  ASSERT_EQ(fine.size(), coarse.size());
+  for (std::size_t i = 0; i < fine.size(); ++i) {
+    EXPECT_EQ(fine[i].turnaround.stats().mean(), coarse[i].turnaround.stats().mean());
+    EXPECT_EQ(fine[i].replications, coarse[i].replications);
+  }
+}
+
 TEST(RunOptions, EnvOverridesApply) {
   ::setenv("DGSCHED_MIN_REPS", "4", 1);
   ::setenv("DGSCHED_MAX_REPS", "9", 1);
@@ -100,6 +177,40 @@ TEST(RunOptions, MaxClampedToMin) {
   EXPECT_EQ(options.max_replications, 10u);
   ::unsetenv("DGSCHED_MIN_REPS");
   ::unsetenv("DGSCHED_MAX_REPS");
+}
+
+TEST(RunOptions, WorkspaceAndBatchEnvOverrides) {
+  ::setenv("DGSCHED_WORKSPACES", "0", 1);
+  ::setenv("DGSCHED_BATCH", "16", 1);
+  const RunOptions options = RunOptions::from_env();
+  EXPECT_FALSE(options.reuse_workspaces);
+  EXPECT_EQ(options.batch_size, 16u);
+  ::unsetenv("DGSCHED_WORKSPACES");
+  ::unsetenv("DGSCHED_BATCH");
+  EXPECT_TRUE(RunOptions::from_env().reuse_workspaces);
+}
+
+void expect_env_rejected(const char* name, const char* value) {
+  ::setenv(name, value, 1);
+  try {
+    (void)RunOptions::from_env();
+    ADD_FAILURE() << name << "=" << value << " was accepted";
+  } catch (const std::invalid_argument& error) {
+    // The message must name the offending variable and echo the bad value.
+    EXPECT_NE(std::string(error.what()).find(name), std::string::npos) << error.what();
+    EXPECT_NE(std::string(error.what()).find(value), std::string::npos) << error.what();
+  }
+  ::unsetenv(name);
+}
+
+TEST(RunOptions, MalformedEnvFailsWithClearMessage) {
+  expect_env_rejected("DGSCHED_TRE", "abc");
+  expect_env_rejected("DGSCHED_TRE", "1.5x");
+  expect_env_rejected("DGSCHED_MAX_REPS", "-3");
+  expect_env_rejected("DGSCHED_MAX_REPS", "twelve");
+  expect_env_rejected("DGSCHED_MIN_REPS", "3.5");
+  expect_env_rejected("DGSCHED_BATCH", "12x");
+  expect_env_rejected("DGSCHED_SEED", "0xzz");
 }
 
 TEST(EnvNumBots, ReadsOverride) {
