@@ -22,7 +22,8 @@ inline int run_figure_main(exp::FigureSpec spec, const std::string& csv_name) {
             << options.max_replications << ", CI target: "
             << options.target_relative_error * 100.0 << "%\n"
             << "  (env: DGSCHED_BOTS, DGSCHED_MIN_REPS, DGSCHED_MAX_REPS, DGSCHED_TRE,"
-            << " DGSCHED_THREADS, DGSCHED_SEED; paper fidelity: DGSCHED_TRE=0.025)\n\n";
+            << " DGSCHED_THREADS, DGSCHED_SEED, DGSCHED_WORLD_CACHE;"
+            << " paper fidelity: DGSCHED_TRE=0.025)\n\n";
 
   std::ofstream csv(csv_name);
   exp::run_figure(spec, options, std::cout, csv ? &csv : nullptr);

@@ -21,7 +21,10 @@ namespace dg::bench {
 /// One benchmark measurement. Schema (stable across PRs — append-only):
 /// {benchmark, events_per_sec, wall_s, peak_rss_kb, config, seed,
 ///  machines_per_dispatch, transfer_retries, replicas_degraded,
-///  replications_per_sec, threads, allocs_per_replication}.
+///  replications_per_sec, threads, allocs_per_replication, cache_hit_rate}.
+/// `benchmark`, `wall_s`, and `config` are always emitted; every other field
+/// is omitted when it holds its zero default, so records stay readable and
+/// suite-specific fields don't show up as meaningless zeros elsewhere.
 struct PerfRecord {
   std::string benchmark;     ///< Stable identifier, e.g. "kernel/event_chain".
   double events_per_sec = 0; ///< Primary throughput metric.
@@ -45,6 +48,10 @@ struct PerfRecord {
   double replications_per_sec = 0;
   std::uint64_t threads = 0;
   double allocs_per_replication = 0;
+  /// World-realization cache suite (bench/world_cache_throughput.cpp) only;
+  /// zero elsewhere. Fraction of world acquisitions served from a resident
+  /// realization (grid::WorldCacheStats::hit_rate()).
+  double cache_hit_rate = 0;
 };
 
 /// Peak resident set size of this process in kilobytes (0 when unavailable).
@@ -91,24 +98,30 @@ inline void write_json_string(std::ostream& os, const std::string& s) {
 }  // namespace detail
 
 /// Writes `records` as a JSON array (pretty-printed, one record per object).
+/// Numeric fields holding their zero default are omitted (see PerfRecord).
 inline void write_perf_json(std::ostream& os, const std::vector<PerfRecord>& records) {
+  const auto field = [&os](const char* name, auto value) {
+    if (value == 0) return;
+    os << ",\n    \"" << name << "\": " << value;
+  };
   os << "[\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const PerfRecord& r = records[i];
     os << "  {\n    \"benchmark\": ";
     detail::write_json_string(os, r.benchmark);
-    os << ",\n    \"events_per_sec\": " << r.events_per_sec;
+    field("events_per_sec", r.events_per_sec);
     os << ",\n    \"wall_s\": " << r.wall_s;
-    os << ",\n    \"peak_rss_kb\": " << r.peak_rss_kb;
+    field("peak_rss_kb", r.peak_rss_kb);
     os << ",\n    \"config\": ";
     detail::write_json_string(os, r.config);
-    os << ",\n    \"seed\": " << r.seed;
-    os << ",\n    \"machines_per_dispatch\": " << r.machines_per_dispatch;
-    os << ",\n    \"transfer_retries\": " << r.transfer_retries;
-    os << ",\n    \"replicas_degraded\": " << r.replicas_degraded;
-    os << ",\n    \"replications_per_sec\": " << r.replications_per_sec;
-    os << ",\n    \"threads\": " << r.threads;
-    os << ",\n    \"allocs_per_replication\": " << r.allocs_per_replication;
+    field("seed", r.seed);
+    field("machines_per_dispatch", r.machines_per_dispatch);
+    field("transfer_retries", r.transfer_retries);
+    field("replicas_degraded", r.replicas_degraded);
+    field("replications_per_sec", r.replications_per_sec);
+    field("threads", r.threads);
+    field("allocs_per_replication", r.allocs_per_replication);
+    field("cache_hit_rate", r.cache_hit_rate);
     os << "\n  }" << (i + 1 < records.size() ? "," : "") << "\n";
   }
   os << "]\n";

@@ -72,7 +72,11 @@ PerfRecord timed_sweep(const std::vector<dg::exp::NamedConfig>& cells, std::size
   const std::uint64_t allocs = allocs_now() - allocs_before;
 
   std::size_t replications = 0;
-  for (const dg::exp::CellResult& cell : results) replications += cell.replications;
+  std::uint64_t events = 0;
+  for (const dg::exp::CellResult& cell : results) {
+    replications += cell.replications;
+    events += cell.events_executed;
+  }
 
   PerfRecord record;
   record.benchmark = std::string("replication/throughput/") +
@@ -84,6 +88,7 @@ PerfRecord timed_sweep(const std::vector<dg::exp::NamedConfig>& cells, std::size
   record.wall_s = wall;
   record.replications_per_sec =
       wall > 0.0 ? static_cast<double>(replications) / wall : 0.0;
+  record.events_per_sec = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
   record.allocs_per_replication =
       replications > 0 ? static_cast<double>(allocs) / static_cast<double>(replications) : 0.0;
   record.peak_rss_kb = dg::bench::peak_rss_kb();

@@ -74,6 +74,7 @@ struct ReplicationSummary {
   double transfer_retries = 0.0;
   double replicas_degraded = 0.0;
   double server_downtime = 0.0;
+  std::uint64_t events_executed = 0;
   bool saturated = false;
 };
 
@@ -88,6 +89,7 @@ ReplicationSummary summarize(const sim::SimulationResult& result) {
   summary.transfer_retries = static_cast<double>(result.faults.transfer_retries);
   summary.replicas_degraded = static_cast<double>(result.faults.replicas_degraded);
   summary.server_downtime = result.faults.server_downtime;
+  summary.events_executed = result.events_executed;
   summary.saturated = result.saturated;
   return summary;
 }
@@ -102,6 +104,7 @@ void fold(CellResult& cell, const ReplicationSummary& summary) {
   cell.transfer_retries.add(summary.transfer_retries);
   cell.replicas_degraded.add(summary.replicas_degraded);
   cell.server_downtime.add(summary.server_downtime);
+  cell.events_executed += summary.events_executed;
   ++cell.replications;
   if (summary.saturated) ++cell.saturated_replications;
 }
@@ -128,6 +131,7 @@ RunOptions RunOptions::from_env(RunOptions defaults) {
   if (auto v = env_size("DGSCHED_SEED")) defaults.base_seed = *v;
   if (auto v = env_size("DGSCHED_WORKSPACES")) defaults.reuse_workspaces = *v != 0;
   if (auto v = env_size("DGSCHED_BATCH")) defaults.batch_size = *v;
+  if (auto v = env_size("DGSCHED_WORLD_CACHE")) defaults.world_cache_bytes = *v;
   if (defaults.max_replications < defaults.min_replications) {
     defaults.max_replications = defaults.min_replications;
   }
@@ -169,6 +173,9 @@ std::vector<CellResult> ExperimentRunner::run(const std::vector<NamedConfig>& ce
     // Seeds depend only on (base_seed, replication): common random numbers
     // across cells that differ only in scheduling policy.
     config.seed = rng::mix_seed(options_.base_seed, job.replication);
+    // Cells sharing a replication seed replay one cached world realization
+    // (bit-identical to live sampling; null cache = live processes).
+    config.world_cache = world_cache_;
     sim::Simulation simulation(std::move(config));
     sim::SimulationWorkspace* workspace = nullptr;
     if (options_.reuse_workspaces) {

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "grid/world_cache.hpp"
 #include "sim/simulation.hpp"
 #include "stats/confidence.hpp"
 
@@ -36,10 +38,16 @@ struct RunOptions {
   /// worker per round). Batching amortizes queue/future overhead without
   /// hurting balance — jobs are handed out largest-expected-cost first.
   std::size_t batch_size = 0;
+  /// Budget (bytes) of the shared world-realization cache: each replication
+  /// seed's availability / server-fault timelines are synthesized once and
+  /// replayed in every policy cell sharing that seed (bit-identical; see
+  /// grid/world_cache.hpp). 0 disables the cache — every replication samples
+  /// its processes live.
+  std::size_t world_cache_bytes = grid::WorldCache::kDefaultBudgetBytes;
 
-  /// Reads DGSCHED_{MIN_REPS,MAX_REPS,TRE,THREADS,SEED,WORKSPACES,BATCH}
-  /// overrides. Malformed values raise std::invalid_argument naming the
-  /// offending variable.
+  /// Reads DGSCHED_{MIN_REPS,MAX_REPS,TRE,THREADS,SEED,WORKSPACES,BATCH,
+  /// WORLD_CACHE} overrides. Malformed values raise std::invalid_argument
+  /// naming the offending variable.
   [[nodiscard]] static RunOptions from_env(RunOptions defaults);
   [[nodiscard]] static RunOptions from_env() { return from_env(RunOptions{}); }
 };
@@ -66,6 +74,9 @@ struct CellResult {
   stats::OnlineStats transfer_retries;
   stats::OnlineStats replicas_degraded;
   stats::OnlineStats server_downtime;
+  /// Total DES events executed across the cell's replications (raw count, not
+  /// a mean) — the numerator of events-per-second throughput reporting.
+  std::uint64_t events_executed = 0;
   std::size_t replications = 0;
   std::size_t saturated_replications = 0;
 
@@ -86,18 +97,30 @@ struct CellResult {
 /// regardless of worker completion order, batch shape, or thread count.
 class ExperimentRunner {
  public:
-  explicit ExperimentRunner(RunOptions options) : options_(options) {}
+  explicit ExperimentRunner(RunOptions options)
+      : options_(options),
+        world_cache_(options.world_cache_bytes > 0
+                         ? std::make_shared<grid::WorldCache>(options.world_cache_bytes)
+                         : nullptr) {}
 
   /// Runs every cell to its precision target; cell order is preserved.
   /// Replication `i` of every cell uses seed mix_seed(base_seed, i) —
   /// deliberately independent of the cell, so cells are compared under
-  /// common random numbers.
+  /// common random numbers (and share one cached world realization when the
+  /// world cache is on).
   [[nodiscard]] std::vector<CellResult> run(const std::vector<NamedConfig>& cells);
 
   [[nodiscard]] const RunOptions& options() const noexcept { return options_; }
 
+  /// The runner's world-realization cache; null when world_cache_bytes == 0.
+  /// Shared across run() calls, so hit-rate statistics accumulate.
+  [[nodiscard]] const std::shared_ptr<grid::WorldCache>& world_cache() const noexcept {
+    return world_cache_;
+  }
+
  private:
   RunOptions options_;
+  std::shared_ptr<grid::WorldCache> world_cache_;
 };
 
 }  // namespace dg::exp

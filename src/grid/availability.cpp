@@ -70,8 +70,8 @@ AvailabilityProcess::AvailabilityProcess(des::Simulator& sim, Machine& machine,
 void AvailabilityProcess::start(TransitionCallback on_failure, TransitionCallback on_repair) {
   DG_ASSERT_MSG(!started_, "AvailabilityProcess started twice");
   started_ = true;
-  on_failure_ = std::move(on_failure);
-  on_repair_ = std::move(on_repair);
+  on_failure_ = on_failure;
+  on_repair_ = on_repair;
   if (!model_.failures_enabled) return;
   const double ttf = model_.time_to_failure.sample(stream_);
   sim_.schedule_after(ttf, [this] { fail(); });

@@ -8,7 +8,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <memory_resource>
 #include <string>
@@ -19,6 +18,7 @@
 #include "grid/checkpoint_server.hpp"
 #include "grid/machine.hpp"
 #include "grid/outage.hpp"
+#include "grid/transition_delegate.hpp"
 #include "rng/random_stream.hpp"
 
 namespace dg::grid {
@@ -59,7 +59,8 @@ struct GridConfig {
 
 class DesktopGrid final : public MachineAvailabilityListener {
  public:
-  using TransitionCallback = std::function<void(Machine&)>;
+  /// Non-owning (context, fn-pointer) pair — see grid/transition_delegate.hpp.
+  using TransitionCallback = TransitionDelegate;
 
   /// Sentinel returned by first_available()/next_available() when no machine
   /// is up-and-idle.
@@ -77,6 +78,11 @@ class DesktopGrid final : public MachineAvailabilityListener {
   /// Starts every machine's availability process; transition callbacks fire
   /// on each failure/repair. Call once, before running the simulation.
   void start(TransitionCallback on_failure, TransitionCallback on_repair);
+
+  /// Starts only the correlated-outage process — for runs whose per-machine
+  /// availability is replayed by an external driver (a recorded trace or a
+  /// grid::RealizedAvailabilityDriver) instead of the live processes.
+  void start_outages(TransitionCallback on_failure, TransitionCallback on_repair);
 
   [[nodiscard]] std::size_t size() const noexcept { return machines_.size(); }
   [[nodiscard]] Machine& machine(std::size_t i) { return machines_[i]; }

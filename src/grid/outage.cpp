@@ -17,8 +17,8 @@ OutageProcess::OutageProcess(des::Simulator& sim, DesktopGrid& grid, OutageModel
 
 void OutageProcess::start(TransitionCallback on_failure, TransitionCallback on_repair) {
   if (!model_.enabled) return;
-  on_failure_ = std::move(on_failure);
-  on_repair_ = std::move(on_repair);
+  on_failure_ = on_failure;
+  on_repair_ = on_repair;
   sim_.schedule_after(stream_.exponential_mean(model_.mean_interarrival), [this] { strike(); });
 }
 

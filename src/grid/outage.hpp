@@ -10,9 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "des/simulator.hpp"
+#include "grid/transition_delegate.hpp"
 #include "rng/distributions.hpp"
 #include "rng/random_stream.hpp"
 
@@ -40,7 +40,8 @@ struct OutageModel {
 
 class OutageProcess {
  public:
-  using TransitionCallback = std::function<void(Machine&)>;
+  /// Non-owning (context, fn-pointer) pair — see grid/transition_delegate.hpp.
+  using TransitionCallback = TransitionDelegate;
 
   OutageProcess(des::Simulator& sim, DesktopGrid& grid, OutageModel model,
                 rng::RandomStream stream);

@@ -1,0 +1,151 @@
+#include "grid/realization.hpp"
+
+#include <utility>
+
+#include "rng/random_stream.hpp"
+#include "util/assert.hpp"
+
+namespace dg::grid {
+
+std::size_t WorldRealization::byte_size() const noexcept {
+  return sizeof(WorldRealization) + machine_transitions.capacity() * sizeof(double) +
+         machine_offsets.capacity() * sizeof(std::uint32_t) +
+         server_transitions.capacity() * sizeof(double);
+}
+
+AvailabilityTrace WorldRealization::to_trace() const {
+  std::vector<MachineTrace> machines(num_machines);
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    const std::uint32_t begin = machine_offsets[m];
+    const std::uint32_t end = machine_offsets[m + 1];
+    for (std::uint32_t i = begin; i + 1 < end; i += 2) {
+      machines[m].downtime.push_back({machine_transitions[i], machine_transitions[i + 1]});
+    }
+  }
+  return AvailabilityTrace(std::move(machines));
+}
+
+WorldRealization WorldRealization::synthesize(const AvailabilityModel& availability,
+                                              const CheckpointServerFaultModel& server_faults,
+                                              std::size_t num_machines, double horizon,
+                                              std::uint64_t seed) {
+  DG_ASSERT_MSG(horizon > 0.0, "WorldRealization: horizon must be positive");
+  WorldRealization world;
+  world.availability = availability;
+  world.server_faults = server_faults;
+  world.seed = seed;
+  world.horizon = horizon;
+  world.num_machines = num_machines;
+
+  world.machine_offsets.reserve(num_machines + 1);
+  world.machine_offsets.push_back(0);
+  if (availability.failures_enabled) {
+    for (std::size_t m = 0; m < num_machines; ++m) {
+      // Same stream, same draw order as the live AvailabilityProcess for
+      // machine m. Event times in the live run accumulate as
+      // t_{k+1} = t_k + sample (schedule_after on the exact fired time), so
+      // `clock += sample` reproduces them bitwise.
+      rng::RandomStream stream = rng::RandomStream::derive(seed, "grid.availability", m);
+      double clock = 0.0;
+      for (std::size_t k = 0;; ++k) {
+        clock += k % 2 == 0 ? availability.time_to_failure.sample(stream)
+                            : availability.time_to_repair.sample(stream);
+        world.machine_transitions.push_back(clock);
+        if (clock > horizon) break;  // the dangling never-fired successor is kept
+      }
+      world.machine_offsets.push_back(
+          static_cast<std::uint32_t>(world.machine_transitions.size()));
+    }
+  } else {
+    world.machine_offsets.assign(num_machines + 1, 0);
+  }
+
+  if (server_faults.enabled) {
+    DG_ASSERT_MSG(server_faults.mtbf > 0.0 && server_faults.mttr > 0.0,
+                  "WorldRealization: server MTBF and MTTR must be positive");
+    rng::RandomStream stream = rng::RandomStream::derive(seed, "ckpt_server.faults");
+    double clock = 0.0;
+    for (std::size_t k = 0;; ++k) {
+      clock += stream.exponential_mean(k % 2 == 0 ? server_faults.mtbf : server_faults.mttr);
+      world.server_transitions.push_back(clock);
+      if (clock > horizon) break;
+    }
+  }
+
+  world.machine_transitions.shrink_to_fit();
+  world.machine_offsets.shrink_to_fit();
+  world.server_transitions.shrink_to_fit();
+  return world;
+}
+
+void RealizedAvailabilityDriver::start(TransitionDelegate on_failure,
+                                       TransitionDelegate on_repair) {
+  DG_ASSERT_MSG(world_.num_machines == grid_.size(),
+                "RealizedAvailabilityDriver: realization/grid machine count mismatch");
+  on_failure_ = on_failure;
+  on_repair_ = on_repair;
+  cursors_.machine.assign(grid_.size(), 0);
+  // Machine-id order, one first-failure event per machine — the exact
+  // scheduling sequence of DesktopGrid::start() over live processes.
+  for (std::uint32_t m = 0; m < grid_.size(); ++m) {
+    cursors_.machine[m] = world_.machine_offsets[m];
+    if (cursors_.machine[m] == world_.machine_offsets[m + 1]) continue;  // failures disabled
+    sim_.schedule_at(next_transition(m), [this, m] { fail(m); });
+  }
+}
+
+double RealizedAvailabilityDriver::next_transition(std::uint32_t machine_index) {
+  std::uint32_t& cursor = cursors_.machine[machine_index];
+  DG_ASSERT_MSG(cursor < world_.machine_offsets[machine_index + 1],
+                "RealizedAvailabilityDriver: replay ran past the recorded horizon");
+  return world_.machine_transitions[cursor++];
+}
+
+void RealizedAvailabilityDriver::fail(std::uint32_t machine_index) {
+  Machine& machine = grid_.machine(machine_index);
+  // Mirror AvailabilityProcess::fail(): apply the transition (callback on a
+  // real up -> down edge only) before scheduling the repair.
+  if (machine.force_down(sim_.now())) {
+    if (on_failure_) on_failure_(machine);
+  }
+  sim_.schedule_at(next_transition(machine_index), [this, machine_index] { repair(machine_index); });
+}
+
+void RealizedAvailabilityDriver::repair(std::uint32_t machine_index) {
+  Machine& machine = grid_.machine(machine_index);
+  if (machine.release_down(sim_.now())) {
+    if (on_repair_) on_repair_(machine);
+  }
+  sim_.schedule_at(next_transition(machine_index), [this, machine_index] { fail(machine_index); });
+}
+
+void RealizedServerFaultDriver::start(Callback on_down, Callback on_up) {
+  on_down_ = std::move(on_down);
+  on_up_ = std::move(on_up);
+  if (!world_.server_faults.enabled) return;
+  DG_ASSERT_MSG(!world_.server_transitions.empty(),
+                "RealizedServerFaultDriver: enabled fault model with empty timeline");
+  sim_.schedule_at(next_transition(), [this] { crash(); });
+}
+
+double RealizedServerFaultDriver::next_transition() {
+  DG_ASSERT_MSG(cursor_ < world_.server_transitions.size(),
+                "RealizedServerFaultDriver: replay ran past the recorded horizon");
+  return world_.server_transitions[cursor_++];
+}
+
+void RealizedServerFaultDriver::crash() {
+  // Mirror CheckpointServerFaultProcess::crash(): state flip, callback, then
+  // the successor.
+  server_.set_down(sim_.now());
+  if (on_down_) on_down_();
+  sim_.schedule_at(next_transition(), [this] { repair(); });
+}
+
+void RealizedServerFaultDriver::repair() {
+  server_.set_up(sim_.now());
+  if (on_up_) on_up_();
+  sim_.schedule_at(next_transition(), [this] { crash(); });
+}
+
+}  // namespace dg::grid

@@ -117,8 +117,8 @@ AvailabilityTrace AvailabilityTrace::load_csv(std::istream& is) {
 void TraceAvailabilityDriver::start(TransitionCallback on_failure,
                                     TransitionCallback on_repair) {
   DG_ASSERT_MSG(!trace_.empty(), "TraceAvailabilityDriver: empty trace");
-  on_failure_ = std::move(on_failure);
-  on_repair_ = std::move(on_repair);
+  on_failure_ = on_failure;
+  on_repair_ = on_repair;
   for (std::size_t m = 0; m < grid_.size(); ++m) {
     const MachineTrace& machine_trace = trace_.machine(m % trace_.num_machines());
     Machine* machine = &grid_.machine(m);

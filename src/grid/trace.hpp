@@ -13,13 +13,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <iosfwd>
 #include <vector>
 
 #include "des/simulator.hpp"
 #include "grid/availability.hpp"
 #include "grid/desktop_grid.hpp"
+#include "grid/transition_delegate.hpp"
 
 namespace dg::grid {
 
@@ -69,7 +69,8 @@ class AvailabilityTrace {
 /// failure processes are disabled.
 class TraceAvailabilityDriver {
  public:
-  using TransitionCallback = std::function<void(Machine&)>;
+  /// Non-owning (context, fn-pointer) pair — see grid/transition_delegate.hpp.
+  using TransitionCallback = TransitionDelegate;
 
   TraceAvailabilityDriver(des::Simulator& sim, DesktopGrid& grid, AvailabilityTrace trace)
       : sim_(sim), grid_(grid), trace_(std::move(trace)) {}

@@ -5,6 +5,9 @@
 #include <functional>
 #include <limits>
 #include <memory_resource>
+#include <optional>
+
+#include "grid/realization.hpp"
 
 #include "des/simulator.hpp"
 #include "grid/checkpoint_server.hpp"
@@ -101,6 +104,48 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
   }
   grid::DesktopGrid grid(grid_config, sim, config_.seed, mem);
 
+  // --- workload ---
+  // Generated before any component schedules events (generation only draws
+  // from the "workload" stream, it schedules nothing) because the horizon —
+  // which the world-realization cache keys its synthesis length on — depends
+  // on the last arrival.
+  std::vector<workload::BotSpec>& specs = workspace.specs();
+  if (config_.trace_bots != nullptr) {
+    specs = *config_.trace_bots;
+  } else {
+    workload::WorkloadGenerator generator(config_.workload,
+                                          rng::RandomStream::derive(config_.seed, "workload"));
+    generator.generate_into(specs);
+  }
+  DG_ASSERT(!specs.empty());
+
+  // --- horizon ---
+  double horizon = config_.max_sim_time;
+  if (horizon <= 0.0) {
+    const double last_arrival = specs.back().arrival_time;
+    double bag_size = config_.workload.bag_size;
+    if (config_.trace_bots != nullptr) {
+      double trace_work = 0.0;
+      for (const workload::BotSpec& spec : specs) trace_work += spec.total_work();
+      bag_size = trace_work / static_cast<double>(specs.size());
+    }
+    const double demand_per_bot = bag_size / workload::effective_grid_power(config_.grid);
+    horizon = last_arrival + 300.0 * demand_per_bot + 86400.0;
+  }
+
+  // --- world realization ---
+  // With a cache installed, the availability / server-fault timelines are
+  // synthesized once per (models, machine count, seed) and replayed below —
+  // bit-identical to the live processes (see grid/realization.hpp).
+  std::shared_ptr<const grid::WorldRealization> world;
+  if (config_.world_cache != nullptr && !trace_driven_grid &&
+      (grid_config.availability.failures_enabled ||
+       config_.grid.checkpoint_server_faults.enabled)) {
+    world = config_.world_cache->acquire(grid_config.availability,
+                                         config_.grid.checkpoint_server_faults, grid.size(),
+                                         horizon, config_.seed);
+  }
+
   // --- scheduler stack ---
   auto individual = sched::IndividualScheduler::make(config_.individual);
   std::unique_ptr<sched::ReplicationController> replication;
@@ -139,32 +184,29 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
     engine_config.failable_server = true;
     engine_config.server_faults = config_.grid.checkpoint_server_faults;
     engine_config.retry = config_.checkpoint_retry;
+    engine_config.world = world;  // null = live fault process
   }
   ExecutionEngine engine(sim, grid, scheduler, engine_config, config_.seed, mem);
   if (observer != nullptr) engine.add_observer(*observer);
 
   std::unique_ptr<grid::TraceAvailabilityDriver> trace_driver;
-  auto on_failure = [&engine](grid::Machine& machine) { engine.on_machine_failure(machine); };
-  auto on_repair = [&engine](grid::Machine& machine) { engine.on_machine_repair(machine); };
+  std::optional<grid::RealizedAvailabilityDriver> realized_driver;
+  const auto on_failure = grid::TransitionDelegate::to<&ExecutionEngine::on_machine_failure>(engine);
+  const auto on_repair = grid::TransitionDelegate::to<&ExecutionEngine::on_machine_repair>(engine);
   if (trace_driven_grid) {
     trace_driver = std::make_unique<grid::TraceAvailabilityDriver>(sim, grid,
                                                                    *config_.availability_trace);
     trace_driver->start(on_failure, on_repair);
     grid.start(nullptr, nullptr);  // processes disabled; keeps uptime stats coherent
+  } else if (world != nullptr && grid_config.availability.failures_enabled) {
+    // Replay the cached realization: same first-failure scheduling order as
+    // grid.start(), same lazy one-event-per-machine pattern thereafter.
+    realized_driver.emplace(sim, grid, *world, workspace.replay_cursors());
+    realized_driver->start(on_failure, on_repair);
+    grid.start_outages(on_failure, on_repair);
   } else {
     grid.start(on_failure, on_repair);
   }
-
-  // --- workload ---
-  std::vector<workload::BotSpec>& specs = workspace.specs();
-  if (config_.trace_bots != nullptr) {
-    specs = *config_.trace_bots;
-  } else {
-    workload::WorkloadGenerator generator(config_.workload,
-                                          rng::RandomStream::derive(config_.seed, "workload"));
-    generator.generate_into(specs);
-  }
-  DG_ASSERT(!specs.empty());
 
   // Bag states live in a pooled deque (stable addresses, no per-bag
   // unique_ptr); their task slabs and dispatch structures draw from `mem`.
@@ -186,20 +228,6 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
       if (ctx.observer != nullptr) ctx.observer->on_bot_submitted(*bot, ctx.sim->now());
       ctx.scheduler->submit(*bot);
     });
-  }
-
-  // --- horizon ---
-  double horizon = config_.max_sim_time;
-  if (horizon <= 0.0) {
-    const double last_arrival = specs.back().arrival_time;
-    double bag_size = config_.workload.bag_size;
-    if (config_.trace_bots != nullptr) {
-      double trace_work = 0.0;
-      for (const workload::BotSpec& spec : specs) trace_work += spec.total_work();
-      bag_size = trace_work / static_cast<double>(specs.size());
-    }
-    const double demand_per_bot = bag_size / workload::effective_grid_power(config_.grid);
-    horizon = last_arrival + 300.0 * demand_per_bot + 86400.0;
   }
 
   // --- queue monitor ---

@@ -66,8 +66,8 @@ class World {
     engine_config.server_faults.enabled = false;  // outages injected by hand
     engine = std::make_unique<sim::ExecutionEngine>(sim, *grid, *scheduler, engine_config,
                                                     options.seed);
-    grid->start([this](grid::Machine& m) { engine->on_machine_failure(m); },
-                [this](grid::Machine& m) { engine->on_machine_repair(m); });
+    grid->start(grid::TransitionDelegate::to<&sim::ExecutionEngine::on_machine_failure>(*engine),
+                grid::TransitionDelegate::to<&sim::ExecutionEngine::on_machine_repair>(*engine));
   }
 
   /// Creates and registers a bag with the given task works, arriving at

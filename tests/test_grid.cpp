@@ -99,7 +99,9 @@ TEST(AvailabilityProcess, MachineAlternatesUpDown) {
   AvailabilityModel model = AvailabilityModel::from_availability(0.5, 0.7, 100.0, 10.0);
   AvailabilityProcess process(sim, machine, model, rng::RandomStream(12));
   int failures = 0, repairs = 0;
-  process.start([&](Machine&) { ++failures; }, [&](Machine&) { ++repairs; });
+  auto on_fail = [&](Machine&) { ++failures; };
+  auto on_repair = [&](Machine&) { ++repairs; };
+  process.start(TransitionDelegate::bind(on_fail), TransitionDelegate::bind(on_repair));
   sim.run_until(50000.0);
   EXPECT_GT(failures, 10);
   EXPECT_TRUE(repairs == failures || repairs == failures - 1);
@@ -122,7 +124,8 @@ TEST(AvailabilityProcess, DisabledFailuresNeverFire) {
   Machine machine(0, 10.0);
   AvailabilityProcess process(sim, machine, AvailabilityModel::for_level(AvailabilityLevel::kAlways),
                               rng::RandomStream(56));
-  process.start([](Machine&) { FAIL() << "failure fired with failures disabled"; }, nullptr);
+  auto on_fail = [](Machine&) { FAIL() << "failure fired with failures disabled"; };
+  process.start(TransitionDelegate::bind(on_fail), nullptr);
   sim.run_until(1e9);
   EXPECT_TRUE(machine.up());
   EXPECT_EQ(process.failure_count(), 0u);

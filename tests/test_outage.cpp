@@ -33,7 +33,9 @@ TEST(OutageProcess, HitsTheConfiguredFraction) {
   des::Simulator sim;
   grid::DesktopGrid grid(outage_grid(0.3, 20000.0), sim, 1);
   int edges_down = 0, edges_up = 0;
-  grid.start([&](grid::Machine&) { ++edges_down; }, [&](grid::Machine&) { ++edges_up; });
+  auto on_down = [&](grid::Machine&) { ++edges_down; };
+  auto on_up = [&](grid::Machine&) { ++edges_up; };
+  grid.start(grid::TransitionDelegate::bind(on_down), grid::TransitionDelegate::bind(on_up));
   sim.run_until(1e6);  // ~50 outages expected
   const auto& outages = grid.outage_process();
   EXPECT_GT(outages.outages(), 20u);
@@ -51,7 +53,8 @@ TEST(OutageProcess, DisabledByDefault) {
   grid::GridConfig config =
       grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kAlways);
   grid::DesktopGrid grid(config, sim, 2);
-  grid.start([](grid::Machine&) { FAIL() << "unexpected failure"; }, nullptr);
+  auto on_down = [](grid::Machine&) { FAIL() << "unexpected failure"; };
+  grid.start(grid::TransitionDelegate::bind(on_down), nullptr);
   sim.run_until(1e7);
   EXPECT_EQ(grid.outage_process().outages(), 0u);
 }

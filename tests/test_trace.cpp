@@ -5,6 +5,7 @@
 #include <memory>
 #include <sstream>
 
+#include "grid/realization.hpp"
 #include "grid/trace.hpp"
 #include "sim/simulation.hpp"
 #include "workload/generator.hpp"
@@ -40,22 +41,47 @@ TEST(AvailabilityTrace, SynthesizeNoFailuresGivesEmptyDowntime) {
   EXPECT_DOUBLE_EQ(trace.mean_availability(1e6), 1.0);
 }
 
-TEST(AvailabilityTrace, CsvRoundTrip) {
-  const grid::AvailabilityTrace original = grid::AvailabilityTrace::synthesize(
-      grid::AvailabilityModel::for_level(grid::AvailabilityLevel::kMed), 8, 2e5, 3);
+/// save_csv writes max_digits10 significant digits, so a round-trip must
+/// reproduce every interval boundary bitwise — not merely approximately.
+void expect_csv_round_trip_bit_exact(const grid::AvailabilityTrace& original) {
   std::stringstream buffer;
   original.save_csv(buffer);
   const grid::AvailabilityTrace loaded = grid::AvailabilityTrace::load_csv(buffer);
   ASSERT_EQ(loaded.num_machines(), original.num_machines());
   for (std::size_t m = 0; m < original.num_machines(); ++m) {
+    SCOPED_TRACE(m);
     ASSERT_EQ(loaded.machine(m).downtime.size(), original.machine(m).downtime.size());
     for (std::size_t i = 0; i < original.machine(m).downtime.size(); ++i) {
-      EXPECT_NEAR(loaded.machine(m).downtime[i].start, original.machine(m).downtime[i].start,
-                  1e-6 * original.machine(m).downtime[i].start + 1e-9);
-      EXPECT_NEAR(loaded.machine(m).downtime[i].end, original.machine(m).downtime[i].end,
-                  1e-6 * original.machine(m).downtime[i].end + 1e-9);
+      EXPECT_EQ(loaded.machine(m).downtime[i].start, original.machine(m).downtime[i].start);
+      EXPECT_EQ(loaded.machine(m).downtime[i].end, original.machine(m).downtime[i].end);
     }
   }
+}
+
+TEST(AvailabilityTrace, CsvRoundTripIsBitExact) {
+  expect_csv_round_trip_bit_exact(grid::AvailabilityTrace::synthesize(
+      grid::AvailabilityModel::for_level(grid::AvailabilityLevel::kMed), 8, 2e5, 3));
+}
+
+TEST(AvailabilityTrace, CsvRoundTripIsBitExactAcrossModelsAndSeeds) {
+  for (const grid::AvailabilityLevel level :
+       {grid::AvailabilityLevel::kHigh, grid::AvailabilityLevel::kMed,
+        grid::AvailabilityLevel::kLow}) {
+    for (const std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+      SCOPED_TRACE(seed);
+      expect_csv_round_trip_bit_exact(grid::AvailabilityTrace::synthesize(
+          grid::AvailabilityModel::for_level(level), 6, 3e5, seed));
+    }
+  }
+}
+
+TEST(AvailabilityTrace, WorldRealizationTraceViewRoundTripsBitExact) {
+  // The cache's realization-to-trace view feeds the same CSV path.
+  const grid::GridConfig config =
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kLow);
+  const grid::WorldRealization world = grid::WorldRealization::synthesize(
+      config.availability, config.checkpoint_server_faults, 12, 1e5, 77);
+  expect_csv_round_trip_bit_exact(world.to_trace());
 }
 
 TEST(AvailabilityTrace, CsvRoundTripKeepsAlwaysUpMachines) {
@@ -99,7 +125,9 @@ TEST(TraceDriver, DrivesMachineTransitions) {
   grid::TraceAvailabilityDriver driver(sim, grid, grid::AvailabilityTrace{std::move(machines)});
 
   int failures = 0, repairs = 0;
-  driver.start([&](grid::Machine&) { ++failures; }, [&](grid::Machine&) { ++repairs; });
+  auto on_fail = [&](grid::Machine&) { ++failures; };
+  auto on_repair = [&](grid::Machine&) { ++repairs; };
+  driver.start(grid::TransitionDelegate::bind(on_fail), grid::TransitionDelegate::bind(on_repair));
   grid.start(nullptr, nullptr);
 
   sim.run_until(120.0);
