@@ -56,7 +56,7 @@ int main() {
   const auto results = runner.run(cells);
 
   util::Table table({"server avail", "policy", "mean turnaround [s]", "95% CI +-",
-                     "retries/run", "degraded/run", "saturated"});
+                     "p95 [s]", "p99 [s]", "retries/run", "degraded/run", "saturated"});
   std::size_t index = 0;
   for (double availability : availabilities) {
     for (sched::PolicyKind policy : policies) {
@@ -64,6 +64,8 @@ int main() {
       const auto ci = cell.turnaround_ci();
       table.add_row({util::format_double(availability, 2), sched::to_string(policy),
                      util::format_double(ci.mean, 0), util::format_double(ci.half_width, 0),
+                     util::format_double(cell.turnaround_tail.quantile(0.95), 0),
+                     util::format_double(cell.turnaround_tail.quantile(0.99), 0),
                      util::format_double(cell.transfer_retries.mean(), 1),
                      util::format_double(cell.replicas_degraded.mean(), 1),
                      cell.saturated() ? "yes" : "no"});

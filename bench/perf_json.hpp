@@ -21,10 +21,14 @@ namespace dg::bench {
 /// One benchmark measurement. Schema (stable across PRs — append-only):
 /// {benchmark, events_per_sec, wall_s, peak_rss_kb, config, seed,
 ///  machines_per_dispatch, transfer_retries, replicas_degraded,
-///  replications_per_sec, threads, allocs_per_replication, cache_hit_rate}.
+///  replications_per_sec, threads, allocs_per_replication, cache_hit_rate,
+///  tails: {turnaround_p50, turnaround_p95, turnaround_p99, slowdown_p95,
+///  slowdown_p99}}.
 /// `benchmark`, `wall_s`, and `config` are always emitted; every other field
 /// is omitted when it holds its zero default, so records stay readable and
-/// suite-specific fields don't show up as meaningless zeros elsewhere.
+/// suite-specific fields don't show up as meaningless zeros elsewhere. The
+/// `tails` object follows the same rule: absent unless the suite recorded at
+/// least one tail quantile, zero members omitted inside it.
 struct PerfRecord {
   std::string benchmark;     ///< Stable identifier, e.g. "kernel/event_chain".
   double events_per_sec = 0; ///< Primary throughput metric.
@@ -52,6 +56,15 @@ struct PerfRecord {
   /// zero elsewhere. Fraction of world acquisitions served from a resident
   /// realization (grid::WorldCacheStats::hit_rate()).
   double cache_hit_rate = 0;
+  /// Tail quantiles of the simulated metrics (docs/METRICS.md), pooled over
+  /// the benchmark's replications via the merged exp::CellResult sketches.
+  /// Deterministic for a given config+seed, unlike the wall-clock fields;
+  /// zero for kernel benchmarks, which simulate no bags.
+  double turnaround_p50 = 0;  ///< Median bag turnaround (seconds).
+  double turnaround_p95 = 0;  ///< 95th-percentile bag turnaround (seconds).
+  double turnaround_p99 = 0;  ///< 99th-percentile bag turnaround (seconds).
+  double slowdown_p95 = 0;    ///< 95th-percentile bag slowdown (unitless).
+  double slowdown_p99 = 0;    ///< 99th-percentile bag slowdown (unitless).
 };
 
 /// Peak resident set size of this process in kilobytes (0 when unavailable).
@@ -122,6 +135,22 @@ inline void write_perf_json(std::ostream& os, const std::vector<PerfRecord>& rec
     field("threads", r.threads);
     field("allocs_per_replication", r.allocs_per_replication);
     field("cache_hit_rate", r.cache_hit_rate);
+    if (r.turnaround_p50 != 0 || r.turnaround_p95 != 0 || r.turnaround_p99 != 0 ||
+        r.slowdown_p95 != 0 || r.slowdown_p99 != 0) {
+      os << ",\n    \"tails\": {";
+      bool first = true;
+      const auto tail_field = [&os, &first](const char* name, double value) {
+        if (value == 0) return;
+        os << (first ? "" : ",") << "\n      \"" << name << "\": " << value;
+        first = false;
+      };
+      tail_field("turnaround_p50", r.turnaround_p50);
+      tail_field("turnaround_p95", r.turnaround_p95);
+      tail_field("turnaround_p99", r.turnaround_p99);
+      tail_field("slowdown_p95", r.slowdown_p95);
+      tail_field("slowdown_p99", r.slowdown_p99);
+      os << "\n    }";
+    }
     os << "\n  }" << (i + 1 < records.size() ? "," : "") << "\n";
   }
   os << "]\n";

@@ -149,10 +149,13 @@ PerfRecord run_policy(const std::string& name, const std::string& config_desc,
                       const dg::sim::SimulationConfig& config, int reps = kPolicyReps) {
   double machines_per_dispatch = 0.0;
   dg::sim::FaultStats faults;
+  dg::stats::TailQuantiles turnaround_tails;
+  dg::stats::TailQuantiles slowdown_tails;
   const bool check_invariants = config.grid.checkpoint_server_faults.enabled;
   PerfRecord record =
       best_of(name, config_desc, config.seed, reps,
-              [&config, &machines_per_dispatch, &faults, check_invariants, &name] {
+              [&config, &machines_per_dispatch, &faults, &turnaround_tails, &slowdown_tails,
+               check_invariants, &name] {
                 dg::sim::InvariantChecker checker;
                 const auto result =
                     dg::sim::Simulation(config).run(check_invariants ? &checker : nullptr);
@@ -164,12 +167,19 @@ PerfRecord run_policy(const std::string& name, const std::string& config_desc,
                 machines_per_dispatch =
                     result.sched.machines_per_dispatch(result.replicas_started);
                 faults = result.faults;
+                turnaround_tails = result.turnaround_tail.tails();
+                slowdown_tails = result.slowdown_tail.tails();
                 return result.events_executed;
               });
   // Deterministic for a given config+seed, so any rep's value is the value.
   record.machines_per_dispatch = machines_per_dispatch;
   record.transfer_retries = faults.transfer_retries;
   record.replicas_degraded = faults.replicas_degraded;
+  record.turnaround_p50 = turnaround_tails.p50;
+  record.turnaround_p95 = turnaround_tails.p95;
+  record.turnaround_p99 = turnaround_tails.p99;
+  record.slowdown_p95 = slowdown_tails.p95;
+  record.slowdown_p99 = slowdown_tails.p99;
   return record;
 }
 

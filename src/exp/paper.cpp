@@ -85,7 +85,8 @@ void render_figure(const FigureSpec& spec, const std::vector<CellResult>& result
   util::Table csv_table({"panel", "heterogeneity", "availability", "intensity", "granularity",
                          "policy", "mean_turnaround", "ci_half_width", "replications",
                          "saturated", "mean_waiting", "mean_makespan", "utilization",
-                         "wasted_fraction"});
+                         "wasted_fraction", "turnaround_p50", "turnaround_p95", "turnaround_p99",
+                         "slowdown_p95", "slowdown_p99"});
   for (const PanelSpec& panel : spec.panels) {
     std::vector<std::string> header{"granularity [s]"};
     for (sched::PolicyKind policy : spec.policies) header.push_back(sched::to_string(policy));
@@ -113,7 +114,12 @@ void render_figure(const FigureSpec& spec, const std::vector<CellResult>& result
                            util::format_double(cell.waiting.mean(), 1),
                            util::format_double(cell.makespan.mean(), 1),
                            util::format_double(cell.utilization.mean(), 3),
-                           util::format_double(cell.wasted_fraction.mean(), 3)});
+                           util::format_double(cell.wasted_fraction.mean(), 3),
+                           util::format_double(cell.turnaround_tail.quantile(0.50), 1),
+                           util::format_double(cell.turnaround_tail.quantile(0.95), 1),
+                           util::format_double(cell.turnaround_tail.quantile(0.99), 1),
+                           util::format_double(cell.slowdown_tail.quantile(0.95), 2),
+                           util::format_double(cell.slowdown_tail.quantile(0.99), 2)});
       }
       table.add_row(std::move(row));
     }

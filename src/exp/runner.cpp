@@ -61,19 +61,25 @@ std::optional<std::size_t> env_size(const char* name) {
   }
 }
 
-/// The per-replication scalars a CellResult folds in — everything a worker
-/// needs to hand back, without retaining the full SimulationResult (whose
-/// buffers live in the worker's workspace and are reused by the next run).
+/// The per-replication data a CellResult folds in — scalars plus copies of
+/// the tail sketches, so the worker never retains the full SimulationResult
+/// (whose buffers live in the worker's workspace and are reused by the next
+/// run). Sketch counts are exact integers, so folding copies in build order
+/// reproduces the sequential accumulator sequences bit for bit.
 struct ReplicationSummary {
   double turnaround_mean = 0.0;
   double waiting_mean = 0.0;
   double makespan_mean = 0.0;
   double utilization = 0.0;
+  double decayed_utilization = 0.0;
   double wasted_fraction = 0.0;
   double lost_work = 0.0;
   double transfer_retries = 0.0;
   double replicas_degraded = 0.0;
   double server_downtime = 0.0;
+  stats::QuantileSketch turnaround_tail;
+  stats::QuantileSketch slowdown_tail;
+  stats::QuantileSketch completion_gap_tail;
   std::uint64_t events_executed = 0;
   bool saturated = false;
 };
@@ -84,11 +90,15 @@ ReplicationSummary summarize(const sim::SimulationResult& result) {
   summary.waiting_mean = result.waiting.mean();
   summary.makespan_mean = result.makespan.mean();
   summary.utilization = result.utilization;
+  summary.decayed_utilization = result.decayed_utilization;
   summary.wasted_fraction = result.wasted_fraction();
   summary.lost_work = result.lost_work;
   summary.transfer_retries = static_cast<double>(result.faults.transfer_retries);
   summary.replicas_degraded = static_cast<double>(result.faults.replicas_degraded);
   summary.server_downtime = result.faults.server_downtime;
+  summary.turnaround_tail = result.turnaround_tail;
+  summary.slowdown_tail = result.slowdown_tail;
+  summary.completion_gap_tail = result.completion_gap_tail;
   summary.events_executed = result.events_executed;
   summary.saturated = result.saturated;
   return summary;
@@ -99,11 +109,15 @@ void fold(CellResult& cell, const ReplicationSummary& summary) {
   cell.waiting.add(summary.waiting_mean);
   cell.makespan.add(summary.makespan_mean);
   cell.utilization.add(summary.utilization);
+  cell.decayed_utilization.add(summary.decayed_utilization);
   cell.wasted_fraction.add(summary.wasted_fraction);
   cell.lost_work.add(summary.lost_work);
   cell.transfer_retries.add(summary.transfer_retries);
   cell.replicas_degraded.add(summary.replicas_degraded);
   cell.server_downtime.add(summary.server_downtime);
+  cell.turnaround_tail.merge(summary.turnaround_tail);
+  cell.slowdown_tail.merge(summary.slowdown_tail);
+  cell.completion_gap_tail.merge(summary.completion_gap_tail);
   cell.events_executed += summary.events_executed;
   ++cell.replications;
   if (summary.saturated) ++cell.saturated_replications;

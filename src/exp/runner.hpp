@@ -69,6 +69,17 @@ struct CellResult {
   stats::OnlineStats utilization;
   stats::OnlineStats wasted_fraction;
   stats::OnlineStats lost_work;
+  /// Merged tail sketches across the cell's replications (exact bucket-count
+  /// addition, so the merged p50/p95/p99 are bit-identical regardless of
+  /// thread count or batch shape — see docs/METRICS.md). The turnaround /
+  /// slowdown sketches pool every measured bag of every replication; the gap
+  /// sketch pools every completion gap.
+  stats::QuantileSketch turnaround_tail;
+  stats::QuantileSketch slowdown_tail;
+  stats::QuantileSketch completion_gap_tail;
+  /// Per-replication end-of-run decayed busy fraction
+  /// (SimulationResult::decayed_utilization).
+  stats::OnlineStats decayed_utilization;
   // Checkpoint-server fault/recovery counters (all zero for a reliable
   // server); per-replication means of the SimulationResult::faults fields.
   stats::OnlineStats transfer_retries;

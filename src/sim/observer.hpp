@@ -16,6 +16,7 @@
 #include "sched/sched_stats.hpp"
 #include "sched/task_state.hpp"
 #include "sim/fault_tolerance.hpp"
+#include "stats/quantile_sketch.hpp"
 
 namespace dg::sim {
 
@@ -74,6 +75,75 @@ class SimulationObserver {
   virtual void on_run_finished(const des::KernelStats& /*kernel*/,
                                const sched::SchedStats& /*sched*/, const FaultStats& /*faults*/,
                                double /*now*/) {}
+};
+
+/// Streams the tail-metrics columns of a run (docs/METRICS.md) into
+/// caller-owned accumulators. In the workspace path the sketch sinks live
+/// inside the SimulationResult retained by sim::SimulationWorkspace, so every
+/// hook below is O(1) and allocation-free — the warmed run loop stays
+/// zero-alloc with the columns enabled (tests/test_alloc_free.cpp).
+///
+/// Two columns stream during the run (completion gaps in event order, the
+/// exponentially decayed busy-machine fraction); the per-bag
+/// turnaround/slowdown columns are written by the result-assembly loop via
+/// write_bag() so their population matches the OnlineStats aggregates
+/// exactly (warmup filter applied, censored records included).
+class ColumnWriter final : public SimulationObserver {
+ public:
+  /// Sketch sinks for the streamed columns; null entries disable a column.
+  struct Sinks {
+    stats::QuantileSketch* turnaround = nullptr;      ///< fed by write_bag()
+    stats::QuantileSketch* slowdown = nullptr;        ///< fed by write_bag()
+    stats::QuantileSketch* completion_gap = nullptr;  ///< fed on completions
+  };
+
+  /// `utilization_tau` is the decay time constant (seconds) of the
+  /// busy-fraction average; Simulation::run passes horizon / 4 so the value
+  /// reflects the load level of the run's final stretch.
+  ColumnWriter(const Sinks& sinks, std::size_t num_machines, double utilization_tau)
+      : sinks_(sinks),
+        inv_machines_(num_machines > 0 ? 1.0 / static_cast<double>(num_machines) : 0.0),
+        utilization_(utilization_tau) {}
+
+  /// Writes one measured bag's turnaround/slowdown columns (called by the
+  /// result-assembly loop for every bag past the warmup window).
+  void write_bag(double turnaround, double slowdown) noexcept {
+    if (sinks_.turnaround != nullptr) sinks_.turnaround->add(turnaround);
+    if (sinks_.slowdown != nullptr) sinks_.slowdown->add(slowdown);
+  }
+
+  void on_bot_completed(const sched::BotState& /*bot*/, double now) override {
+    if (has_completion_ && sinks_.completion_gap != nullptr) {
+      sinks_.completion_gap->add(now - last_completion_);
+    }
+    has_completion_ = true;
+    last_completion_ = now;
+  }
+
+  void on_replica_started(const sched::TaskState& /*task*/, const grid::Machine& /*machine*/,
+                          double now) override {
+    ++busy_;
+    utilization_.update(now, static_cast<double>(busy_) * inv_machines_);
+  }
+
+  void on_replica_stopped(const sched::TaskState& /*task*/, const grid::Machine& /*machine*/,
+                          ReplicaStopKind /*kind*/, double now) override {
+    if (busy_ > 0) --busy_;
+    utilization_.update(now, static_cast<double>(busy_) * inv_machines_);
+  }
+
+  /// The exponentially time-decayed busy-machine fraction at `now`.
+  [[nodiscard]] double decayed_utilization(double now) const noexcept {
+    return utilization_.average(now);
+  }
+
+ private:
+  Sinks sinks_;
+  double inv_machines_;
+  std::size_t busy_ = 0;
+  stats::TimeDecayedAverage utilization_;
+  double last_completion_ = 0.0;
+  bool has_completion_ = false;
 };
 
 }  // namespace dg::sim

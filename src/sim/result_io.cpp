@@ -36,9 +36,20 @@ void write_summary(std::ostream& os, const SimulationResult& result) {
      << result.turnaround.min() << ", max " << result.turnaround.max() << ")\n"
      << "  = waiting " << result.waiting.mean() << " + makespan " << result.makespan.mean()
      << '\n'
+     << "  tails: p50 " << result.turnaround_tail.quantile(0.50) << ", p95 "
+     << result.turnaround_tail.quantile(0.95) << ", p99 "
+     << result.turnaround_tail.quantile(0.99) << '\n'
      << "slowdown:        mean " << result.slowdown.mean() << "  (Jain fairness "
      << result.slowdown_fairness() << ")\n"
-     << "utilization:     " << result.utilization << '\n'
+     << "  tails: p50 " << result.slowdown_tail.quantile(0.50) << ", p95 "
+     << result.slowdown_tail.quantile(0.95) << ", p99 "
+     << result.slowdown_tail.quantile(0.99) << '\n'
+     << "completion gaps: p50 " << result.completion_gap_tail.quantile(0.50) << ", p95 "
+     << result.completion_gap_tail.quantile(0.95) << ", p99 "
+     << result.completion_gap_tail.quantile(0.99) << "  (" << result.completion_gap_tail.count()
+     << " gaps)\n"
+     << "utilization:     " << result.utilization << "  (decayed "
+     << result.decayed_utilization << ")\n"
      << "availability:    " << result.measured_availability << " measured\n"
      << "failures:        " << result.machine_failures << " machine, "
      << result.replica_failures << " replica\n"

@@ -55,6 +55,7 @@ namespace {
 struct ArrivalContext {
   sched::MultiBotScheduler* scheduler = nullptr;
   SimulationObserver* observer = nullptr;
+  ColumnWriter* columns = nullptr;
   des::Simulator* sim = nullptr;
   std::size_t completed = 0;
   std::size_t total = 0;
@@ -95,6 +96,11 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
   workspace.begin_replication();
   des::Simulator& sim = workspace.simulator();
   std::pmr::memory_resource* const mem = workspace.resource();
+  // Results are assembled in place in the workspace (monitor samples and
+  // tail-sketch columns stream into it during the run); begin_replication()
+  // reset every field while keeping the bots / monitor / sketch-bucket
+  // storage.
+  SimulationResult& result = workspace.result();
 
   const bool trace_driven_grid = config_.availability_trace != nullptr;
   grid::GridConfig grid_config = config_.grid;
@@ -146,6 +152,16 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
                                          horizon, config_.seed);
   }
 
+  // --- tail-metrics columns ---
+  // Completion gaps and the decayed busy fraction stream during the run; the
+  // per-bag turnaround/slowdown columns are written during result assembly
+  // (same warmup-filtered population as the OnlineStats aggregates). The
+  // sketch sinks live in the workspace's result, so a warmed workspace
+  // serves every add from retained bucket storage.
+  ColumnWriter columns({&result.turnaround_tail, &result.slowdown_tail,
+                        &result.completion_gap_tail},
+                       grid.size(), horizon / 4.0);
+
   // --- scheduler stack ---
   auto individual = sched::IndividualScheduler::make(config_.individual);
   std::unique_ptr<sched::ReplicationController> replication;
@@ -187,6 +203,7 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
     engine_config.world = world;  // null = live fault process
   }
   ExecutionEngine engine(sim, grid, scheduler, engine_config, config_.seed, mem);
+  engine.add_observer(columns);
   if (observer != nullptr) engine.add_observer(*observer);
 
   std::unique_ptr<grid::TraceAvailabilityDriver> trace_driver;
@@ -215,9 +232,10 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
     bots.emplace_back(spec, task_order, mem);
   }
 
-  ArrivalContext ctx{&scheduler, observer, &sim, 0, bots.size()};
+  ArrivalContext ctx{&scheduler, observer, &columns, &sim, 0, bots.size()};
   scheduler.set_bot_completed_callback([&ctx](sched::BotState& bot) {
     ++ctx.completed;
+    ctx.columns->on_bot_completed(bot, ctx.sim->now());
     if (ctx.observer != nullptr) ctx.observer->on_bot_completed(bot, ctx.sim->now());
     if (ctx.completed == ctx.total) ctx.sim->stop();  // availability events would run forever
   });
@@ -249,14 +267,11 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
   }
 
   // --- results ---
-  // Assembled in place in the workspace's result (monitor samples already
-  // there); begin_replication() reset every field while keeping the bots /
-  // monitor buffer capacity.
-  SimulationResult& result = workspace.result();
   result.saturated = saturated;
   result.bots_completed = ctx.completed;
   result.end_time = end_time;
   result.utilization = engine.utilization(end_time);
+  result.decayed_utilization = columns.decayed_utilization(end_time);
   result.measured_availability = trace_driven_grid
                                      ? config_.availability_trace->mean_availability(end_time)
                                      : grid.measured_availability(end_time);
@@ -307,6 +322,7 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
       result.waiting.add(record.waiting_time);
       result.makespan.add(record.makespan);
       result.slowdown.add(record.slowdown);
+      columns.write_bag(record.turnaround, record.slowdown);
     }
     result.bots.push_back(record);
   }

@@ -23,6 +23,7 @@
 #include "sched/sched_stats.hpp"
 #include "sim/fault_tolerance.hpp"
 #include "stats/online_stats.hpp"
+#include "stats/quantile_sketch.hpp"
 #include "workload/generator.hpp"
 
 namespace dg::sim {
@@ -123,6 +124,17 @@ struct SimulationResult {
   stats::OnlineStats waiting;
   stats::OnlineStats makespan;
   stats::OnlineStats slowdown;
+  /// Tail sketches over the same measured-bag population as the OnlineStats
+  /// aggregates above (warmup filter applied, censored records included).
+  /// Mergeable across replications with exact, order-independent counts —
+  /// exp::ExperimentRunner folds them per cell. See docs/METRICS.md.
+  stats::QuantileSketch turnaround_tail;
+  stats::QuantileSketch slowdown_tail;
+  /// Gaps between consecutive bag completions, streamed in event order over
+  /// the whole run (no warmup filter; the column starts at the second
+  /// completion). Long p99 gaps flag completion droughts — stalls the mean
+  /// throughput hides.
+  stats::QuantileSketch completion_gap_tail;
   /// True when the horizon was reached with incomplete bags — the paper's
   /// "turnaround grew beyond any reasonable limit".
   bool saturated = false;
@@ -135,6 +147,10 @@ struct SimulationResult {
   std::size_t bots_completed = 0;
   double end_time = 0.0;
   double utilization = 0.0;
+  /// Exponentially time-decayed busy-machine fraction at the end of the run
+  /// (decay time constant = horizon / 4) — the recency-weighted sibling of
+  /// `utilization`, emphasizing the run's final stretch.
+  double decayed_utilization = 0.0;
   double measured_availability = 0.0;
   std::size_t num_machines = 0;
   std::uint64_t machine_failures = 0;

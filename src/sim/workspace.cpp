@@ -25,14 +25,24 @@ void SimulationWorkspace::begin_replication() {
   sim_.reset();
   specs_.clear();
   // Reset the result to default values while keeping the buffer capacity of
-  // its vectors (moved out, cleared, moved back in).
+  // its vectors and the bucket storage of its tail sketches (moved out,
+  // cleared/reset, moved back in).
   auto bots = std::move(result_.bots);
   auto monitor = std::move(result_.monitor);
+  auto turnaround_tail = std::move(result_.turnaround_tail);
+  auto slowdown_tail = std::move(result_.slowdown_tail);
+  auto completion_gap_tail = std::move(result_.completion_gap_tail);
   bots.clear();
   monitor.clear();
+  turnaround_tail.reset();
+  slowdown_tail.reset();
+  completion_gap_tail.reset();
   result_ = SimulationResult{};
   result_.bots = std::move(bots);
   result_.monitor = std::move(monitor);
+  result_.turnaround_tail = std::move(turnaround_tail);
+  result_.slowdown_tail = std::move(slowdown_tail);
+  result_.completion_gap_tail = std::move(completion_gap_tail);
   ++replications_;
 }
 

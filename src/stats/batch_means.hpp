@@ -16,21 +16,29 @@
 
 namespace dg::stats {
 
+/// Batch-means accumulator: folds an observation stream into fixed-size
+/// batch means and derives a Student-t CI treating those means as
+/// approximately independent samples.
 class BatchMeans {
  public:
   /// `batch_size` observations are averaged into one batch mean.
   explicit BatchMeans(std::size_t batch_size);
 
+  /// Feeds one observation into the current batch.
   void add(double x);
 
+  /// Observations averaged into each batch mean.
   [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
+  /// Completed (full) batches so far.
   [[nodiscard]] std::size_t completed_batches() const noexcept { return means_.size(); }
+  /// The completed batch means, in stream order.
   [[nodiscard]] const std::vector<double>& batch_means() const noexcept { return means_; }
   /// Observations fed so far (including the current partial batch).
   [[nodiscard]] std::size_t observations() const noexcept { return observations_; }
 
   /// Grand mean over completed batches.
   [[nodiscard]] double mean() const noexcept { return batch_stats_.mean(); }
+  /// Moments of the completed batch means.
   [[nodiscard]] const OnlineStats& batch_stats() const noexcept { return batch_stats_; }
 
   /// Student-t CI over the batch means (needs >= 2 completed batches).

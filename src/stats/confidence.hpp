@@ -13,15 +13,19 @@
 
 namespace dg::stats {
 
+/// A symmetric confidence interval mean +- half_width at `level`.
 struct ConfidenceInterval {
-  double mean = 0.0;
-  double half_width = 0.0;
-  double level = 0.95;
+  double mean = 0.0;        ///< Point estimate (sample mean).
+  double half_width = 0.0;  ///< CI half-width at `level`.
+  double level = 0.95;      ///< Confidence level in (0, 1).
 
+  /// Lower CI bound (mean - half_width).
   [[nodiscard]] double lower() const noexcept { return mean - half_width; }
+  /// Upper CI bound (mean + half_width).
   [[nodiscard]] double upper() const noexcept { return mean + half_width; }
   /// Half-width relative to the mean (infinite for zero mean with spread).
   [[nodiscard]] double relative_error() const noexcept;
+  /// True when `value` lies within [lower(), upper()].
   [[nodiscard]] bool contains(double value) const noexcept {
     return value >= lower() && value <= upper();
   }
@@ -32,18 +36,26 @@ struct ConfidenceInterval {
 [[nodiscard]] ConfidenceInterval mean_confidence_interval(const OnlineStats& stats,
                                                           double level = 0.95);
 
+/// Sequential replication analysis: one observation per replication, stop
+/// when the CI meets the relative-error target (the paper's 2.5% rule).
 class ReplicationAnalyzer {
  public:
+  /// Configures the stopping rule: `level` CI, `target_relative_error`
+  /// half-width/mean threshold, and at least `min_replications` samples.
   explicit ReplicationAnalyzer(double level = 0.95, double target_relative_error = 0.025,
                                std::uint64_t min_replications = 3)
       : level_(level),
         target_relative_error_(target_relative_error),
         min_replications_(min_replications) {}
 
+  /// Feeds one replication's observation.
   void add(double observation);
 
+  /// Moments of the observations so far.
   [[nodiscard]] const OnlineStats& stats() const noexcept { return stats_; }
+  /// Every observation, in feed order.
   [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+  /// Current Student-t CI at the configured level.
   [[nodiscard]] ConfidenceInterval interval() const { return mean_confidence_interval(stats_, level_); }
   /// True once the CI half-width meets the relative-error target (with the
   /// minimum replication count satisfied).

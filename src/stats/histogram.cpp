@@ -1,5 +1,6 @@
 #include "stats/histogram.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -13,6 +14,13 @@ Histogram::Histogram(double lo, double hi, std::size_t num_bins) : lo_(lo) {
 }
 
 void Histogram::add(double x) noexcept {
+  if (total_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
   ++total_;
   if (x < lo_) {
     ++underflow_;
@@ -35,16 +43,21 @@ double Histogram::quantile(double q) const {
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("Histogram::quantile: q in [0,1]");
   const double target = q * static_cast<double>(total_);
   double cumulative = static_cast<double>(underflow_);
-  if (target <= cumulative) return lo_;
+  // The underflow mass lies entirely in [min_, lo_); report the observed
+  // minimum rather than the lo_ bin edge.
+  if (target <= cumulative) return min_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cumulative + static_cast<double>(counts_[i]);
     if (target <= next && counts_[i] > 0) {
       const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
-      return bin_lower(i) + frac * width_;
+      // Interpolated estimates can stick out past the observed extremes in
+      // the first/last occupied bin; clamp them back to real observations.
+      return std::clamp(bin_lower(i) + frac * width_, min_, max_);
     }
     cumulative = next;
   }
-  return lo_ + width_ * static_cast<double>(counts_.size());
+  // Only the overflow mass remains; it lies in [hi, max_].
+  return max_;
 }
 
 }  // namespace dg::stats

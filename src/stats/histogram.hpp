@@ -1,7 +1,11 @@
 // Fixed-width histogram with overflow/underflow bins.
 //
 // Used by tests to sanity-check sampled distributions and by examples to show
-// turnaround-time spreads. Quantile estimation interpolates within bins.
+// turnaround-time spreads. Quantile estimation interpolates within bins and
+// clamps to the exact observed [min, max], so quantiles that land in the
+// underflow/overflow mass report real observations rather than bin edges.
+// For the log-spaced, mergeable sketch behind the tail-metrics pipeline see
+// stats/quantile_sketch.hpp.
 #pragma once
 
 #include <cstdint>
@@ -9,23 +13,42 @@
 
 namespace dg::stats {
 
+/// Equal-width histogram over [lo, hi) with dedicated underflow/overflow
+/// counters and interpolated quantile estimation.
 class Histogram {
  public:
   /// Bins [lo, hi) into `num_bins` equal-width bins; values outside land in
-  /// dedicated underflow/overflow counters.
+  /// dedicated underflow/overflow counters. Throws std::invalid_argument for
+  /// hi <= lo or zero bins.
   Histogram(double lo, double hi, std::size_t num_bins);
 
+  /// Records one observation (O(1), never throws).
   void add(double x) noexcept;
 
+  /// Observations recorded, including under/overflow.
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Observations below `lo`.
   [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  /// Observations at or above `hi`.
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  /// Number of equal-width bins (excluding the under/overflow counters).
   [[nodiscard]] std::size_t num_bins() const noexcept { return counts_.size(); }
+  /// Count in bin `i` (bounds-checked).
   [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  /// Lower value edge of bin `i`.
   [[nodiscard]] double bin_lower(std::size_t i) const noexcept;
+  /// Width of every bin: (hi - lo) / num_bins.
   [[nodiscard]] double bin_width() const noexcept { return width_; }
+  /// Exact smallest observation; only meaningful when total() > 0.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Exact largest observation; only meaningful when total() > 0.
+  [[nodiscard]] double max() const noexcept { return max_; }
 
-  /// Linear-interpolated quantile estimate (q in [0,1]); requires total() > 0.
+  /// Linear-interpolated quantile estimate (q in [0,1]); requires
+  /// total() > 0 (throws std::logic_error otherwise). The estimate is
+  /// clamped to the observed [min(), max()]: a quantile falling in the
+  /// underflow (overflow) mass returns the observed min (max) instead of
+  /// the histogram's lo/hi bin edges.
   [[nodiscard]] double quantile(double q) const;
 
  private:
@@ -35,6 +58,8 @@ class Histogram {
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
+  double min_ = 0.0;  // valid only when total_ > 0
+  double max_ = 0.0;  // valid only when total_ > 0
 };
 
 }  // namespace dg::stats

@@ -10,8 +10,12 @@
 
 namespace dg::stats {
 
+/// One-pass accumulator of count/mean/variance/min/max/sum (Welford's
+/// update); merges partial accumulators from parallel replications (Chan's
+/// formula) without ever storing samples.
 class OnlineStats {
  public:
+  /// Records one observation (O(1), never throws).
   void add(double x) noexcept {
     ++count_;
     const double delta = x - mean_;
@@ -41,18 +45,25 @@ class OnlineStats {
     if (other.max_ > max_) max_ = other.max_;
   }
 
+  /// Observations recorded.
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Running mean; 0 when empty.
   [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Exact sum of all observations.
   [[nodiscard]] double sum() const noexcept { return sum_; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
   [[nodiscard]] double variance() const noexcept {
     return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
   }
+  /// Sample standard deviation; 0 for fewer than two samples.
   [[nodiscard]] double stddev() const noexcept;
   /// Standard error of the mean; 0 for fewer than two samples.
   [[nodiscard]] double std_error() const noexcept;
+  /// Smallest observation; +inf when empty.
   [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest observation; -inf when empty.
   [[nodiscard]] double max() const noexcept { return max_; }
+  /// True when no observation has been recorded.
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
  private:
@@ -65,9 +76,12 @@ class OnlineStats {
 };
 
 /// Integrates a piecewise-constant signal over time; yields the time-average.
-/// Used for grid utilization and queue-length statistics.
+/// Used for grid utilization and queue-length statistics. For a
+/// recency-weighted variant see stats::TimeDecayedAverage
+/// (stats/quantile_sketch.hpp).
 class TimeWeightedStats {
  public:
+  /// Starts the signal at `initial_value` from `start_time`.
   explicit TimeWeightedStats(double start_time = 0.0, double initial_value = 0.0) noexcept
       : last_time_(start_time), value_(initial_value), start_time_(start_time) {}
 
@@ -83,10 +97,13 @@ class TimeWeightedStats {
   /// Advances time without changing the value.
   void advance_to(double now) noexcept { update(now, value_); }
 
+  /// The signal's current (most recently recorded) value.
   [[nodiscard]] double current() const noexcept { return value_; }
+  /// Integral of the signal over [start_time, now].
   [[nodiscard]] double integral(double now) const noexcept {
     return integral_ + (now > last_time_ ? value_ * (now - last_time_) : 0.0);
   }
+  /// Plain time-average of the signal over [start_time, now].
   [[nodiscard]] double time_average(double now) const noexcept {
     const double span = now - start_time_;
     return span > 0.0 ? integral(now) / span : value_;

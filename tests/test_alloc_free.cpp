@@ -45,6 +45,11 @@ std::uint64_t run_loop_allocs(const SimulationConfig& base, SimulationWorkspace&
   };
   const SimulationResult& result = Simulation(config).run(workspace);
   EXPECT_GT(result.events_executed, 0u);  // the loop actually did work
+  // The tail-metrics columns must be live while the loop stays zero-alloc:
+  // their sketches add into bucket storage retained by the workspace.
+  EXPECT_GT(result.turnaround_tail.count(), 0u);
+  EXPECT_GT(result.completion_gap_tail.count(), 0u);
+  EXPECT_GT(result.decayed_utilization, 0.0);
   return after - before;
 }
 

@@ -129,8 +129,11 @@ TEST(ExperimentRunner, WorkspacePathMatchesFreshPath) {
     EXPECT_EQ(reused[i].waiting.mean(), fresh[i].waiting.mean());
     EXPECT_EQ(reused[i].makespan.mean(), fresh[i].makespan.mean());
     EXPECT_EQ(reused[i].utilization.mean(), fresh[i].utilization.mean());
+    EXPECT_EQ(reused[i].decayed_utilization.mean(), fresh[i].decayed_utilization.mean());
     EXPECT_EQ(reused[i].wasted_fraction.mean(), fresh[i].wasted_fraction.mean());
     EXPECT_EQ(reused[i].saturated_replications, fresh[i].saturated_replications);
+    EXPECT_EQ(reused[i].turnaround_tail.quantile(0.99), fresh[i].turnaround_tail.quantile(0.99));
+    EXPECT_EQ(reused[i].slowdown_tail.quantile(0.99), fresh[i].slowdown_tail.quantile(0.99));
   }
 }
 
@@ -151,6 +154,82 @@ TEST(ExperimentRunner, BatchShapeDoesNotChangeResults) {
   for (std::size_t i = 0; i < fine.size(); ++i) {
     EXPECT_EQ(fine[i].turnaround.stats().mean(), coarse[i].turnaround.stats().mean());
     EXPECT_EQ(fine[i].replications, coarse[i].replications);
+  }
+}
+
+TEST(ExperimentRunner, CellTailSketchesPoolEveryMeasuredBag) {
+  RunOptions options;
+  options.min_replications = 3;
+  options.max_replications = 3;
+  options.threads = 2;
+  ExperimentRunner runner(options);
+  const auto results = runner.run({{"cell", tiny_config(sched::PolicyKind::kFcfsShare)}});
+  const CellResult& cell = results[0];
+  // 8 bags per replication, no warmup filter: 24 pooled observations.
+  EXPECT_EQ(cell.turnaround_tail.count(), 24u);
+  EXPECT_EQ(cell.slowdown_tail.count(), 24u);
+  // Gaps start at each replication's second completion: 7 per replication.
+  EXPECT_EQ(cell.completion_gap_tail.count(), 21u);
+  EXPECT_GE(cell.turnaround_tail.quantile(0.99), cell.turnaround_tail.quantile(0.50));
+  EXPECT_GE(cell.slowdown_tail.quantile(0.95), 1.0);  // slowdown >= 1 by construction
+  EXPECT_EQ(cell.decayed_utilization.count(), 3u);
+  EXPECT_GT(cell.decayed_utilization.mean(), 0.0);
+  EXPECT_LE(cell.decayed_utilization.mean(), 1.0);
+}
+
+TEST(ExperimentRunner, MergedTailsBitIdenticalAcrossThreadsBatchAndWorldCache) {
+  // The fold-in-build-order contract extended to the tail sketches: exact
+  // integer bucket merges make the cell-level p50/p95/p99 identical across
+  // thread counts, batch shapes, and the world cache on/off — on a volatile
+  // grid where the cache actually replays realizations.
+  sim::SimulationConfig volatile_config = tiny_config(sched::PolicyKind::kRoundRobin);
+  volatile_config.grid =
+      grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kLow);
+  volatile_config.workload = sim::make_paper_workload(volatile_config.grid, 25000.0,
+                                                      workload::Intensity::kLow, 6);
+  const std::vector<NamedConfig> cells = {{"v", volatile_config},
+                                          {"s", tiny_config(sched::PolicyKind::kFcfsShare, 6)}};
+
+  struct Variant {
+    std::size_t threads;
+    std::size_t batch;
+    std::size_t cache_bytes;
+  };
+  const Variant variants[] = {{1, 1, 0},
+                              {3, 1, 0},
+                              {3, 5, 0},
+                              {1, 1, grid::WorldCache::kDefaultBudgetBytes},
+                              {4, 2, grid::WorldCache::kDefaultBudgetBytes}};
+
+  std::vector<std::vector<CellResult>> runs;
+  for (const Variant& variant : variants) {
+    RunOptions options;
+    options.min_replications = 3;
+    options.max_replications = 3;
+    options.threads = variant.threads;
+    options.batch_size = variant.batch;
+    options.world_cache_bytes = variant.cache_bytes;
+    runs.push_back(ExperimentRunner(options).run(cells));
+  }
+
+  const std::vector<CellResult>& reference = runs.front();
+  for (std::size_t v = 1; v < runs.size(); ++v) {
+    ASSERT_EQ(runs[v].size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const CellResult& got = runs[v][i];
+      const CellResult& want = reference[i];
+      EXPECT_EQ(got.turnaround_tail.count(), want.turnaround_tail.count());
+      for (double q : {0.5, 0.95, 0.99}) {
+        EXPECT_EQ(got.turnaround_tail.quantile(q), want.turnaround_tail.quantile(q))
+            << "variant " << v << " cell " << i << " q " << q;
+        EXPECT_EQ(got.slowdown_tail.quantile(q), want.slowdown_tail.quantile(q))
+            << "variant " << v << " cell " << i << " q " << q;
+        EXPECT_EQ(got.completion_gap_tail.quantile(q), want.completion_gap_tail.quantile(q))
+            << "variant " << v << " cell " << i << " q " << q;
+      }
+      EXPECT_EQ(got.turnaround_tail.sum(), want.turnaround_tail.sum());
+      EXPECT_EQ(got.decayed_utilization.mean(), want.decayed_utilization.mean());
+    }
   }
 }
 

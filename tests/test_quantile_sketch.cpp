@@ -1,0 +1,222 @@
+// Tail-metrics substrate: log-spaced quantile sketch + time-decayed average.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "rng/random_stream.hpp"
+#include "stats/quantile_sketch.hpp"
+
+namespace dg::stats {
+namespace {
+
+TEST(QuantileSketch, EmptyState) {
+  QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_EQ(sketch.tails().p99, 0.0);
+  EXPECT_EQ(sketch.min(), 0.0);
+  EXPECT_EQ(sketch.max(), 0.0);
+  EXPECT_EQ(sketch.mean(), 0.0);
+}
+
+TEST(QuantileSketch, RejectsDegenerateGeometry) {
+  EXPECT_THROW(QuantileSketch({0.0, 1e9, 64}), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch({-1.0, 1e9, 64}), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch({1.0, 1.0, 64}), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch({1.0, 0.5, 64}), std::invalid_argument);
+  EXPECT_THROW(QuantileSketch({1e-3, 1e9, 0}), std::invalid_argument);
+}
+
+TEST(QuantileSketch, RejectsOutOfRangeQuantile) {
+  QuantileSketch sketch;
+  sketch.add(1.0);
+  EXPECT_THROW((void)sketch.quantile(-0.01), std::invalid_argument);
+  EXPECT_THROW((void)sketch.quantile(1.01), std::invalid_argument);
+}
+
+TEST(QuantileSketch, SingleValueQuantilesAreExact) {
+  QuantileSketch sketch;
+  sketch.add(123.0);
+  // Clamping to the observed [min, max] collapses every quantile of a
+  // single observation to that observation.
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 123.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 123.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 123.0);
+}
+
+TEST(QuantileSketch, TracksExactMinMaxSumMean) {
+  QuantileSketch sketch;
+  for (double x : {4.0, 1.0, 9.0, 2.0}) sketch.add(x);
+  EXPECT_EQ(sketch.count(), 4u);
+  EXPECT_DOUBLE_EQ(sketch.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 9.0);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 16.0);
+  EXPECT_DOUBLE_EQ(sketch.mean(), 4.0);
+}
+
+TEST(QuantileSketch, RelativeErrorWithinBucketResolution) {
+  // Uniform [10, 1000): the sketch's log buckets bound the relative error of
+  // any interior quantile by the bucket width 10^(1/64) - 1 ~ 3.7%.
+  QuantileSketch sketch;
+  rng::RandomStream stream(7);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) values.push_back(stream.uniform(10.0, 1000.0));
+  for (double v : values) sketch.add(v);
+  std::sort(values.begin(), values.end());
+  for (double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const double exact = values[static_cast<std::size_t>(q * 20000.0) - 1];
+    EXPECT_NEAR(sketch.quantile(q), exact, exact * 0.04) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, UnderflowAndOverflowClampToObservedExtremes) {
+  QuantileSketch sketch({1.0, 100.0, 32});
+  sketch.add(0.25);   // below min_value (underflow)
+  sketch.add(0.5);    // below min_value (underflow)
+  sketch.add(10.0);   // in range
+  sketch.add(2500.0); // above max_value (overflow)
+  EXPECT_EQ(sketch.underflow(), 2u);
+  EXPECT_EQ(sketch.overflow(), 1u);
+  EXPECT_EQ(sketch.count(), 4u);
+  // Quantiles inside the underflow mass report the observed minimum (not the
+  // 1.0 bucket edge); inside the overflow mass, the observed maximum (not
+  // the 100.0 edge).
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 2500.0);
+}
+
+TEST(QuantileSketch, NonPositiveValuesCountAsUnderflow) {
+  QuantileSketch sketch;
+  sketch.add(0.0);
+  sketch.add(-5.0);
+  sketch.add(1.0);
+  EXPECT_EQ(sketch.underflow(), 2u);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_DOUBLE_EQ(sketch.min(), -5.0);
+}
+
+TEST(QuantileSketch, MergeMatchesSequentialBitForBit) {
+  rng::RandomStream stream(11);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(stream.exponential_mean(300.0));
+
+  QuantileSketch all, a, b;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 2000 ? a : b).add(values[i]);
+    all.add(values[i]);
+  }
+  QuantileSketch merged_ab = a;
+  merged_ab.merge(b);
+  QuantileSketch merged_ba = b;
+  merged_ba.merge(a);
+
+  EXPECT_EQ(merged_ab.count(), all.count());
+  for (double q : {0.5, 0.95, 0.99}) {
+    // Exact integer bucket counts: both merge orders reproduce the
+    // sequential sketch's estimate exactly, not just approximately.
+    EXPECT_EQ(merged_ab.quantile(q), all.quantile(q)) << "q=" << q;
+    EXPECT_EQ(merged_ba.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(merged_ab.min(), all.min());
+  EXPECT_EQ(merged_ab.max(), all.max());
+}
+
+TEST(QuantileSketch, MergeEmptyIsIdentity) {
+  QuantileSketch sketch, empty;
+  sketch.add(5.0);
+  sketch.add(50.0);
+  const double before = sketch.quantile(0.5);
+  sketch.merge(empty);
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_EQ(sketch.quantile(0.5), before);
+
+  QuantileSketch target;
+  target.merge(sketch);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.min(), 5.0);
+  EXPECT_EQ(target.max(), 50.0);
+}
+
+TEST(QuantileSketch, MergeRejectsGeometryMismatch) {
+  QuantileSketch a({1e-3, 1e9, 64});
+  QuantileSketch b({1e-3, 1e9, 32});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(QuantileSketch, ResetKeepsBucketStorageAndBehavesLikeFresh) {
+  QuantileSketch sketch;
+  for (int i = 1; i <= 100; ++i) sketch.add(static_cast<double>(i));
+  const std::size_t buckets = sketch.num_buckets();
+  sketch.reset();
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.num_buckets(), buckets);
+  EXPECT_EQ(sketch.quantile(0.99), 0.0);
+  sketch.add(42.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 42.0);
+}
+
+TEST(QuantileSketch, ValuesJustUnderMaxStayInLastBucket) {
+  const QuantileSketch::Geometry geometry{1.0, 1000.0, 8};
+  QuantileSketch sketch(geometry);
+  sketch.add(std::nextafter(1000.0, 0.0));
+  EXPECT_EQ(sketch.overflow(), 0u);
+  EXPECT_EQ(sketch.bucket_count(sketch.num_buckets() - 1), 1u);
+}
+
+TEST(TimeDecayedAverage, RejectsNonPositiveTau) {
+  EXPECT_THROW(TimeDecayedAverage(0.0), std::invalid_argument);
+  EXPECT_THROW(TimeDecayedAverage(-1.0), std::invalid_argument);
+}
+
+TEST(TimeDecayedAverage, ConstantSignalAveragesToItself) {
+  TimeDecayedAverage avg(100.0);
+  avg.update(0.0, 0.75);
+  avg.advance_to(50.0);
+  avg.advance_to(1234.0);
+  EXPECT_NEAR(avg.average(1234.0), 0.75, 1e-12);
+  EXPECT_NEAR(avg.average(9999.0), 0.75, 1e-12);
+}
+
+TEST(TimeDecayedAverage, BeforeAnyElapsedTimeReturnsCurrentValue) {
+  TimeDecayedAverage avg(10.0, 0.0, 0.3);
+  EXPECT_DOUBLE_EQ(avg.average(0.0), 0.3);
+  EXPECT_DOUBLE_EQ(avg.current(), 0.3);
+}
+
+TEST(TimeDecayedAverage, RecentValuesDominateOldOnes) {
+  // 0 for a long stretch, then 1 for one tau: the decayed average leans far
+  // toward the recent value while the plain time-average would stay ~0.09.
+  TimeDecayedAverage avg(100.0);
+  avg.update(0.0, 0.0);
+  avg.update(1000.0, 1.0);
+  const double decayed = avg.average(1100.0);
+  EXPECT_GT(decayed, 0.5);
+  EXPECT_LT(decayed, 1.0);
+}
+
+TEST(TimeDecayedAverage, ForgetsOnTheTauTimescale) {
+  // A burst of 1 followed by a long stretch of 0 decays toward 0.
+  TimeDecayedAverage avg(100.0);
+  avg.update(0.0, 1.0);
+  avg.update(100.0, 0.0);
+  EXPECT_LT(avg.average(1000.0), 0.01);
+}
+
+TEST(TimeDecayedAverage, AverageDoesNotMutateState) {
+  TimeDecayedAverage avg(50.0);
+  avg.update(0.0, 1.0);
+  avg.update(10.0, 0.5);
+  const double probe = avg.average(500.0);
+  EXPECT_DOUBLE_EQ(avg.average(500.0), probe);  // repeatable
+  // State still anchored at t=10: a subsequent update integrates the 0.5
+  // segment from t=10, not from t=500.
+  avg.update(20.0, 0.25);
+  EXPECT_GT(avg.average(20.0), 0.25);
+}
+
+}  // namespace
+}  // namespace dg::stats

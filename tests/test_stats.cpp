@@ -296,5 +296,43 @@ TEST(Histogram, QuantileOnEmptyThrows) {
   EXPECT_THROW(h.quantile(0.5), std::logic_error);
 }
 
+TEST(Histogram, TracksObservedMinMax) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.5);
+  h.add(-2.0);  // underflow still updates the extremes
+  h.add(42.0);  // overflow too
+  EXPECT_DOUBLE_EQ(h.min(), -2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(Histogram, QuantileInUnderflowMassReturnsObservedMin) {
+  // All mass below lo: the old interpolation reported the lo bin edge (0.0)
+  // for every quantile; it must report the real observations' range instead.
+  Histogram h(0.0, 10.0, 10);
+  h.add(-3.0);
+  h.add(-1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), -3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), -3.0);  // no binned/overflow mass either
+}
+
+TEST(Histogram, QuantileInOverflowMassReturnsObservedMax) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  h.add(7.0);
+  h.add(9.0);
+  // q=1 lands in the overflow mass: report the observed max, not hi.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.0);
+}
+
+TEST(Histogram, InterpolationClampedToObservedRange) {
+  // One observation in one bin: interpolation inside [bin_lower, bin_upper)
+  // must not stick out past the single observed value.
+  Histogram h(0.0, 10.0, 10);
+  h.add(4.2);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.2);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.2);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.2);
+}
+
 }  // namespace
 }  // namespace dg::stats
