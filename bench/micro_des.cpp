@@ -1,8 +1,10 @@
 // Microbenchmarks: DES kernel, RNG, and statistics hot paths.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
+#include "des/queue_policy.hpp"
 #include "des/simulator.hpp"
 #include "rng/random_stream.hpp"
 #include "stats/online_stats.hpp"
@@ -99,6 +101,44 @@ void BM_ArenaWarmStart(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_ArenaWarmStart);
+
+template <typename Q>
+void BM_QueueHold(benchmark::State& state) {
+  // Classic hold model at fixed depth: pop the minimum, push a successor a
+  // pseudo-random offset past it. Steady-state queue population stays at
+  // range(0), so the depth sweep isolates how each backend's per-operation
+  // cost scales with pending-entry count (the 4-ary heap pays log4(depth)
+  // per pop; the calendar queue amortizes sorted-run refills).
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  std::uint64_t mix = 0x9e3779b97f4a7c15ULL;
+  auto next_offset = [&mix] {
+    mix += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = mix;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<double>((z ^ (z >> 31)) % 100000) / 10.0;
+  };
+  Q queue;
+  std::uint64_t seq = 0;
+  double now = 0.0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue.push(dg::des::QueueEntry{now + next_offset(), seq, static_cast<std::uint32_t>(seq), 0});
+    ++seq;
+  }
+  for (auto _ : state) {
+    const dg::des::QueueEntry& top = queue.top();
+    now = top.time;
+    queue.pop();
+    queue.push(dg::des::QueueEntry{now + next_offset(), seq, static_cast<std::uint32_t>(seq), 0});
+    ++seq;
+  }
+  benchmark::DoNotOptimize(queue.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_TEMPLATE(BM_QueueHold, dg::des::FourAryHeapQueue)
+    ->Arg(256)->Arg(4096)->Arg(65536);
+BENCHMARK_TEMPLATE(BM_QueueHold, dg::des::CalendarQueue)
+    ->Arg(256)->Arg(4096)->Arg(65536);
 
 void BM_Xoshiro256(benchmark::State& state) {
   dg::rng::Xoshiro256 gen(42);

@@ -113,6 +113,31 @@ std::uint64_t kernel_handle_churn(std::size_t n) {
   return n;
 }
 
+std::uint64_t kernel_deep_hold(dg::des::QueueBackend backend, std::size_t depth,
+                               std::uint64_t rescheduling) {
+  // Hold model through the full kernel at a sustained queue depth: `depth`
+  // self-rescheduling events, each firing schedules one successor a
+  // pseudo-random delay ahead until `rescheduling` fires have happened, then
+  // the queue drains. This is the workload where backend choice matters —
+  // the shallow-queue suites above barely exercise heap ordering.
+  dg::des::Simulator sim(backend);
+  std::uint64_t count = 0;
+  std::uint64_t mix = 0x9e3779b97f4a7c15ULL;
+  auto next_delay = [&mix] {
+    mix += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = mix;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<double>((z ^ (z >> 31)) % 100000) / 10.0 + 0.1;
+  };
+  std::function<void()> hold = [&] {
+    if (++count < rescheduling) sim.schedule_after(next_delay(), hold);
+  };
+  for (std::size_t i = 0; i < depth; ++i) sim.schedule_after(next_delay(), hold);
+  sim.run();
+  return count;
+}
+
 std::vector<PerfRecord> run_kernel_suite() {
   std::printf("kernel suite:\n");
   std::vector<PerfRecord> records;
@@ -124,6 +149,20 @@ std::vector<PerfRecord> run_kernel_suite() {
                             kKernelReps, [] { return kernel_cancel_heavy(200000); }));
   records.push_back(best_of("kernel/handle_churn_500k", "500k schedule+cancel, 64-live window", 0,
                             kKernelReps, [] { return kernel_handle_churn(500000); }));
+  // Queue-backend sweep (PR 7): the same hold workload per backend at two
+  // sustained depths. Record names carry the backend so the perf gate diffs
+  // each backend against its own baseline.
+  for (const auto backend : {dg::des::QueueBackend::kHeap4, dg::des::QueueBackend::kCalendar}) {
+    const std::string suffix(dg::des::to_string(backend));
+    records.push_back(best_of("kernel/hold_4k/" + suffix,
+                              "1M fires at sustained depth 4096, backend " + suffix, 0,
+                              kKernelReps,
+                              [backend] { return kernel_deep_hold(backend, 4096, 1000000); }));
+    records.push_back(best_of("kernel/hold_64k/" + suffix,
+                              "1M fires at sustained depth 65536, backend " + suffix, 0,
+                              kKernelReps,
+                              [backend] { return kernel_deep_hold(backend, 65536, 1000000); }));
+  }
   return records;
 }
 

@@ -56,14 +56,21 @@ std::vector<dg::exp::NamedConfig> bench_cells() {
 }
 
 /// One timed runner sweep: fixed replication count per cell (no CI loop, so
-/// both paths do identical work), returns (replications/s, allocs/rep).
+/// every path does identical work), returns (replications/s, allocs/rep).
+/// `name` distinguishes the hand-out shape in the record:
+///   baseline   fresh construction, cost-major hand-out
+///   workspace  reusable workspaces, cost-major hand-out
+///   multicell  reusable workspaces, replication-major hand-out (each worker
+///              replays one realized world across every policy cell; PR 7)
 PerfRecord timed_sweep(const std::vector<dg::exp::NamedConfig>& cells, std::size_t threads,
-                       std::size_t reps, bool reuse_workspaces) {
+                       std::size_t reps, bool reuse_workspaces, bool multi_cell,
+                       const char* name) {
   dg::exp::RunOptions options;
   options.min_replications = reps;
   options.max_replications = reps;
   options.threads = threads;
   options.reuse_workspaces = reuse_workspaces;
+  options.multi_cell_replay = multi_cell;
 
   const std::uint64_t allocs_before = allocs_now();
   Stopwatch timer;
@@ -79,8 +86,7 @@ PerfRecord timed_sweep(const std::vector<dg::exp::NamedConfig>& cells, std::size
   }
 
   PerfRecord record;
-  record.benchmark = std::string("replication/throughput/") +
-                     (reuse_workspaces ? "workspace" : "baseline");
+  record.benchmark = std::string("replication/throughput/") + name;
   record.config = "fig1 cells x" + std::to_string(cells.size()) + ", bots=" +
                   std::to_string(cells.front().config.workload.num_bots) + ", reps=" +
                   std::to_string(reps);
@@ -172,8 +178,12 @@ int main(int argc, char** argv) {
 
   std::vector<PerfRecord> records;
   for (const std::size_t threads : thread_counts) {
-    records.push_back(timed_sweep(cells, threads, reps, /*reuse_workspaces=*/false));
-    records.push_back(timed_sweep(cells, threads, reps, /*reuse_workspaces=*/true));
+    records.push_back(timed_sweep(cells, threads, reps, /*reuse_workspaces=*/false,
+                                  /*multi_cell=*/false, "baseline"));
+    records.push_back(timed_sweep(cells, threads, reps, /*reuse_workspaces=*/true,
+                                  /*multi_cell=*/false, "workspace"));
+    records.push_back(timed_sweep(cells, threads, reps, /*reuse_workspaces=*/true,
+                                  /*multi_cell=*/true, "multicell"));
   }
   for (PerfRecord& record : steady_state_allocs()) records.push_back(record);
 

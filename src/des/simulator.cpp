@@ -1,6 +1,5 @@
 #include "des/simulator.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -14,61 +13,32 @@ EventHandle Simulator::schedule_at(SimTime time, std::function<void()> action) {
   DG_ASSERT(action != nullptr);
   const std::uint32_t slot = arena_->acquire(time, std::move(action));
   const std::uint32_t generation = arena_->generation(slot);
-  heap_push(HeapEntry{time, next_sequence_++, slot, generation});
+  queue_push(QueueEntry{time, next_sequence_++, slot, generation});
   KernelStats& stats = arena_->stats_mut();
   ++stats.events_scheduled;
-  if (heap_.size() > stats.heap_peak) stats.heap_peak = heap_.size();
+  if (queue_size() > stats.heap_peak) stats.heap_peak = queue_size();
   return EventHandle{arena_, slot, generation};
 }
 
-void Simulator::heap_push(const HeapEntry& entry) {
-  std::size_t hole = heap_.size();
-  heap_.push_back(entry);
-  while (hole > 0) {
-    const std::size_t parent = (hole - 1) / kArity;
-    if (!earlier(entry, heap_[parent])) break;
-    heap_[hole] = heap_[parent];
-    hole = parent;
-  }
-  heap_[hole] = entry;
+void Simulator::set_queue_backend(QueueBackend backend) {
+  DG_ASSERT_MSG(queue_size() == 0, "queue backend can only change while the queue is empty");
+  backend_ = backend;
 }
 
-void Simulator::heap_pop_root() {
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  const std::size_t size = heap_.size();
-  if (size == 0) return;
-  // Sift the former last element down from the root, always descending into
-  // the earliest of (up to) four children — two cache lines per level.
-  std::size_t hole = 0;
-  for (;;) {
-    const std::size_t first_child = hole * kArity + 1;
-    if (first_child >= size) break;
-    std::size_t best = first_child;
-    const std::size_t end = std::min(first_child + kArity, size);
-    for (std::size_t child = first_child + 1; child < end; ++child) {
-      if (earlier(heap_[child], heap_[best])) best = child;
-    }
-    if (!earlier(heap_[best], last)) break;
-    heap_[hole] = heap_[best];
-    hole = best;
-  }
-  heap_[hole] = last;
-}
-
-bool Simulator::heap_skip_stale() {
-  while (!heap_.empty()) {
-    if (arena_->is_current(heap_[0].slot, heap_[0].generation)) return true;
-    heap_pop_root();
+bool Simulator::queue_skip_stale() {
+  while (queue_size() != 0) {
+    const QueueEntry& entry = queue_top();
+    if (arena_->is_current(entry.slot, entry.generation)) return true;
+    queue_pop();
   }
   return false;
 }
 
 bool Simulator::step() {
   if (stopped_) return false;
-  if (!heap_skip_stale()) return false;
-  const HeapEntry entry = heap_[0];
-  heap_pop_root();
+  if (!queue_skip_stale()) return false;
+  const QueueEntry entry = queue_top();
+  queue_pop();
   DG_ASSERT(entry.time >= now_);
   now_ = entry.time;
   ++arena_->stats_mut().events_fired;
@@ -85,8 +55,8 @@ void Simulator::run() {
 
 void Simulator::run_until(SimTime horizon) {
   DG_ASSERT(horizon >= now_);
-  while (!stopped_ && heap_skip_stale()) {
-    if (heap_[0].time > horizon) break;
+  while (!stopped_ && queue_skip_stale()) {
+    if (queue_top().time > horizon) break;
     step();
   }
   if (!stopped_ && now_ < horizon) now_ = horizon;

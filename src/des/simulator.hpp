@@ -1,20 +1,24 @@
 // Sequential discrete-event simulation kernel.
 //
-// A cache-friendly 4-ary implicit heap of (time, sequence) ordered entries;
-// ties break in scheduling order so runs are bitwise deterministic. Heap
-// entries are 24-byte PODs referencing recycled slots in a slab arena
-// (des/event.hpp), so the steady-state hot path — schedule, fire, cancel —
-// performs no heap allocation. The kernel is deliberately single-threaded;
-// parallelism in dgsched lives one level up, across independent replications
-// (see exp::ExperimentRunner).
+// The pending-event set lives behind the EventQueuePolicy seam
+// (des/queue_policy.hpp): a cache-friendly 4-ary implicit heap by default,
+// or a calendar/ladder queue tuned for near-future-heavy event mixes —
+// selected per Simulator at construction (DGSCHED_QUEUE CMake/env knob) or
+// via set_queue_backend(). Entries are 24-byte PODs ordered by
+// (time, sequence) — ties break in scheduling order so runs are bitwise
+// deterministic on every backend — referencing recycled slots in a slab
+// arena (des/event.hpp), so the steady-state hot path — schedule, fire,
+// cancel — performs no heap allocation. The kernel is deliberately
+// single-threaded; parallelism in dgsched lives one level up, across
+// independent replications (see exp::ExperimentRunner).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <vector>
 
 #include "des/event.hpp"
+#include "des/queue_policy.hpp"
 
 namespace dg::des {
 
@@ -22,12 +26,15 @@ namespace dg::des {
 ///
 /// Invariants: events fire in ascending (time, sequence) order; now() never
 /// goes backwards; an action may schedule/cancel freely, including at the
-/// current time (it runs after all already-queued same-time events).
+/// current time (it runs after all already-queued same-time events). These
+/// hold identically on every queue backend — switching backends never
+/// changes a run's event sequence, only the cost of maintaining it.
 /// Thread-safety: none — one Simulator per thread (replications each own a
 /// private Simulator; see util::ThreadPool).
 class Simulator {
  public:
-  Simulator() : arena_(std::make_shared<detail::EventArena>()) {}
+  explicit Simulator(QueueBackend backend = default_queue_backend())
+      : arena_(std::make_shared<detail::EventArena>()), backend_(backend) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -62,6 +69,13 @@ class Simulator {
   /// Re-arms a stopped simulator so run()/run_until() can continue.
   void clear_stop() noexcept { stopped_ = false; }
 
+  /// The queue backend this simulator drives.
+  [[nodiscard]] QueueBackend queue_backend() const noexcept { return backend_; }
+  /// Switches the queue backend. Only valid while the queue is empty — on a
+  /// fresh simulator or right after reset() (sim::Simulation applies a
+  /// per-config backend override there).
+  void set_queue_backend(QueueBackend backend);
+
   /// Number of events executed so far (cancelled events are not counted).
   [[nodiscard]] std::uint64_t executed_events() const noexcept {
     return arena_->stats().events_fired;
@@ -69,7 +83,7 @@ class Simulator {
   /// Number of events ever scheduled.
   [[nodiscard]] std::uint64_t scheduled_events() const noexcept { return next_sequence_; }
   /// Exact number of live pending events (cancelled events leave a stale
-  /// heap entry but are excluded from this count).
+  /// queue entry but are excluded from this count).
   [[nodiscard]] std::size_t pending_events() const noexcept { return arena_->live(); }
   [[nodiscard]] bool empty() const noexcept { return arena_->live() == 0; }
 
@@ -78,43 +92,56 @@ class Simulator {
   [[nodiscard]] const KernelStats& stats() const noexcept { return arena_->stats(); }
 
   /// Returns the simulator to t = 0 with an empty queue while retaining the
-  /// arena slabs and heap capacity — the reuse hook sim::SimulationWorkspace
+  /// arena slabs and queue capacity — the reuse hook sim::SimulationWorkspace
   /// is built on. Every outstanding EventHandle turns stale (pending() ==
   /// false, cancel() == false); the next run schedules into recycled slots
   /// and sequence numbers restart at 0, so a (config, seed)-identical run
   /// after reset() is bit-identical to one on a fresh Simulator.
   void reset() noexcept {
     arena_->reset();
-    heap_.clear();
+    heap4_.clear();
+    calendar_.clear();
     now_ = 0.0;
     next_sequence_ = 0;
     stopped_ = false;
   }
 
  private:
-  /// One priority-queue entry. Stale entries (slot generation moved on) are
-  /// skipped when they surface at the root — cancellation never touches the
-  /// heap structure.
-  struct HeapEntry {
-    SimTime time;
-    std::uint64_t sequence;  // deterministic FIFO tie-break at equal times
-    std::uint32_t slot;
-    std::uint32_t generation;
-  };
-  static constexpr std::size_t kArity = 4;
-
-  [[nodiscard]] static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
-    if (a.time != b.time) return a.time < b.time;
-    return a.sequence < b.sequence;
+  // Backend dispatch: a predictable two-way branch per queue operation, kept
+  // inline so the run loop pays no indirect call. Both backends are members
+  // (the inactive one stays empty) so the equivalence suite can flip between
+  // them on one simulator across reset() boundaries.
+  void queue_push(const QueueEntry& entry) {
+    if (backend_ == QueueBackend::kCalendar) {
+      calendar_.push(entry);
+    } else {
+      heap4_.push(entry);
+    }
+  }
+  [[nodiscard]] const QueueEntry& queue_top() {
+    if (backend_ == QueueBackend::kCalendar) return calendar_.top();
+    return heap4_.top();
+  }
+  void queue_pop() {
+    if (backend_ == QueueBackend::kCalendar) {
+      calendar_.pop();
+    } else {
+      heap4_.pop();
+    }
+  }
+  /// Physical entry count (stale entries included — heap_peak is defined
+  /// over this).
+  [[nodiscard]] std::size_t queue_size() const noexcept {
+    return backend_ == QueueBackend::kCalendar ? calendar_.size() : heap4_.size();
   }
 
-  void heap_push(const HeapEntry& entry);
-  void heap_pop_root();
-  /// Drops stale entries from the root; returns false when the heap empties.
-  bool heap_skip_stale();
+  /// Drops stale entries from the front; returns false when the queue empties.
+  bool queue_skip_stale();
 
   std::shared_ptr<detail::EventArena> arena_;
-  std::vector<HeapEntry> heap_;
+  FourAryHeapQueue heap4_;
+  CalendarQueue calendar_;
+  QueueBackend backend_;
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   bool stopped_ = false;

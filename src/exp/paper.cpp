@@ -130,11 +130,4 @@ void render_figure(const FigureSpec& spec, const std::vector<CellResult>& result
   if (csv != nullptr) csv_table.write_csv(*csv);
 }
 
-void run_figure(const FigureSpec& spec, const RunOptions& options, std::ostream& os,
-                std::ostream* csv) {
-  ExperimentRunner runner(options);
-  const std::vector<CellResult> results = runner.run(figure_cells(spec));
-  render_figure(spec, results, os, csv);
-}
-
 }  // namespace dg::exp

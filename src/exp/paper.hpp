@@ -2,9 +2,11 @@
 // configurations) and their table renderers.
 //
 // Every figure panel plots mean BoT turnaround vs task granularity, one bar
-// per bag-selection policy. run_figure() regenerates a figure's four panels
-// as aligned ASCII tables (and optionally CSV): same rows, same series, same
-// saturation markers ("the histogram bar went over the frame of the graph").
+// per bag-selection policy. render_figure() regenerates a figure's four
+// panels as aligned ASCII tables (and optionally CSV): same rows, same
+// series, same saturation markers ("the histogram bar went over the frame of
+// the graph"). bench/figure_main.hpp is the driver that runs the cells and
+// feeds this renderer.
 #pragma once
 
 #include <iosfwd>
@@ -49,11 +51,6 @@ struct FigureSpec {
 /// Builds the cell matrix for a figure (panel-major, then granularity, then
 /// policy). Labels are "<Het>-<Avail>/<intensity>/g=<granularity>/<policy>".
 [[nodiscard]] std::vector<NamedConfig> figure_cells(const FigureSpec& spec);
-
-/// Runs a whole figure and renders one table per panel to `os`; when `csv`
-/// is non-null also writes machine-readable rows.
-void run_figure(const FigureSpec& spec, const RunOptions& options, std::ostream& os,
-                std::ostream* csv = nullptr);
 
 /// Renders the per-panel tables for already-computed results (cells must be
 /// in figure_cells() order).

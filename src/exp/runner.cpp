@@ -146,6 +146,12 @@ RunOptions RunOptions::from_env(RunOptions defaults) {
   if (auto v = env_size("DGSCHED_WORKSPACES")) defaults.reuse_workspaces = *v != 0;
   if (auto v = env_size("DGSCHED_BATCH")) defaults.batch_size = *v;
   if (auto v = env_size("DGSCHED_WORLD_CACHE")) defaults.world_cache_bytes = *v;
+  if (auto v = env_size("DGSCHED_MULTI_CELL")) defaults.multi_cell_replay = *v != 0;
+  if (auto text = env_string("DGSCHED_QUEUE")) {
+    const auto backend = des::parse_queue_backend(*text);
+    if (!backend.has_value()) bad_env("DGSCHED_QUEUE", *text, "\"heap4\" or \"calendar\"");
+    defaults.queue_backend = *backend;
+  }
   if (defaults.max_replications < defaults.min_replications) {
     defaults.max_replications = defaults.min_replications;
   }
@@ -190,6 +196,7 @@ std::vector<CellResult> ExperimentRunner::run(const std::vector<NamedConfig>& ce
     // Cells sharing a replication seed replay one cached world realization
     // (bit-identical to live sampling; null cache = live processes).
     config.world_cache = world_cache_;
+    if (options_.queue_backend.has_value()) config.queue_backend = options_.queue_backend;
     sim::Simulation simulation(std::move(config));
     sim::SimulationWorkspace* workspace = nullptr;
     if (options_.reuse_workspaces) {
@@ -222,25 +229,60 @@ std::vector<CellResult> ExperimentRunner::run(const std::vector<NamedConfig>& ce
     // shared container.
     std::vector<ReplicationSummary> summaries(round_jobs.size());
 
-    // Hand jobs out in descending expected-cost order so the big cells start
+    // Hand-out order. Multi-cell replay groups the round's jobs by
+    // replication index — the world-cache key — so one worker walks a
+    // realized world across every cell that shares it while the realization
+    // (and the workspace it replays through) is cache-hot, instead of
+    // touching each world once per cell. The sort is stable, so cells keep
+    // build order within a group and groups ascend by replication. The
+    // classic mode orders by descending expected cost so the big cells start
     // first and the small ones backfill; ties keep build order (stable).
+    // Either way the fold below runs in build order after the barrier, so
+    // results are bit-identical across hand-out modes and chunk shapes.
     std::vector<std::size_t> order(round_jobs.size());
     std::iota(order.begin(), order.end(), std::size_t{0});
-    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return expected_cost(results[round_jobs[a].cell].config) >
-             expected_cost(results[round_jobs[b].cell].config);
-    });
+    if (options_.multi_cell_replay) {
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return round_jobs[a].replication < round_jobs[b].replication;
+      });
+    } else {
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return expected_cost(results[round_jobs[a].cell].config) >
+               expected_cost(results[round_jobs[b].cell].config);
+      });
+    }
 
     const std::size_t batch =
         options_.batch_size > 0
             ? options_.batch_size
             : std::max<std::size_t>(1, order.size() / (pool.size() * 4));
+    // Chunk boundaries: fixed-size slices of `order`, except that multi-cell
+    // replay never splits a replication group across workers — a group is one
+    // world walked in one pass.
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    if (options_.multi_cell_replay) {
+      std::size_t begin = 0;
+      for (std::size_t i = 1; i <= order.size(); ++i) {
+        const bool group_boundary =
+            i == order.size() ||
+            round_jobs[order[i]].replication != round_jobs[order[i - 1]].replication;
+        if (group_boundary && i - begin >= batch) {
+          chunks.emplace_back(begin, i);
+          begin = i;
+        }
+      }
+      if (begin < order.size()) chunks.emplace_back(begin, order.size());
+    } else {
+      for (std::size_t begin = 0; begin < order.size(); begin += batch) {
+        chunks.emplace_back(begin, std::min(begin + batch, order.size()));
+      }
+    }
+
     std::vector<std::future<void>> futures;
-    futures.reserve((order.size() + batch - 1) / batch);
-    for (std::size_t begin = 0; begin < order.size(); begin += batch) {
-      const std::size_t end = std::min(begin + batch, order.size());
-      std::vector<std::size_t> chunk(order.begin() + static_cast<std::ptrdiff_t>(begin),
-                                     order.begin() + static_cast<std::ptrdiff_t>(end));
+    futures.reserve(chunks.size());
+    for (const auto& [chunk_begin, chunk_end] : chunks) {
+      std::vector<std::size_t> chunk(order.begin() + static_cast<std::ptrdiff_t>(chunk_begin),
+                                     order.begin() + static_cast<std::ptrdiff_t>(chunk_end));
       futures.push_back(pool.submit([&, chunk = std::move(chunk)] {
         for (std::size_t index : chunk) run_one(round_jobs[index], summaries[index]);
       }));

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "des/queue_policy.hpp"
 #include "grid/world_cache.hpp"
 #include "sim/simulation.hpp"
 #include "stats/confidence.hpp"
@@ -44,10 +45,21 @@ struct RunOptions {
   /// grid/world_cache.hpp). 0 disables the cache — every replication samples
   /// its processes live.
   std::size_t world_cache_bytes = grid::WorldCache::kDefaultBudgetBytes;
+  /// Walk one realized world across every policy cell in a single pass: jobs
+  /// of a round are handed out grouped by replication index (= world-cache
+  /// key), so a worker replays a realization through all its cells while it
+  /// is hot instead of revisiting it once per cell. Results are bit-identical
+  /// either way — the fold happens after the round barrier in build order.
+  /// Off = historical largest-expected-cost-first hand-out.
+  bool multi_cell_replay = true;
+  /// DES event-queue backend forced on every cell; nullopt keeps each cell's
+  /// own setting (usually the DGSCHED_QUEUE CMake/env default). Backends are
+  /// bit-identical (see des/queue_policy.hpp).
+  std::optional<des::QueueBackend> queue_backend;
 
   /// Reads DGSCHED_{MIN_REPS,MAX_REPS,TRE,THREADS,SEED,WORKSPACES,BATCH,
-  /// WORLD_CACHE} overrides. Malformed values raise std::invalid_argument
-  /// naming the offending variable.
+  /// WORLD_CACHE,MULTI_CELL,QUEUE} overrides. Malformed values raise
+  /// std::invalid_argument naming the offending variable.
   [[nodiscard]] static RunOptions from_env(RunOptions defaults);
   [[nodiscard]] static RunOptions from_env() { return from_env(RunOptions{}); }
 };

@@ -1,5 +1,6 @@
 #include "grid/realization.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "rng/random_stream.hpp"
@@ -29,6 +30,14 @@ WorldRealization WorldRealization::synthesize(const AvailabilityModel& availabil
                                               const CheckpointServerFaultModel& server_faults,
                                               std::size_t num_machines, double horizon,
                                               std::uint64_t seed) {
+  SynthesisScratch scratch;
+  return synthesize(availability, server_faults, num_machines, horizon, seed, scratch);
+}
+
+WorldRealization WorldRealization::synthesize(const AvailabilityModel& availability,
+                                              const CheckpointServerFaultModel& server_faults,
+                                              std::size_t num_machines, double horizon,
+                                              std::uint64_t seed, SynthesisScratch& scratch) {
   DG_ASSERT_MSG(horizon > 0.0, "WorldRealization: horizon must be positive");
   WorldRealization world;
   world.availability = availability;
@@ -37,27 +46,34 @@ WorldRealization WorldRealization::synthesize(const AvailabilityModel& availabil
   world.horizon = horizon;
   world.num_machines = num_machines;
 
-  world.machine_offsets.reserve(num_machines + 1);
-  world.machine_offsets.push_back(0);
+  // Phase one: draw. Run each RNG chain to past the horizon, landing the
+  // absolute times in the reusable scratch buffers. The chains are inherently
+  // serial (each draw feeds the next clock value, and the distributions
+  // consume a variable number of underlying uniforms), so what this phase
+  // buys is allocation behaviour: scratch capacity persists across calls, so
+  // a warmed scratch draws with zero allocations.
+  scratch.machine_times.clear();
+  scratch.machine_counts.clear();
+  scratch.server_times.clear();
   if (availability.failures_enabled) {
+    scratch.machine_counts.reserve(num_machines);
     for (std::size_t m = 0; m < num_machines; ++m) {
       // Same stream, same draw order as the live AvailabilityProcess for
       // machine m. Event times in the live run accumulate as
       // t_{k+1} = t_k + sample (schedule_after on the exact fired time), so
       // `clock += sample` reproduces them bitwise.
       rng::RandomStream stream = rng::RandomStream::derive(seed, "grid.availability", m);
+      const std::size_t start = scratch.machine_times.size();
       double clock = 0.0;
       for (std::size_t k = 0;; ++k) {
         clock += k % 2 == 0 ? availability.time_to_failure.sample(stream)
                             : availability.time_to_repair.sample(stream);
-        world.machine_transitions.push_back(clock);
+        scratch.machine_times.push_back(clock);
         if (clock > horizon) break;  // the dangling never-fired successor is kept
       }
-      world.machine_offsets.push_back(
-          static_cast<std::uint32_t>(world.machine_transitions.size()));
+      scratch.machine_counts.push_back(
+          static_cast<std::uint32_t>(scratch.machine_times.size() - start));
     }
-  } else {
-    world.machine_offsets.assign(num_machines + 1, 0);
   }
 
   if (server_faults.enabled) {
@@ -67,14 +83,29 @@ WorldRealization WorldRealization::synthesize(const AvailabilityModel& availabil
     double clock = 0.0;
     for (std::size_t k = 0;; ++k) {
       clock += stream.exponential_mean(k % 2 == 0 ? server_faults.mtbf : server_faults.mttr);
-      world.server_transitions.push_back(clock);
+      scratch.server_times.push_back(clock);
       if (clock > horizon) break;
     }
   }
 
-  world.machine_transitions.shrink_to_fit();
-  world.machine_offsets.shrink_to_fit();
-  world.server_transitions.shrink_to_fit();
+  // Phase two: fill. Size the published arrays exactly once and fill them
+  // with flat copies — the offset table is a prefix sum over the per-machine
+  // counts, the timelines are block copies of the scratch buffers. No
+  // doubling growth or shrink_to_fit churn ever touches the arrays the
+  // replay drivers walk.
+  world.machine_offsets.resize(num_machines + 1);
+  world.machine_offsets[0] = 0;
+  if (availability.failures_enabled) {
+    std::uint32_t total = 0;
+    for (std::size_t m = 0; m < num_machines; ++m) {
+      total += scratch.machine_counts[m];
+      world.machine_offsets[m + 1] = total;
+    }
+    world.machine_transitions.assign(scratch.machine_times.begin(), scratch.machine_times.end());
+  } else {
+    std::fill(world.machine_offsets.begin(), world.machine_offsets.end(), 0U);
+  }
+  world.server_transitions.assign(scratch.server_times.begin(), scratch.server_times.end());
   return world;
 }
 

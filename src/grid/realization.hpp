@@ -40,6 +40,16 @@
 
 namespace dg::grid {
 
+/// Reusable draw buffers for WorldRealization::synthesize() — phase one of
+/// the draw-then-fill pipeline lands absolute transition times here before
+/// the realization's exactly-sized arrays are filled. Keep one per thread
+/// and pass it to every synthesize call to amortize growth.
+struct SynthesisScratch {
+  std::vector<double> machine_times;          ///< Concatenated per-machine draws.
+  std::vector<std::uint32_t> machine_counts;  ///< Draws per machine.
+  std::vector<double> server_times;           ///< Server fault-process draws.
+};
+
 /// The policy-independent stochastic behaviour of one replication's grid:
 /// per-machine availability transitions and checkpoint-server fault
 /// transitions, as absolute simulation times.
@@ -79,10 +89,27 @@ struct WorldRealization {
   /// — rng::RandomStream::derive(seed, "grid.availability", machine) and
   /// derive(seed, "ckpt_server.faults") — in the same order, so the recorded
   /// times are bitwise equal to the event times a live run produces.
+  ///
+  /// Synthesis is a two-phase draw-then-fill pipeline: phase one runs the
+  /// RNG chains and accumulates absolute transition times into the flat SoA
+  /// buffers of a SynthesisScratch (growth amortizes across calls when the
+  /// scratch is reused); phase two sizes the realization's arrays exactly
+  /// once and fills them with flat block copies — no doubling reallocations
+  /// or shrink_to_fit churn on the published arrays. The draw loops consume
+  /// the streams in the exact live order (the truncated-normal rejection
+  /// loop and the polar normal's cached spare make per-draw consumption
+  /// variable, so draws cannot be chunked), which is what keeps recorded
+  /// times bitwise equal to live event times.
   [[nodiscard]] static WorldRealization synthesize(const AvailabilityModel& availability,
                                                    const CheckpointServerFaultModel& server_faults,
                                                    std::size_t num_machines, double horizon,
                                                    std::uint64_t seed);
+  /// As above, drawing through `scratch` — reuse one scratch across
+  /// synthesize calls (e.g. per thread) to amortize draw-buffer growth.
+  [[nodiscard]] static WorldRealization synthesize(const AvailabilityModel& availability,
+                                                   const CheckpointServerFaultModel& server_faults,
+                                                   std::size_t num_machines, double horizon,
+                                                   std::uint64_t seed, SynthesisScratch& scratch);
 };
 
 /// Per-machine replay cursor storage, retained by sim::SimulationWorkspace

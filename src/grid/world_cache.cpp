@@ -81,8 +81,12 @@ std::shared_ptr<const WorldRealization> WorldCache::acquire(
     }
   }
 
+  // One scratch per worker thread: synthesis runs outside the cache mutex
+  // (possibly concurrently for different keys), and a warmed scratch lets
+  // repeat synthesis draw without allocations.
+  static thread_local SynthesisScratch scratch;
   auto world = std::make_shared<const WorldRealization>(WorldRealization::synthesize(
-      availability, server_faults, num_machines, horizon * kHorizonMargin, seed));
+      availability, server_faults, num_machines, horizon * kHorizonMargin, seed, scratch));
 
   std::lock_guard lock(mutex_);
   auto it = slots_.find(key);

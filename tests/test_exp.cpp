@@ -290,6 +290,107 @@ TEST(RunOptions, MalformedEnvFailsWithClearMessage) {
   expect_env_rejected("DGSCHED_MIN_REPS", "3.5");
   expect_env_rejected("DGSCHED_BATCH", "12x");
   expect_env_rejected("DGSCHED_SEED", "0xzz");
+  expect_env_rejected("DGSCHED_QUEUE", "ladder");
+  expect_env_rejected("DGSCHED_QUEUE", "Heap4");
+  expect_env_rejected("DGSCHED_MULTI_CELL", "yes");
+}
+
+TEST(RunOptions, QueueBackendEnvOverride) {
+  EXPECT_FALSE(RunOptions::from_env().queue_backend.has_value());
+  ::setenv("DGSCHED_QUEUE", "calendar", 1);
+  EXPECT_EQ(RunOptions::from_env().queue_backend, des::QueueBackend::kCalendar);
+  ::setenv("DGSCHED_QUEUE", "heap4", 1);
+  EXPECT_EQ(RunOptions::from_env().queue_backend, des::QueueBackend::kHeap4);
+  ::unsetenv("DGSCHED_QUEUE");
+}
+
+TEST(RunOptions, MultiCellReplayEnvOverride) {
+  EXPECT_TRUE(RunOptions::from_env().multi_cell_replay);  // default on
+  ::setenv("DGSCHED_MULTI_CELL", "0", 1);
+  EXPECT_FALSE(RunOptions::from_env().multi_cell_replay);
+  ::setenv("DGSCHED_MULTI_CELL", "1", 1);
+  EXPECT_TRUE(RunOptions::from_env().multi_cell_replay);
+  ::unsetenv("DGSCHED_MULTI_CELL");
+}
+
+TEST(ExperimentRunner, MultiCellReplayBitIdenticalAcrossShapes) {
+  // The multi-cell hand-out (jobs grouped by replication so one worker walks
+  // one realized world across every cell) must be cell-for-cell identical to
+  // the classic expected-cost hand-out, across thread counts and batch
+  // shapes — the fold happens after the round barrier in build order either
+  // way. Volatile grid so worlds are actually realized and replayed, plus an
+  // adaptive round (max > min) so singleton replication groups occur.
+  sim::SimulationConfig volatile_config = tiny_config(sched::PolicyKind::kRoundRobin, 6);
+  volatile_config.grid =
+      grid::GridConfig::preset(grid::Heterogeneity::kHet, grid::AvailabilityLevel::kLow);
+  volatile_config.workload = sim::make_paper_workload(volatile_config.grid, 25000.0,
+                                                      workload::Intensity::kLow, 6);
+  sim::SimulationConfig stable_config = volatile_config;
+  stable_config.policy = sched::PolicyKind::kFcfsShare;
+  sim::SimulationConfig third_config = volatile_config;
+  third_config.policy = sched::PolicyKind::kLongIdle;
+  const std::vector<NamedConfig> cells = {
+      {"rr", volatile_config}, {"fcfs", stable_config}, {"li", third_config}};
+
+  struct Variant {
+    bool multi_cell;
+    std::size_t threads;
+    std::size_t batch;
+  };
+  const Variant variants[] = {{false, 1, 1}, {true, 1, 1},  {true, 3, 1},
+                              {true, 3, 5},  {true, 2, 0},  {false, 4, 2}};
+
+  std::vector<std::vector<CellResult>> runs;
+  for (const Variant& variant : variants) {
+    RunOptions options;
+    options.min_replications = 2;
+    options.max_replications = 4;
+    options.target_relative_error = 0.08;
+    options.multi_cell_replay = variant.multi_cell;
+    options.threads = variant.threads;
+    options.batch_size = variant.batch;
+    runs.push_back(ExperimentRunner(options).run(cells));
+  }
+
+  const std::vector<CellResult>& reference = runs.front();
+  for (std::size_t v = 1; v < runs.size(); ++v) {
+    ASSERT_EQ(runs[v].size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const CellResult& got = runs[v][i];
+      const CellResult& want = reference[i];
+      EXPECT_EQ(got.replications, want.replications) << "variant " << v << " cell " << i;
+      EXPECT_EQ(got.turnaround.stats().mean(), want.turnaround.stats().mean())
+          << "variant " << v << " cell " << i;
+      EXPECT_EQ(got.waiting.mean(), want.waiting.mean()) << "variant " << v << " cell " << i;
+      EXPECT_EQ(got.events_executed, want.events_executed) << "variant " << v << " cell " << i;
+      for (double q : {0.5, 0.95, 0.99}) {
+        EXPECT_EQ(got.turnaround_tail.quantile(q), want.turnaround_tail.quantile(q))
+            << "variant " << v << " cell " << i << " q " << q;
+        EXPECT_EQ(got.slowdown_tail.quantile(q), want.slowdown_tail.quantile(q))
+            << "variant " << v << " cell " << i << " q " << q;
+        EXPECT_EQ(got.completion_gap_tail.quantile(q), want.completion_gap_tail.quantile(q))
+            << "variant " << v << " cell " << i << " q " << q;
+      }
+      EXPECT_EQ(got.turnaround_tail.sum(), want.turnaround_tail.sum())
+          << "variant " << v << " cell " << i;
+    }
+  }
+}
+
+TEST(ExperimentRunner, RunnerQueueBackendOverrideMatchesDefault) {
+  // Forcing the calendar backend through RunOptions must leave every cell
+  // metric bit-identical — the backend only changes queue-maintenance cost.
+  const std::vector<NamedConfig> cells = {{"cell", tiny_config(sched::PolicyKind::kRoundRobin)}};
+  RunOptions options;
+  options.min_replications = 2;
+  options.max_replications = 2;
+  options.threads = 2;
+  const auto baseline = ExperimentRunner(options).run(cells);
+  options.queue_backend = des::QueueBackend::kCalendar;
+  const auto calendar = ExperimentRunner(options).run(cells);
+  EXPECT_EQ(calendar[0].turnaround.stats().mean(), baseline[0].turnaround.stats().mean());
+  EXPECT_EQ(calendar[0].events_executed, baseline[0].events_executed);
+  EXPECT_EQ(calendar[0].turnaround_tail.sum(), baseline[0].turnaround_tail.sum());
 }
 
 TEST(EnvNumBots, ReadsOverride) {

@@ -21,6 +21,7 @@
 #include "grid/desktop_grid.hpp"
 #include "grid/realization.hpp"
 #include "grid/world_cache.hpp"
+#include "rng/random_stream.hpp"
 #include "sim/result_io.hpp"
 #include "sim/simulation.hpp"
 #include "sim/workspace.hpp"
@@ -442,6 +443,163 @@ TEST(ExperimentRunnerWorldCache, CellEventCountsArePopulated) {
   ASSERT_EQ(results.size(), 1u);
   EXPECT_GT(results[0].events_executed, 0u);
   EXPECT_EQ(results[0].replications, 2u);
+}
+
+// --- adversarially tiny budgets (PR 7) ---
+
+TEST(WorldCacheTinyBudget, ExtensionPastHorizonWhileOverBudget) {
+  // A budget of one byte keeps the cache permanently over budget; extending
+  // the resident world past its horizon must still replace it in place (and
+  // the replacement must cover the new horizon) instead of thrashing.
+  const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kLow);
+  grid::WorldCache cache(1);
+  const auto short_world =
+      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e4, 1);
+  const auto long_world =
+      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e6, 1);
+  EXPECT_NE(long_world.get(), short_world.get());
+  EXPECT_TRUE(long_world->covers(1e6));
+  // The longer world replaced the short one under the same key.
+  const auto again =
+      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e6, 1);
+  EXPECT_EQ(again.get(), long_world.get());
+  const grid::WorldCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.extensions, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  // The short world's timeline is a bitwise prefix of its extension
+  // (machine 0; all but the final dangling past-horizon transition).
+  const std::uint32_t short_count = short_world->machine_offsets[1];
+  ASSERT_GE(short_count, 1u);
+  ASSERT_GE(long_world->machine_offsets[1], short_count - 1);
+  for (std::uint32_t i = 0; i + 1 < short_count; ++i) {
+    EXPECT_EQ(long_world->machine_transitions[i], short_world->machine_transitions[i]) << i;
+  }
+}
+
+TEST(WorldCacheTinyBudget, ChurnThroughManySeedsStaysWithinOneEntry) {
+  const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kMed);
+  grid::WorldCache cache(1);  // nothing fits: every new seed evicts the last
+  std::vector<std::shared_ptr<const grid::WorldRealization>> held;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    held.push_back(
+        cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e5, seed));
+  }
+  const grid::WorldCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 6u);
+  EXPECT_EQ(stats.evictions, 5u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.peak_bytes, stats.bytes);
+  // Every evicted world remains valid and complete through its shared_ptr.
+  for (const auto& world : held) {
+    EXPECT_TRUE(world->covers(1e5));
+    EXPECT_FALSE(world->machine_transitions.empty());
+  }
+  // Re-acquiring an evicted seed is a fresh miss, not a stale alias.
+  const auto again =
+      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e5, 1);
+  EXPECT_EQ(cache.stats().misses, 7u);
+  EXPECT_EQ(again->machine_transitions, held.front()->machine_transitions);
+}
+
+TEST(ExperimentRunnerWorldCache, EvictionMidCampaignStaysBitIdentical) {
+  // A budget far below the campaign's resident set forces evictions *between
+  // rounds and cells* of a real runner sweep; every cell metric must still
+  // match the cache-off run exactly.
+  std::vector<exp::NamedConfig> cells;
+  for (const sched::PolicyKind policy :
+       {sched::PolicyKind::kFcfsShare, sched::PolicyKind::kRoundRobin}) {
+    exp::NamedConfig cell;
+    cell.label = sched::to_string(policy);
+    cell.config = cached_matrix_config(policy, grid::AvailabilityLevel::kLow, 25000.0);
+    cells.push_back(std::move(cell));
+  }
+
+  exp::RunOptions options;
+  options.min_replications = 4;
+  options.max_replications = 4;
+  options.threads = 2;
+
+  exp::RunOptions off = options;
+  off.world_cache_bytes = 0;
+  const std::vector<exp::CellResult> baseline = exp::ExperimentRunner(off).run(cells);
+
+  exp::RunOptions tiny = options;
+  tiny.world_cache_bytes = 4096;  // a fraction of one realization
+  exp::ExperimentRunner tiny_runner(tiny);
+  const std::vector<exp::CellResult> churned = tiny_runner.run(cells);
+  EXPECT_GE(tiny_runner.world_cache()->stats().evictions, 1u);
+
+  ASSERT_EQ(baseline.size(), churned.size());
+  for (std::size_t c = 0; c < baseline.size(); ++c) {
+    SCOPED_TRACE(baseline[c].label);
+    EXPECT_EQ(baseline[c].replications, churned[c].replications);
+    EXPECT_EQ(baseline[c].turnaround.stats().mean(), churned[c].turnaround.stats().mean());
+    EXPECT_EQ(baseline[c].waiting.mean(), churned[c].waiting.mean());
+    EXPECT_EQ(baseline[c].makespan.mean(), churned[c].makespan.mean());
+    EXPECT_EQ(baseline[c].events_executed, churned[c].events_executed);
+    EXPECT_EQ(baseline[c].turnaround_tail.sum(), churned[c].turnaround_tail.sum());
+  }
+}
+
+// --- batched synthesis (PR 7) ---
+
+TEST(WorldRealization, BatchedSynthesisMatchesNaiveReference) {
+  // The two-phase draw-then-fill synthesize() must reproduce, bit for bit,
+  // the timelines of the obvious one-pass push_back implementation it
+  // replaced — same streams, same draw order, same values.
+  const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kLow);
+  grid::CheckpointServerFaultModel faults;
+  faults.enabled = true;
+  faults.mtbf = 8000.0;
+  faults.mttr = 4000.0;
+  constexpr double kHorizon = 200000.0;
+  constexpr std::uint64_t kSeed = 424242;
+  constexpr std::size_t kMachines = 20;
+
+  // Naive reference, inlined from the pre-batching implementation.
+  std::vector<double> ref_transitions;
+  std::vector<std::uint32_t> ref_offsets{0};
+  for (std::size_t m = 0; m < kMachines; ++m) {
+    rng::RandomStream stream = rng::RandomStream::derive(kSeed, "grid.availability", m);
+    double clock = 0.0;
+    for (std::size_t k = 0;; ++k) {
+      clock += k % 2 == 0 ? config.availability.time_to_failure.sample(stream)
+                          : config.availability.time_to_repair.sample(stream);
+      ref_transitions.push_back(clock);
+      if (clock > kHorizon) break;
+    }
+    ref_offsets.push_back(static_cast<std::uint32_t>(ref_transitions.size()));
+  }
+  std::vector<double> ref_server;
+  {
+    rng::RandomStream stream = rng::RandomStream::derive(kSeed, "ckpt_server.faults");
+    double clock = 0.0;
+    for (std::size_t k = 0;; ++k) {
+      clock += stream.exponential_mean(k % 2 == 0 ? faults.mtbf : faults.mttr);
+      ref_server.push_back(clock);
+      if (clock > kHorizon) break;
+    }
+  }
+
+  // Run synthesize twice through one scratch: the second call exercises the
+  // warmed-buffer path (clear + refill) and must be identical too.
+  grid::SynthesisScratch scratch;
+  for (int round = 0; round < 2; ++round) {
+    SCOPED_TRACE(round);
+    const grid::WorldRealization world = grid::WorldRealization::synthesize(
+        config.availability, faults, kMachines, kHorizon, kSeed, scratch);
+    EXPECT_EQ(world.machine_transitions, ref_transitions);
+    EXPECT_EQ(world.machine_offsets, ref_offsets);
+    EXPECT_EQ(world.server_transitions, ref_server);
+  }
+
+  // And the scratch-free overload (fresh scratch per call) agrees as well.
+  const grid::WorldRealization world = grid::WorldRealization::synthesize(
+      config.availability, faults, kMachines, kHorizon, kSeed);
+  EXPECT_EQ(world.machine_transitions, ref_transitions);
+  EXPECT_EQ(world.server_transitions, ref_server);
 }
 
 TEST(RunOptions, WorldCacheEnvOverride) {
