@@ -17,15 +17,13 @@
 
 namespace dg::exp {
 
-namespace {
-
 std::optional<std::string> env_string(const char* name) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return std::nullopt;
   return std::string(value);
 }
 
-[[noreturn]] void bad_env(const char* name, const std::string& text, const char* expected) {
+void bad_env(const char* name, const std::string& text, const char* expected) {
   throw std::invalid_argument(std::string(name) + ": expected " + expected + ", got \"" + text +
                               "\"");
 }
@@ -60,6 +58,8 @@ std::optional<std::size_t> env_size(const char* name) {
     bad_env(name, *text, "a non-negative integer in range");
   }
 }
+
+namespace {
 
 /// The per-replication data a CellResult folds in — scalars plus copies of
 /// the tail sketches, so the worker never retains the full SimulationResult

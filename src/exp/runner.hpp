@@ -67,6 +67,16 @@ struct RunOptions {
 /// Env override for workload sizes used by the figure benches (DGSCHED_BOTS).
 [[nodiscard]] std::optional<std::size_t> env_num_bots();
 
+// Environment-knob helpers shared by the figure and campaign drivers: read a
+// DGSCHED_* variable, returning nullopt when unset/empty. Malformed values
+// raise std::invalid_argument naming the variable and the offending text —
+// the same convention RunOptions::from_env follows.
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+[[nodiscard]] std::optional<double> env_double(const char* name);
+[[nodiscard]] std::optional<std::size_t> env_size(const char* name);
+/// Throws the convention's std::invalid_argument for `name` set to `text`.
+[[noreturn]] void bad_env(const char* name, const std::string& text, const char* expected);
+
 struct NamedConfig {
   std::string label;
   sim::SimulationConfig config;  // seed is overwritten per replication

@@ -22,14 +22,18 @@ void CheckpointServerFaultProcess::start(Callback on_down, Callback on_up) {
 }
 
 void CheckpointServerFaultProcess::crash() {
-  server_.set_down(sim_.now());
-  if (on_down_) on_down_();
+  // Only a real up -> down edge notifies the engine; the server may already
+  // be down for another cause (an adversarial stress window).
+  if (server_.force_down(sim_.now())) {
+    if (on_down_) on_down_();
+  }
   sim_.schedule_after(stream_.exponential_mean(model_.mttr), [this] { repair(); });
 }
 
 void CheckpointServerFaultProcess::repair() {
-  server_.set_up(sim_.now());
-  if (on_up_) on_up_();
+  if (server_.release_down(sim_.now())) {
+    if (on_up_) on_up_();
+  }
   sim_.schedule_after(stream_.exponential_mean(model_.mtbf), [this] { crash(); });
 }
 

@@ -128,6 +128,39 @@ class CheckpointServer {
     total_downtime_ += now - down_since_;
   }
 
+  // --- overlapping down-causes (mirrors grid::Machine) ---
+  //
+  // The server can be down for several reasons at once: a stochastic
+  // MTBF/MTTR fault AND an adversarial stress window. Down-ness is a cause
+  // count; only edge crossings flip the up/down state (and should fire
+  // engine callbacks). A single driver using force_down/release_down behaves
+  // exactly like set_down/set_up.
+
+  /// Adds a down-cause at `now`. Returns true iff the server just
+  /// transitioned up -> down (callers fire on_server_down only then).
+  bool force_down(double now) noexcept {
+    ++down_causes_;
+    if (down_causes_ == 1) {
+      set_down(now);
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes one down-cause at `now`. Returns true iff the server just
+  /// transitioned down -> up (callers fire on_server_up only then).
+  bool release_down(double now) noexcept {
+    DG_ASSERT_MSG(down_causes_ > 0, "release_down on an up checkpoint server");
+    --down_causes_;
+    if (down_causes_ == 0) {
+      set_up(now);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] int down_causes() const noexcept { return down_causes_; }
+
   [[nodiscard]] std::uint64_t outage_count() const noexcept { return outage_count_; }
   /// Cumulative downtime up to `now` (open outage included).
   [[nodiscard]] double total_downtime(double now) const noexcept {
@@ -182,6 +215,7 @@ class CheckpointServer {
   std::size_t capacity_;
   bool release_slots_;
   bool up_ = true;
+  int down_causes_ = 0;
   double down_since_ = 0.0;
   double total_downtime_ = 0.0;
   std::uint64_t outage_count_ = 0;

@@ -84,6 +84,11 @@ class DesktopGrid final : public MachineAvailabilityListener {
   /// grid::RealizedAvailabilityDriver) instead of the live processes.
   void start_outages(TransitionCallback on_failure, TransitionCallback on_repair);
 
+  /// Starts only the per-machine availability processes — for runs whose
+  /// correlated outages are replayed by a grid::RealizedOutageDriver instead
+  /// of the live OutageProcess. start() == start_machines() + start_outages().
+  void start_machines(TransitionCallback on_failure, TransitionCallback on_repair);
+
   [[nodiscard]] std::size_t size() const noexcept { return machines_.size(); }
   [[nodiscard]] Machine& machine(std::size_t i) { return machines_[i]; }
   [[nodiscard]] const Machine& machine(std::size_t i) const { return machines_[i]; }

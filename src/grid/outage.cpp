@@ -55,4 +55,63 @@ void OutageProcess::strike() {
   sim_.schedule_after(stream_.exponential_mean(model_.mean_interarrival), [this] { strike(); });
 }
 
+ScheduledOutageProcess::ScheduledOutageProcess(des::Simulator& sim, DesktopGrid& grid,
+                                               std::vector<StressWindow> windows, double fraction,
+                                               rng::RandomStream stream)
+    : sim_(sim), grid_(grid), windows_(std::move(windows)), fraction_(fraction),
+      stream_(stream) {
+  DG_ASSERT_MSG(fraction_ > 0.0 && fraction_ <= 1.0,
+                "ScheduledOutageProcess: fraction must be in (0, 1]");
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    DG_ASSERT_MSG(windows_[i].end > windows_[i].start,
+                  "ScheduledOutageProcess: window end must exceed its start");
+    DG_ASSERT_MSG(i == 0 || windows_[i].start >= windows_[i - 1].start,
+                  "ScheduledOutageProcess: windows must be sorted by start");
+  }
+}
+
+void ScheduledOutageProcess::start(TransitionCallback on_failure, TransitionCallback on_repair) {
+  on_failure_ = on_failure;
+  on_repair_ = on_repair;
+  // One strike event per window, scheduled in window order — strikes fire in
+  // ascending start time (ties resolve by this scheduling order), so victim
+  // sampling consumes the stream in a deterministic sequence.
+  for (std::size_t w = 0; w < windows_.size(); ++w) {
+    sim_.schedule_at(windows_[w].start, [this, w] { strike(w); });
+  }
+}
+
+void ScheduledOutageProcess::strike(std::size_t window_index) {
+  ++outages_;
+  const StressWindow window = windows_[window_index];
+  const std::size_t total = grid_.size();
+  std::size_t count = static_cast<std::size_t>(fraction_ * static_cast<double>(total));
+  count = std::clamp<std::size_t>(count, 1, total);
+
+  // Sample `count` distinct machines (partial Fisher-Yates over the ids),
+  // mirroring OutageProcess::strike() — but from this process's own stream.
+  ids_.resize(total);
+  for (std::size_t i = 0; i < total; ++i) ids_[i] = i;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(stream_.uniform_int(0, total - 1 - i));
+    std::swap(ids_[i], ids_[j]);
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    Machine& machine = grid_.machine(ids_[i]);
+    ++machines_hit_;
+    if (machine.force_down(sim_.now())) {
+      if (on_failure_) on_failure_(machine);
+    }
+    // All hit machines come back at the window's end; each releases its own
+    // down-cause (composition with overlapping failure sources).
+    sim_.schedule_at(window.end, [this, &machine] {
+      if (machine.release_down(sim_.now())) {
+        if (on_repair_) on_repair_(machine);
+      }
+    });
+  }
+}
+
 }  // namespace dg::grid

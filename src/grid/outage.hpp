@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "des/simulator.hpp"
 #include "grid/transition_delegate.hpp"
@@ -20,6 +21,19 @@ namespace dg::grid {
 
 class DesktopGrid;
 class Machine;
+
+/// A half-open absolute-time interval [start, end) of deliberately elevated
+/// stress. The adversarial scenario director (sim/adversary.hpp) places
+/// windows so arrival bursts, correlated machine outages, and
+/// checkpoint-server downtime all coincide.
+struct StressWindow {
+  double start = 0.0;
+  double end = 0.0;
+
+  [[nodiscard]] double duration() const noexcept { return end - start; }
+  [[nodiscard]] bool contains(double t) const noexcept { return t >= start && t < end; }
+  [[nodiscard]] bool operator==(const StressWindow&) const = default;
+};
 
 struct OutageModel {
   bool enabled = false;
@@ -62,6 +76,46 @@ class OutageProcess {
   rng::RandomStream stream_;
   TransitionCallback on_failure_;
   TransitionCallback on_repair_;
+  std::uint64_t outages_ = 0;
+  std::uint64_t machines_hit_ = 0;
+};
+
+/// Deterministically *timed* correlated outages: one outage per StressWindow,
+/// starting at window.start and released at window.end. Unlike OutageProcess
+/// (whose strike times are an exponential process), only the *victim set* is
+/// random — sampled per window from the process's own stream, so enabling the
+/// adversary perturbs no other stream. Composes with the stochastic
+/// availability processes (and OutageProcess) through the machines'
+/// down-cause counting.
+class ScheduledOutageProcess {
+ public:
+  using TransitionCallback = TransitionDelegate;
+
+  /// `windows` must be sorted ascending by start with end > start each;
+  /// `fraction` of the grid (rounded down, minimum 1 machine) is hit per
+  /// window.
+  ScheduledOutageProcess(des::Simulator& sim, DesktopGrid& grid,
+                         std::vector<StressWindow> windows, double fraction,
+                         rng::RandomStream stream);
+
+  /// Schedules one strike per window. Callbacks fire per machine, only on
+  /// real up/down edges. Call once, before running.
+  void start(TransitionCallback on_failure, TransitionCallback on_repair);
+
+  [[nodiscard]] std::uint64_t outages() const noexcept { return outages_; }
+  [[nodiscard]] std::uint64_t machines_hit() const noexcept { return machines_hit_; }
+
+ private:
+  void strike(std::size_t window_index);
+
+  des::Simulator& sim_;
+  DesktopGrid& grid_;
+  std::vector<StressWindow> windows_;
+  double fraction_;
+  rng::RandomStream stream_;
+  TransitionCallback on_failure_;
+  TransitionCallback on_repair_;
+  std::vector<std::size_t> ids_;  ///< Reused partial-Fisher-Yates buffer.
   std::uint64_t outages_ = 0;
   std::uint64_t machines_hit_ = 0;
 };

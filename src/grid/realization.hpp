@@ -48,6 +48,10 @@ struct SynthesisScratch {
   std::vector<double> machine_times;          ///< Concatenated per-machine draws.
   std::vector<std::uint32_t> machine_counts;  ///< Draws per machine.
   std::vector<double> server_times;           ///< Server fault-process draws.
+  std::vector<double> outage_times;           ///< Outage strike times (+ dangling).
+  std::vector<double> outage_durations;       ///< Per full strike.
+  std::vector<std::uint32_t> outage_machines; ///< Victims, strike-major, hit order.
+  std::vector<std::size_t> outage_ids;        ///< Partial-Fisher-Yates buffer.
 };
 
 /// The policy-independent stochastic behaviour of one replication's grid:
@@ -58,6 +62,7 @@ struct WorldRealization {
   /// hits and for diagnostics).
   AvailabilityModel availability{};
   CheckpointServerFaultModel server_faults{};
+  OutageModel outages{};
   std::uint64_t seed = 0;
   /// Every per-process sequence covers at least [0, horizon]: it extends to
   /// the first transition strictly after `horizon`.
@@ -74,6 +79,20 @@ struct WorldRealization {
   /// when the server fault model is disabled.
   std::vector<double> server_transitions;
 
+  /// Correlated-outage timeline (empty when the outage model is disabled).
+  /// Strike k <= horizon is "full": it records a duration and a fixed-stride
+  /// victim list (machines_per_outage ids each, in live hit order). The final
+  /// entry of `outage_times` is the dangling first strike strictly past the
+  /// horizon — scheduled by a live run, never fired, so it records neither
+  /// victims nor duration (the live process draws those only when the strike
+  /// fires). outage_times.size() == outage_durations.size() + 1.
+  std::vector<double> outage_times;
+  std::vector<double> outage_durations;
+  std::vector<std::uint32_t> outage_machines;  ///< Strike-major, hit order.
+  /// Victims per strike: clamp(floor(fraction * num_machines), 1,
+  /// num_machines) — constant across strikes, so no offset table is needed.
+  std::uint32_t machines_per_outage = 0;
+
   /// True when the realization's sequences extend past `h`.
   [[nodiscard]] bool covers(double h) const noexcept { return h <= horizon; }
   /// Heap footprint (for the cache's byte budget).
@@ -86,9 +105,10 @@ struct WorldRealization {
 
   /// Synthesizes the realization for (models, machine count, seed), covering
   /// [0, horizon]. Draws from the same derived streams as the live processes
-  /// — rng::RandomStream::derive(seed, "grid.availability", machine) and
-  /// derive(seed, "ckpt_server.faults") — in the same order, so the recorded
-  /// times are bitwise equal to the event times a live run produces.
+  /// — rng::RandomStream::derive(seed, "grid.availability", machine),
+  /// derive(seed, "ckpt_server.faults") and derive(seed, "grid.outages") —
+  /// in the same order, so the recorded times are bitwise equal to the event
+  /// times a live run produces.
   ///
   /// Synthesis is a two-phase draw-then-fill pipeline: phase one runs the
   /// RNG chains and accumulates absolute transition times into the flat SoA
@@ -102,12 +122,14 @@ struct WorldRealization {
   /// times bitwise equal to live event times.
   [[nodiscard]] static WorldRealization synthesize(const AvailabilityModel& availability,
                                                    const CheckpointServerFaultModel& server_faults,
+                                                   const OutageModel& outages,
                                                    std::size_t num_machines, double horizon,
                                                    std::uint64_t seed);
   /// As above, drawing through `scratch` — reuse one scratch across
   /// synthesize calls (e.g. per thread) to amortize draw-buffer growth.
   [[nodiscard]] static WorldRealization synthesize(const AvailabilityModel& availability,
                                                    const CheckpointServerFaultModel& server_faults,
+                                                   const OutageModel& outages,
                                                    std::size_t num_machines, double horizon,
                                                    std::uint64_t seed, SynthesisScratch& scratch);
 };
@@ -147,9 +169,42 @@ class RealizedAvailabilityDriver {
   TransitionDelegate on_repair_;
 };
 
+/// Replays a WorldRealization's correlated-outage timeline onto a grid,
+/// mirroring OutageProcess event for event: strike k takes down its recorded
+/// victims (callback on real edges only), schedules one release per victim at
+/// strike time + recorded duration, then schedules the next strike — the
+/// dangling past-horizon strike is scheduled and never fires, preserving
+/// kernel sequence-number parity with the live process. Use instead of
+/// DesktopGrid::start_outages().
+class RealizedOutageDriver {
+ public:
+  RealizedOutageDriver(des::Simulator& sim, DesktopGrid& grid, const WorldRealization& world)
+      : sim_(sim), grid_(grid), world_(world) {}
+
+  /// Schedules the first strike (no-op when the outage model is disabled).
+  /// Call once, before running.
+  void start(TransitionDelegate on_failure, TransitionDelegate on_repair);
+
+  [[nodiscard]] std::uint64_t outages() const noexcept { return outages_; }
+  [[nodiscard]] std::uint64_t machines_hit() const noexcept { return machines_hit_; }
+
+ private:
+  void strike();
+
+  des::Simulator& sim_;
+  DesktopGrid& grid_;
+  const WorldRealization& world_;
+  TransitionDelegate on_failure_;
+  TransitionDelegate on_repair_;
+  std::uint32_t cursor_ = 0;  ///< Next strike index.
+  std::uint64_t outages_ = 0;
+  std::uint64_t machines_hit_ = 0;
+};
+
 /// Replays the checkpoint-server fault timeline, mirroring
-/// CheckpointServerFaultProcess: flip the server state, fire the callback,
-/// then schedule the successor from the recorded array.
+/// CheckpointServerFaultProcess: apply the transition through the server's
+/// down-cause counting (callback on real edges only), then schedule the
+/// successor from the recorded array.
 class RealizedServerFaultDriver {
  public:
   using Callback = std::function<void()>;

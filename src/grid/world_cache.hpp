@@ -2,8 +2,8 @@
 //
 // exp::ExperimentRunner compares policies under common random numbers: every
 // policy cell of a figure panel re-runs the same replication seeds, so the
-// grid behaviour (machine availability + checkpoint-server faults) of one
-// replication is recomputed once per cell. This cache synthesizes each
+// grid behaviour (machine availability + checkpoint-server faults +
+// correlated outages) of one replication is recomputed once per cell. This cache synthesizes each
 // replication's WorldRealization once — keyed by (seed, models, machine
 // count) — and hands the same immutable realization to every cell sharing
 // it; cells replay it through the cursor drivers in grid/realization.hpp,
@@ -68,7 +68,7 @@ class WorldCache {
   /// is immutable and remains valid after eviction.
   [[nodiscard]] std::shared_ptr<const WorldRealization> acquire(
       const AvailabilityModel& availability, const CheckpointServerFaultModel& server_faults,
-      std::size_t num_machines, double horizon, std::uint64_t seed);
+      const OutageModel& outages, std::size_t num_machines, double horizon, std::uint64_t seed);
 
   [[nodiscard]] WorldCacheStats stats() const;
   [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_bytes_; }
@@ -86,10 +86,12 @@ class WorldCache {
 
   [[nodiscard]] static std::uint64_t signature(const AvailabilityModel& availability,
                                                const CheckpointServerFaultModel& server_faults,
+                                               const OutageModel& outages,
                                                std::size_t num_machines) noexcept;
   [[nodiscard]] static bool matches(const WorldRealization& world,
                                     const AvailabilityModel& availability,
                                     const CheckpointServerFaultModel& server_faults,
+                                    const OutageModel& outages,
                                     std::size_t num_machines) noexcept;
   /// Drops LRU entries (never `keep`) until within budget. Requires mutex_.
   void evict_locked(const Key& keep);

@@ -21,6 +21,7 @@ struct UniformDist {
   [[nodiscard]] double sample(RandomStream& stream) const noexcept {
     return stream.uniform(lo, hi);
   }
+  [[nodiscard]] bool operator==(const UniformDist&) const = default;
 };
 
 struct ExponentialDist {
@@ -29,6 +30,7 @@ struct ExponentialDist {
   [[nodiscard]] double sample(RandomStream& stream) const noexcept {
     return stream.exponential_mean(mean_value);
   }
+  [[nodiscard]] bool operator==(const ExponentialDist&) const = default;
 };
 
 struct TruncatedNormalDist {
@@ -41,6 +43,7 @@ struct TruncatedNormalDist {
   [[nodiscard]] double sample(RandomStream& stream) const noexcept {
     return stream.truncated_normal(mu, sigma, lo, hi);
   }
+  [[nodiscard]] bool operator==(const TruncatedNormalDist&) const = default;
 };
 
 struct WeibullDist {
@@ -56,12 +59,14 @@ struct WeibullDist {
   [[nodiscard]] static double scale_for_mean(double mean, double shape) noexcept {
     return mean / std::tgamma(1.0 + 1.0 / shape);
   }
+  [[nodiscard]] bool operator==(const WeibullDist&) const = default;
 };
 
 struct ConstantDist {
   double value = 0.0;
   [[nodiscard]] double mean() const noexcept { return value; }
   [[nodiscard]] double sample(RandomStream&) const noexcept { return value; }
+  [[nodiscard]] bool operator==(const ConstantDist&) const = default;
 };
 
 /// Closed set of distributions usable in model configuration.
@@ -81,6 +86,17 @@ class Distribution {
     return std::visit([&stream](const auto& d) { return d.sample(stream); }, dist_);
   }
   [[nodiscard]] std::string describe() const;
+
+  /// Stable index of the alternative held (for hashing model signatures).
+  [[nodiscard]] std::size_t type_index() const noexcept { return dist_.index(); }
+  /// Visits the underlying alternative (for parameter-level hashing).
+  template <typename Visitor>
+  decltype(auto) visit(Visitor&& visitor) const {
+    return std::visit(std::forward<Visitor>(visitor), dist_);
+  }
+
+  /// Parameter-exact equality: same alternative, bitwise-equal fields.
+  [[nodiscard]] bool operator==(const Distribution&) const = default;
 
  private:
   std::variant<UniformDist, ExponentialDist, TruncatedNormalDist, WeibullDist, ConstantDist> dist_;

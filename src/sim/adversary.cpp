@@ -1,0 +1,58 @@
+#include "sim/adversary.hpp"
+
+#include <stdexcept>
+
+namespace dg::sim {
+
+std::vector<grid::StressWindow> adversary_windows(const AdversarialScenario& adversary,
+                                                  const workload::WorkloadConfig& workload) {
+  if (!adversary.enabled) return {};
+  if (adversary.num_windows == 0) {
+    throw std::invalid_argument("adversary: num_windows must be >= 1");
+  }
+  if (!(adversary.window_duration > 0.0)) {
+    throw std::invalid_argument("adversary: window_duration must be positive");
+  }
+  if (!(adversary.lead_fraction >= 0.0) || !(adversary.lead_fraction < 1.0)) {
+    throw std::invalid_argument("adversary: lead_fraction must be in [0, 1)");
+  }
+  if (!(adversary.spacing >= 0.0)) {
+    throw std::invalid_argument("adversary: spacing must be non-negative");
+  }
+  if (!(adversary.burst_intensity >= 1.0)) {
+    throw std::invalid_argument("adversary: burst_intensity must be >= 1");
+  }
+  if (adversary.hit_machines &&
+      (!(adversary.outage_fraction > 0.0) || !(adversary.outage_fraction <= 1.0))) {
+    throw std::invalid_argument("adversary: outage_fraction must be in (0, 1]");
+  }
+  if (!(workload.arrival_rate > 0.0) || workload.num_bots == 0) {
+    throw std::invalid_argument(
+        "adversary: the workload needs a positive arrival rate and at least one bag");
+  }
+
+  // Expected arrival span of the generated workload; the windows are placed
+  // from the configuration alone so every replication of a cell (and every
+  // policy under common random numbers) faces the same stress timeline.
+  const double span = static_cast<double>(workload.num_bots) / workload.arrival_rate;
+  const double start0 = adversary.lead_fraction * span;
+  double step = adversary.spacing;
+  if (step <= 0.0 && adversary.num_windows > 1) {
+    step = (span - start0) / static_cast<double>(adversary.num_windows);
+  }
+  if (adversary.num_windows > 1 && step < adversary.window_duration) {
+    throw std::invalid_argument(
+        "adversary: windows would overlap — spacing (explicit or auto) is shorter than "
+        "window_duration");
+  }
+
+  std::vector<grid::StressWindow> windows;
+  windows.reserve(adversary.num_windows);
+  for (std::size_t w = 0; w < adversary.num_windows; ++w) {
+    const double start = start0 + static_cast<double>(w) * step;
+    windows.push_back(grid::StressWindow{start, start + adversary.window_duration});
+  }
+  return windows;
+}
+
+}  // namespace dg::sim

@@ -1,0 +1,63 @@
+// Adversarial scenario director.
+//
+// The robustness campaign needs a *worst-case-correlated* stressor: arrival
+// bursts landing exactly while a slice of the grid is dark and the checkpoint
+// server is unreachable. Independent stochastic processes only produce that
+// coincidence by luck; the director instead derives deterministic stress
+// windows from the workload configuration alone (expected arrival span =
+// num_bots / arrival_rate) and aims three mechanisms at them:
+//
+//   * arrival bursts  — the Poisson rate is multiplied by burst_intensity
+//                       inside each window (workload::WorkloadConfig's
+//                       stress_windows, an exact piecewise-rate process);
+//   * machine outages — a grid::ScheduledOutageProcess takes outage_fraction
+//                       of the machines down for each window's full span;
+//   * server downtime — the execution engine forces the checkpoint server
+//                       down over each window (EngineConfig's
+//                       server_down_windows), composing with any stochastic
+//                       fault process via down-cause counting.
+//
+// Only the outage victim sets are random, drawn from a dedicated
+// "adversary.outages" stream that is derived exclusively when the adversary
+// is enabled — the default path's streams and results stay bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/outage.hpp"
+#include "workload/generator.hpp"
+
+namespace dg::sim {
+
+struct AdversarialScenario {
+  bool enabled = false;
+  /// Stress windows placed across the expected arrival span. Must be >= 1.
+  std::size_t num_windows = 3;
+  /// Duration of each window, seconds. Must be positive.
+  double window_duration = 7200.0;
+  /// First window starts at lead_fraction * expected arrival span (past the
+  /// empty-system transient). In [0, 1).
+  double lead_fraction = 0.2;
+  /// Start-to-start spacing between consecutive windows; 0 (default) spreads
+  /// the windows evenly across the span remaining after the lead.
+  double spacing = 0.0;
+  /// Arrival-rate multiplier inside a window (>= 1; 1 = no burst).
+  double burst_intensity = 4.0;
+  /// Correlated machine outages spanning each window.
+  bool hit_machines = true;
+  /// Fraction of the grid taken down per window (rounded down, minimum one
+  /// machine). In (0, 1] when hit_machines is set.
+  double outage_fraction = 0.35;
+  /// Checkpoint-server downtime spanning each window.
+  bool hit_server = true;
+};
+
+/// The director's stress windows for (scenario, workload): deterministic,
+/// sorted, non-overlapping. Empty when the scenario is disabled. Throws
+/// std::invalid_argument on out-of-range parameters or windows that would
+/// overlap (spacing shorter than window_duration).
+[[nodiscard]] std::vector<grid::StressWindow> adversary_windows(
+    const AdversarialScenario& adversary, const workload::WorkloadConfig& workload);
+
+}  // namespace dg::sim

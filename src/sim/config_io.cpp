@@ -43,7 +43,8 @@ SimulationConfig load_simulation_config(std::istream& is) {
   const util::IniFile ini = util::IniFile::parse(is);
   for (const std::string& section : ini.sections()) {
     if (section != "grid" && section != "workload" && section != "scheduler" &&
-        section != "run" && section != "checkpoint_server" && !section.empty()) {
+        section != "run" && section != "checkpoint_server" && section != "robustness" &&
+        !section.empty()) {
       fail("unknown section [" + section + "]");
     }
   }
@@ -248,6 +249,55 @@ SimulationConfig load_simulation_config(std::istream& is) {
     config.dynamic_replication = *v;
   }
 
+  // --- [robustness] ---
+  check_known_keys(ini, "robustness",
+                   {"adversary", "num_windows", "window_duration", "lead_fraction", "spacing",
+                    "burst_intensity", "hit_machines", "outage_fraction", "hit_server"});
+  auto& adversary = config.adversary;
+  if (auto v = ini.get_bool("robustness", "adversary")) adversary.enabled = *v;
+  if (auto v = ini.get_int("robustness", "num_windows")) {
+    if (*v < 1) {
+      fail("num_windows must be >= 1, got " + *ini.get("robustness", "num_windows"));
+    }
+    adversary.num_windows = static_cast<std::size_t>(*v);
+  }
+  if (auto v = ini.get_double("robustness", "window_duration")) {
+    if (!(*v > 0.0)) {
+      fail("window_duration must be positive, got " +
+           *ini.get("robustness", "window_duration"));
+    }
+    adversary.window_duration = *v;
+  }
+  if (auto v = ini.get_double("robustness", "lead_fraction")) {
+    if (!(*v >= 0.0 && *v < 1.0)) {
+      fail("lead_fraction must be in [0, 1), got " + *ini.get("robustness", "lead_fraction"));
+    }
+    adversary.lead_fraction = *v;
+  }
+  if (auto v = ini.get_double("robustness", "spacing")) {
+    if (!(*v >= 0.0)) {
+      fail("spacing must be >= 0 (0 = spread over the arrival span), got " +
+           *ini.get("robustness", "spacing"));
+    }
+    adversary.spacing = *v;
+  }
+  if (auto v = ini.get_double("robustness", "burst_intensity")) {
+    if (!(*v >= 1.0)) {
+      fail("robustness burst_intensity must be >= 1, got " +
+           *ini.get("robustness", "burst_intensity"));
+    }
+    adversary.burst_intensity = *v;
+  }
+  if (auto v = ini.get_bool("robustness", "hit_machines")) adversary.hit_machines = *v;
+  if (auto v = ini.get_double("robustness", "outage_fraction")) {
+    if (!(*v > 0.0 && *v <= 1.0)) {
+      fail("robustness outage_fraction must be in (0, 1], got " +
+           *ini.get("robustness", "outage_fraction"));
+    }
+    adversary.outage_fraction = *v;
+  }
+  if (auto v = ini.get_bool("robustness", "hit_server")) adversary.hit_server = *v;
+
   // --- [run] ---
   check_known_keys(ini, "run", {"seed", "warmup_bots", "max_sim_time", "monitor_interval"});
   if (auto v = ini.get_int("run", "seed")) config.seed = static_cast<std::uint64_t>(*v);
@@ -334,6 +384,19 @@ void save_simulation_config(std::ostream& os, const SimulationConfig& config) {
   ini.set("scheduler", "individual", sched::to_string(config.individual));
   ini.set("scheduler", "replication_threshold", std::to_string(config.replication_threshold));
   ini.set("scheduler", "dynamic_replication", config.dynamic_replication ? "true" : "false");
+
+  if (config.adversary.enabled) {
+    const auto& adversary = config.adversary;
+    ini.set("robustness", "adversary", "true");
+    ini.set("robustness", "num_windows", std::to_string(adversary.num_windows));
+    ini.set("robustness", "window_duration", number(adversary.window_duration));
+    ini.set("robustness", "lead_fraction", number(adversary.lead_fraction));
+    ini.set("robustness", "spacing", number(adversary.spacing));
+    ini.set("robustness", "burst_intensity", number(adversary.burst_intensity));
+    ini.set("robustness", "hit_machines", adversary.hit_machines ? "true" : "false");
+    ini.set("robustness", "outage_fraction", number(adversary.outage_fraction));
+    ini.set("robustness", "hit_server", adversary.hit_server ? "true" : "false");
+  }
 
   ini.set("run", "seed", std::to_string(config.seed));
   ini.set("run", "warmup_bots", std::to_string(config.warmup_bots));

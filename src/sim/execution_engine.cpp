@@ -31,6 +31,25 @@ ExecutionEngine::ExecutionEngine(des::Simulator& sim, grid::DesktopGrid& grid,
       fault_process_->start([this] { on_server_down(); }, [this] { on_server_up(); });
     }
   }
+  if (!config_.server_down_windows.empty()) {
+    DG_ASSERT_MSG(config_.failable_server,
+                  "server stress windows require the failable-server path");
+    // One forced down/up pair per window, scheduled in window order (after
+    // the fault process's first crash, matching the adversary's position in
+    // the setup sequence). Edges compose with the stochastic fault process
+    // via the server's down-cause counting: the engine callbacks fire only
+    // on real up/down transitions.
+    for (const grid::StressWindow& window : config_.server_down_windows) {
+      DG_ASSERT_MSG(window.end > window.start,
+                    "server stress window end must exceed its start");
+      sim_.schedule_at(window.start, [this] {
+        if (grid_.checkpoint_server().force_down(sim_.now())) on_server_down();
+      });
+      sim_.schedule_at(window.end, [this] {
+        if (grid_.checkpoint_server().release_down(sim_.now())) on_server_up();
+      });
+    }
+  }
   scheduler_.set_sink(*this);
 }
 

@@ -61,6 +61,12 @@ struct EngineConfig {
   grid::CheckpointServerFaultModel server_faults{};
   /// Retry policy for checkpoint transfers when failable_server is set.
   TransferRetryPolicy retry{};
+  /// Deterministic server downtime windows (the adversarial scenario
+  /// director, sim/adversary.hpp): the server is forced down over each
+  /// [start, end), composing with the stochastic fault process through the
+  /// server's down-cause counting. Requires failable_server. Windows must be
+  /// sorted ascending with end > start.
+  std::vector<grid::StressWindow> server_down_windows;
   /// When set (by Simulation, from the world-realization cache), the server
   /// outage timeline is replayed from this realization instead of sampling
   /// the live fault process — bit-identical (see grid/realization.hpp).

@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory_resource>
 #include <optional>
+#include <stdexcept>
 
 #include "grid/realization.hpp"
 
@@ -114,6 +115,24 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
   }
   grid::DesktopGrid grid(grid_config, sim, config_.seed, mem);
 
+  // --- adversarial scenario ---
+  // Stress windows derive from the workload configuration alone, so every
+  // policy cell and replication of a campaign faces the same stress timeline
+  // (see sim/adversary.hpp). Empty when the adversary is disabled.
+  std::vector<grid::StressWindow> stress_windows;
+  if (config_.adversary.enabled) {
+    if (config_.trace_bots != nullptr) {
+      throw std::invalid_argument(
+          "Simulation: the adversarial scenario needs a generated workload (trace_bots replay "
+          "has no arrival process to modulate)");
+    }
+    if (config_.workload.arrivals != workload::ArrivalProcess::kPoisson) {
+      throw std::invalid_argument(
+          "Simulation: the adversarial scenario requires Poisson arrivals");
+    }
+    stress_windows = adversary_windows(config_.adversary, config_.workload);
+  }
+
   // --- workload ---
   // Generated before any component schedules events (generation only draws
   // from the "workload" stream, it schedules nothing) because the horizon —
@@ -122,6 +141,16 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
   std::vector<workload::BotSpec>& specs = workspace.specs();
   if (config_.trace_bots != nullptr) {
     specs = *config_.trace_bots;
+  } else if (config_.adversary.enabled && config_.adversary.burst_intensity > 1.0) {
+    // Burst modulation consumes the same "workload" stream through the
+    // piecewise-rate path; arrivals inside a window come ~burst_intensity
+    // times faster.
+    workload::WorkloadConfig stressed = config_.workload;
+    stressed.stress_windows = stress_windows;
+    stressed.stress_multiplier = config_.adversary.burst_intensity;
+    workload::WorkloadGenerator generator(std::move(stressed),
+                                          rng::RandomStream::derive(config_.seed, "workload"));
+    generator.generate_into(specs);
   } else {
     workload::WorkloadGenerator generator(config_.workload,
                                           rng::RandomStream::derive(config_.seed, "workload"));
@@ -150,10 +179,10 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
   std::shared_ptr<const grid::WorldRealization> world;
   if (config_.world_cache != nullptr && !trace_driven_grid &&
       (grid_config.availability.failures_enabled ||
-       config_.grid.checkpoint_server_faults.enabled)) {
+       config_.grid.checkpoint_server_faults.enabled || grid_config.outages.enabled)) {
     world = config_.world_cache->acquire(grid_config.availability,
-                                         config_.grid.checkpoint_server_faults, grid.size(),
-                                         horizon, config_.seed);
+                                         config_.grid.checkpoint_server_faults,
+                                         grid_config.outages, grid.size(), horizon, config_.seed);
   }
 
   // --- tail-metrics columns ---
@@ -206,12 +235,21 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
     engine_config.retry = config_.checkpoint_retry;
     engine_config.world = world;  // null = live fault process
   }
+  if (config_.adversary.enabled && config_.adversary.hit_server) {
+    // Forced server downtime over every stress window; composes with the
+    // stochastic fault process (if any) via the server's down-cause counting.
+    engine_config.failable_server = true;
+    engine_config.retry = config_.checkpoint_retry;
+    engine_config.server_down_windows = stress_windows;
+  }
   ExecutionEngine engine(sim, grid, scheduler, engine_config, config_.seed, mem);
   engine.add_observer(columns);
   if (observer != nullptr) engine.add_observer(*observer);
 
   std::unique_ptr<grid::TraceAvailabilityDriver> trace_driver;
   std::optional<grid::RealizedAvailabilityDriver> realized_driver;
+  std::optional<grid::RealizedOutageDriver> realized_outages;
+  std::optional<grid::ScheduledOutageProcess> adversary_outages;
   const auto on_failure = grid::TransitionDelegate::to<&ExecutionEngine::on_machine_failure>(engine);
   const auto on_repair = grid::TransitionDelegate::to<&ExecutionEngine::on_machine_repair>(engine);
   if (trace_driven_grid) {
@@ -219,14 +257,35 @@ const SimulationResult& Simulation::run(SimulationWorkspace& workspace,
                                                                    *config_.availability_trace);
     trace_driver->start(on_failure, on_repair);
     grid.start(nullptr, nullptr);  // processes disabled; keeps uptime stats coherent
-  } else if (world != nullptr && grid_config.availability.failures_enabled) {
+  } else if (world != nullptr) {
     // Replay the cached realization: same first-failure scheduling order as
-    // grid.start(), same lazy one-event-per-machine pattern thereafter.
-    realized_driver.emplace(sim, grid, *world, workspace.replay_cursors());
-    realized_driver->start(on_failure, on_repair);
-    grid.start_outages(on_failure, on_repair);
+    // grid.start(), same lazy one-event-per-machine pattern thereafter. When
+    // the availability model has failures disabled (server-faults- or
+    // outage-only worlds) the live processes are no-ops, so starting them
+    // matches the recorded (empty) machine timelines.
+    if (grid_config.availability.failures_enabled) {
+      realized_driver.emplace(sim, grid, *world, workspace.replay_cursors());
+      realized_driver->start(on_failure, on_repair);
+    } else {
+      grid.start_machines(on_failure, on_repair);
+    }
+    if (world->outages.enabled) {
+      // Outage strikes come from the realization too (same "grid.outages"
+      // stream consumption as the live process, cache-on == cache-off).
+      realized_outages.emplace(sim, grid, *world);
+      realized_outages->start(on_failure, on_repair);
+    } else {
+      grid.start_outages(on_failure, on_repair);
+    }
   } else {
     grid.start(on_failure, on_repair);
+  }
+  if (config_.adversary.enabled && config_.adversary.hit_machines) {
+    // The director's correlated outages: victim draws come from a stream
+    // derived only here, so enabling the adversary perturbs no other stream.
+    adversary_outages.emplace(sim, grid, stress_windows, config_.adversary.outage_fraction,
+                              rng::RandomStream::derive(config_.seed, "adversary.outages"));
+    adversary_outages->start(on_failure, on_repair);
   }
 
   // Bag states live in a pooled deque (stable addresses, no per-bag

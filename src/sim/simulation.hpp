@@ -23,6 +23,7 @@
 #include "sched/individual.hpp"
 #include "sched/policy.hpp"
 #include "sched/sched_stats.hpp"
+#include "sim/adversary.hpp"
 #include "sim/fault_tolerance.hpp"
 #include "stats/online_stats.hpp"
 #include "stats/quantile_sketch.hpp"
@@ -42,8 +43,15 @@ struct SimulationConfig {
   bool dynamic_replication = false;
   std::uint64_t seed = 1;
   /// Retry/backoff policy for checkpoint transfers; only consulted when
-  /// `grid.checkpoint_server_faults` is enabled.
+  /// `grid.checkpoint_server_faults` is enabled (or the adversary forces
+  /// server downtime).
   TransferRetryPolicy checkpoint_retry{};
+  /// Adversarial scenario director (see sim/adversary.hpp): deterministic
+  /// stress windows where arrival bursts, correlated machine outages, and
+  /// checkpoint-server downtime coincide. Disabled (the default) leaves the
+  /// run bit-identical to a config without the field — its RNG stream is
+  /// derived only when enabled. Requires Poisson arrivals and no trace_bots.
+  AdversarialScenario adversary{};
   /// Hard stop; 0 = auto (comfortably past the last arrival plus drain time).
   /// Hitting it with incomplete bags marks the run saturated.
   double max_sim_time = 0.0;
@@ -61,7 +69,7 @@ struct SimulationConfig {
   std::shared_ptr<const grid::AvailabilityTrace> availability_trace;
 
   /// Shared world-realization cache: the run acquires its (availability +
-  /// checkpoint-server fault) timelines — synthesized once per (models,
+  /// checkpoint-server fault + correlated-outage) timelines — synthesized once per (models,
   /// machine count, seed) — and replays them through the cursor drivers of
   /// grid/realization.hpp instead of sampling the live processes.
   /// Bit-identical to the live path (same streams, same draw order, same

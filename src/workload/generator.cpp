@@ -1,6 +1,7 @@
 #include "workload/generator.hpp"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -115,12 +116,32 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, rng::RandomStream st
           "burst_fraction in (0, 1)");
     }
   }
+  if (!config_.stress_windows.empty()) {
+    if (config_.arrivals != ArrivalProcess::kPoisson) {
+      throw std::invalid_argument(
+          "WorkloadGenerator: stress windows require Poisson arrivals");
+    }
+    if (!(config_.stress_multiplier >= 1.0)) {
+      throw std::invalid_argument(
+          "WorkloadGenerator: stress_multiplier must be >= 1");
+    }
+    for (std::size_t i = 0; i < config_.stress_windows.size(); ++i) {
+      const grid::StressWindow& window = config_.stress_windows[i];
+      if (!(window.end > window.start) ||
+          (i > 0 && window.start < config_.stress_windows[i - 1].end)) {
+        throw std::invalid_argument(
+            "WorkloadGenerator: stress windows must be sorted and non-overlapping "
+            "with end > start");
+      }
+    }
+  }
 }
 
 double WorkloadGenerator::next_arrival(double clock) {
   const double mean_interarrival = 1.0 / config_.arrival_rate;
   switch (config_.arrivals) {
     case ArrivalProcess::kPoisson:
+      if (!config_.stress_windows.empty()) return next_piecewise_poisson(clock);
       return clock + stream_.exponential_mean(mean_interarrival);
     case ArrivalProcess::kUniformJitter:
       return clock + stream_.uniform(0.5 * mean_interarrival, 1.5 * mean_interarrival);
@@ -161,6 +182,32 @@ double WorkloadGenerator::next_arrival(double clock) {
     }
   }
   return clock + stream_.exponential_mean(mean_interarrival);
+}
+
+double WorkloadGenerator::next_piecewise_poisson(double clock) {
+  // Exact sampling of a piecewise-constant-rate Poisson process: draw an
+  // exponential gap at the current segment's rate; if it would cross the
+  // next rate boundary, advance the clock to the boundary and redraw there
+  // (memorylessness makes the restart statistically exact).
+  const double base_rate = config_.arrival_rate;
+  for (;;) {
+    double rate = base_rate;
+    double boundary = std::numeric_limits<double>::infinity();
+    for (const grid::StressWindow& window : config_.stress_windows) {
+      if (window.contains(clock)) {
+        rate = base_rate * config_.stress_multiplier;
+        boundary = window.end;
+        break;
+      }
+      if (window.start > clock) {
+        boundary = window.start;
+        break;
+      }
+    }
+    const double gap = stream_.exponential_mean(1.0 / rate);
+    if (clock + gap < boundary) return clock + gap;
+    clock = boundary;
+  }
 }
 
 BotSpec WorkloadGenerator::make_bot(BotId id, double arrival_time, const BotType& type) {

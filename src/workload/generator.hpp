@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "grid/desktop_grid.hpp"
+#include "grid/outage.hpp"
 #include "rng/random_stream.hpp"
 #include "workload/bot.hpp"
 
@@ -69,6 +70,16 @@ struct WorkloadConfig {
   double burst_intensity = 5.0;
   /// kBursty only: long-run fraction of time spent in the burst state.
   double burst_fraction = 0.2;
+  /// kPoisson only: deterministic stress windows (sorted ascending,
+  /// non-overlapping) inside which the instantaneous arrival rate is
+  /// arrival_rate * stress_multiplier — a piecewise-constant-rate Poisson
+  /// process. Empty (the default) keeps the paper's homogeneous Poisson
+  /// process with bit-identical draws; the adversarial scenario director
+  /// (sim/adversary.hpp) installs windows timed to coincide with correlated
+  /// outages. Note: non-empty windows change the stream consumption even
+  /// with stress_multiplier == 1 (rate boundaries force redraws).
+  std::vector<grid::StressWindow> stress_windows;
+  double stress_multiplier = 1.0;
 
   [[nodiscard]] std::string name() const;
 };
@@ -109,6 +120,10 @@ class WorkloadGenerator {
   /// Advances the arrival clock by one inter-arrival per the configured
   /// process; returns the next arrival time.
   [[nodiscard]] double next_arrival(double clock);
+  /// kPoisson with stress windows: exact piecewise-constant-rate thinning by
+  /// redraw-at-boundary (memorylessness makes advancing to a rate boundary
+  /// and redrawing statistically exact).
+  [[nodiscard]] double next_piecewise_poisson(double clock);
 
   WorkloadConfig config_;
   rng::RandomStream stream_;

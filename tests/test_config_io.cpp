@@ -336,6 +336,93 @@ TEST(ConfigIo, RejectsBadOutageParameters) {
   }
 }
 
+// --- [robustness]: adversarial scenario director ---
+
+TEST(ConfigIo, LoadsRobustnessSection) {
+  std::istringstream in(
+      "[robustness]\n"
+      "adversary = true\n"
+      "num_windows = 4\n"
+      "window_duration = 3600\n"
+      "lead_fraction = 0.1\n"
+      "spacing = 40000\n"
+      "burst_intensity = 6\n"
+      "hit_machines = true\n"
+      "outage_fraction = 0.5\n"
+      "hit_server = false\n");
+  const sim::SimulationConfig config = sim::load_simulation_config(in);
+  const sim::AdversarialScenario& adversary = config.adversary;
+  EXPECT_TRUE(adversary.enabled);
+  EXPECT_EQ(adversary.num_windows, 4u);
+  EXPECT_DOUBLE_EQ(adversary.window_duration, 3600.0);
+  EXPECT_DOUBLE_EQ(adversary.lead_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(adversary.spacing, 40000.0);
+  EXPECT_DOUBLE_EQ(adversary.burst_intensity, 6.0);
+  EXPECT_TRUE(adversary.hit_machines);
+  EXPECT_DOUBLE_EQ(adversary.outage_fraction, 0.5);
+  EXPECT_FALSE(adversary.hit_server);
+}
+
+TEST(ConfigIo, RobustnessRoundTrip) {
+  std::istringstream in(
+      "[robustness]\n"
+      "adversary = true\n"
+      "num_windows = 2\n"
+      "window_duration = 5400\n"
+      "burst_intensity = 3.5\n"
+      "outage_fraction = 0.4\n");
+  const sim::SimulationConfig original = sim::load_simulation_config(in);
+  std::stringstream buffer;
+  sim::save_simulation_config(buffer, original);
+  const sim::SimulationConfig loaded = sim::load_simulation_config(buffer);
+  EXPECT_EQ(loaded.adversary.enabled, true);
+  EXPECT_EQ(loaded.adversary.num_windows, 2u);
+  EXPECT_DOUBLE_EQ(loaded.adversary.window_duration, 5400.0);
+  EXPECT_DOUBLE_EQ(loaded.adversary.lead_fraction, original.adversary.lead_fraction);
+  EXPECT_DOUBLE_EQ(loaded.adversary.burst_intensity, 3.5);
+  EXPECT_EQ(loaded.adversary.hit_machines, original.adversary.hit_machines);
+  EXPECT_DOUBLE_EQ(loaded.adversary.outage_fraction, 0.4);
+  EXPECT_EQ(loaded.adversary.hit_server, original.adversary.hit_server);
+}
+
+TEST(ConfigIo, DisabledAdversaryIsNotSaved) {
+  const sim::SimulationConfig defaults;
+  std::stringstream buffer;
+  sim::save_simulation_config(buffer, defaults);
+  EXPECT_EQ(buffer.str().find("[robustness]"), std::string::npos);
+}
+
+TEST(ConfigIo, RejectsBadRobustnessParameters) {
+  const char* bad[] = {
+      "[robustness]\nnum_windows = 0\n",
+      "[robustness]\nwindow_duration = 0\n",
+      "[robustness]\nlead_fraction = 1\n",
+      "[robustness]\nlead_fraction = -0.1\n",
+      "[robustness]\nspacing = -1\n",
+      "[robustness]\nburst_intensity = 0.5\n",
+      "[robustness]\noutage_fraction = 0\n",
+      "[robustness]\noutage_fraction = 1.5\n",
+      "[robustness]\nsurprise = 1\n",  // unknown key
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    std::istringstream in(text);
+    EXPECT_THROW((void)sim::load_simulation_config(in), std::runtime_error);
+  }
+}
+
+TEST(ConfigIo, RobustnessErrorsNameTheValue) {
+  std::istringstream in("[robustness]\nburst_intensity = 0.25\n");
+  try {
+    (void)sim::load_simulation_config(in);
+    FAIL() << "expected config error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("burst_intensity"), std::string::npos);
+    EXPECT_NE(what.find("0.25"), std::string::npos);
+  }
+}
+
 // --- enum parsers ---
 
 TEST(EnumParsers, PolicyRoundTrip) {

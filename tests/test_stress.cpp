@@ -164,6 +164,72 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(false, true)),
     chaos_param_name);
 
+// Combined chaos matrix (PR 8): stochastic server faults x stochastic
+// correlated outages x the adversarial scenario director (bursts + scheduled
+// outages + scheduled server downtime), every policy, checkpointing on. The
+// InvariantChecker validates every event; the fault counters prove each
+// stress source actually fired.
+class CombinedChaosTest : public ::testing::TestWithParam<sched::PolicyKind> {};
+
+TEST_P(CombinedChaosTest, InvariantsHoldUnderAdversarialCombinedStress) {
+  SimulationConfig config;
+  config.grid = grid::GridConfig::preset(grid::Heterogeneity::kHet,
+                                         grid::AvailabilityLevel::kLow);
+  config.grid.checkpoint_server_faults.enabled = true;
+  config.grid.checkpoint_server_faults.mtbf = 8000.0;
+  config.grid.checkpoint_server_faults.mttr = 4000.0;
+  config.grid.outages.enabled = true;
+  config.grid.outages.mean_interarrival = 40000.0;
+  config.grid.outages.fraction = 0.25;
+  config.workload = make_paper_workload(config.grid, 25000.0, workload::Intensity::kLow, 8);
+  config.policy = GetParam();
+  config.individual = sched::IndividualSchedulerKind::kWqrFt;  // checkpointing on
+  config.adversary.enabled = true;
+  config.adversary.num_windows = 2;
+  config.adversary.window_duration = 5000.0;
+  config.adversary.burst_intensity = 3.0;
+  config.adversary.outage_fraction = 0.3;
+  config.seed = 4242;
+  config.warmup_bots = 1;
+
+  InvariantChecker checker;
+  const SimulationResult result = Simulation(config).run(&checker);
+
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  // Every stress source fired: the stochastic availability/outage processes
+  // took machines down, and the server was down at least once (stochastic
+  // faults composed with the adversary's scheduled windows through the
+  // server's down-cause counting).
+  EXPECT_GT(result.machine_failures, 0u);
+  EXPECT_GE(result.faults.server_outages, 1u);
+  EXPECT_GT(result.faults.server_downtime, 0.0);
+  // FaultStats invariants under composition: downtime fits in the run, and
+  // failed attempts only exist because outages happened.
+  EXPECT_LE(result.faults.server_downtime, result.end_time);
+  if (result.faults.save_attempts_failed + result.faults.retrieve_attempts_failed > 0) {
+    EXPECT_GE(result.faults.server_outages, 1u);
+  }
+  EXPECT_EQ(result.bots_completed, result.bots.size());
+  for (const BotRecord& bot : result.bots) {
+    EXPECT_NEAR(bot.turnaround, bot.waiting_time + bot.makespan, 1e-6);
+    EXPECT_GE(bot.turnaround, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, CombinedChaosTest,
+    ::testing::Values(sched::PolicyKind::kFcfsExcl, sched::PolicyKind::kFcfsShare,
+                      sched::PolicyKind::kRoundRobin, sched::PolicyKind::kRoundRobinNrf,
+                      sched::PolicyKind::kLongIdle, sched::PolicyKind::kRandom,
+                      sched::PolicyKind::kShortestBagFirst, sched::PolicyKind::kPendingFirst),
+    [](const ::testing::TestParamInfo<sched::PolicyKind>& param_info) {
+      std::string name = sched::to_string(param_info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
 // Different seeds keep the invariants too (a cheap fuzz over randomness).
 class SeedSweepTest : public ::testing::TestWithParam<int> {};
 

@@ -80,7 +80,7 @@ TEST(AvailabilityTrace, WorldRealizationTraceViewRoundTripsBitExact) {
   const grid::GridConfig config =
       grid::GridConfig::preset(grid::Heterogeneity::kHom, grid::AvailabilityLevel::kLow);
   const grid::WorldRealization world = grid::WorldRealization::synthesize(
-      config.availability, config.checkpoint_server_faults, 12, 1e5, 77);
+      config.availability, config.checkpoint_server_faults, config.outages, 12, 1e5, 77);
   expect_csv_round_trip_bit_exact(world.to_trace());
 }
 

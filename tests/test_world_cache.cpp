@@ -70,7 +70,7 @@ TEST(WorldRealization, ReplayDriverMatchesLiveProcessTimeline) {
   des::Simulator replay_sim;
   grid::DesktopGrid replay_grid(config, replay_sim, kSeed);
   const grid::WorldRealization world = grid::WorldRealization::synthesize(
-      config.availability, config.checkpoint_server_faults, replay_grid.size(), kHorizon, kSeed);
+      config.availability, config.checkpoint_server_faults, config.outages, replay_grid.size(), kHorizon, kSeed);
   grid::ReplayCursors cursors;
   grid::RealizedAvailabilityDriver driver(replay_sim, replay_grid, world, cursors);
   EdgeRecorder replay;
@@ -104,7 +104,7 @@ TEST(WorldRealization, RecordsToFirstTransitionPastHorizon) {
   const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kMed);
   constexpr double kHorizon = 100000.0;
   const grid::WorldRealization world = grid::WorldRealization::synthesize(
-      config.availability, config.checkpoint_server_faults, 20, kHorizon, 11);
+      config.availability, config.checkpoint_server_faults, config.outages, 20, kHorizon, 11);
   ASSERT_EQ(world.machine_offsets.size(), 21u);
   EXPECT_TRUE(world.covers(kHorizon));
   for (std::size_t m = 0; m < 20; ++m) {
@@ -127,9 +127,9 @@ TEST(WorldRealization, RecordsToFirstTransitionPastHorizon) {
 TEST(WorldRealization, LongerHorizonIsBitwisePrefixExtension) {
   const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kLow);
   const grid::WorldRealization shorter = grid::WorldRealization::synthesize(
-      config.availability, config.checkpoint_server_faults, 20, 50000.0, 5);
+      config.availability, config.checkpoint_server_faults, config.outages, 20, 50000.0, 5);
   const grid::WorldRealization longer = grid::WorldRealization::synthesize(
-      config.availability, config.checkpoint_server_faults, 20, 200000.0, 5);
+      config.availability, config.checkpoint_server_faults, config.outages, 20, 200000.0, 5);
   for (std::size_t m = 0; m < 20; ++m) {
     SCOPED_TRACE(m);
     const std::uint32_t s_begin = shorter.machine_offsets[m];
@@ -146,7 +146,7 @@ TEST(WorldRealization, LongerHorizonIsBitwisePrefixExtension) {
 TEST(WorldRealization, DisabledFailuresYieldEmptyTimelines) {
   const grid::WorldRealization world = grid::WorldRealization::synthesize(
       grid::AvailabilityModel::for_level(grid::AvailabilityLevel::kAlways),
-      grid::CheckpointServerFaultModel{}, 10, 1e6, 3);
+      grid::CheckpointServerFaultModel{}, grid::OutageModel{}, 10, 1e6, 3);
   EXPECT_TRUE(world.machine_transitions.empty());
   EXPECT_TRUE(world.server_transitions.empty());
   ASSERT_EQ(world.machine_offsets.size(), 11u);
@@ -164,7 +164,7 @@ TEST(WorldRealization, DisabledFailuresYieldEmptyTimelines) {
 TEST(WorldRealization, ToTraceKeepsCompletePairsOnly) {
   const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kMed);
   const grid::WorldRealization world = grid::WorldRealization::synthesize(
-      config.availability, config.checkpoint_server_faults, 8, 80000.0, 21);
+      config.availability, config.checkpoint_server_faults, config.outages, 8, 80000.0, 21);
   const grid::AvailabilityTrace trace = world.to_trace();
   ASSERT_EQ(trace.num_machines(), 8u);
   for (std::size_t m = 0; m < 8; ++m) {
@@ -297,24 +297,24 @@ TEST(WorldCache, CountsHitsMissesAndExtensions) {
   const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kLow);
   grid::WorldCache cache;
   const auto first =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1000.0, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1000.0, 1);
   ASSERT_NE(first, nullptr);
   EXPECT_TRUE(first->covers(1000.0));
   // Same key, same horizon: resident.
   const auto again =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1000.0, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1000.0, 1);
   EXPECT_EQ(again.get(), first.get());
   // Same key, horizon within the synthesis margin: still resident.
   const auto margin =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1200.0, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1200.0, 1);
   EXPECT_EQ(margin.get(), first.get());
   // Different seed: independent world.
   const auto other =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1000.0, 2);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1000.0, 2);
   EXPECT_NE(other.get(), first.get());
   // Same key, horizon past the resident realization: re-synthesized longer.
   const auto extended =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 50000.0, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 50000.0, 1);
   EXPECT_NE(extended.get(), first.get());
   EXPECT_TRUE(extended->covers(50000.0));
 
@@ -332,9 +332,12 @@ TEST(WorldCache, ModelChangeMissesInsteadOfAliasing) {
   grid::WorldCache cache;
   const grid::GridConfig low = small_grid(grid::AvailabilityLevel::kLow);
   const grid::GridConfig med = small_grid(grid::AvailabilityLevel::kMed);
-  const auto a = cache.acquire(low.availability, low.checkpoint_server_faults, 20, 1000.0, 1);
-  const auto b = cache.acquire(med.availability, med.checkpoint_server_faults, 20, 1000.0, 1);
-  const auto c = cache.acquire(low.availability, low.checkpoint_server_faults, 10, 1000.0, 1);
+  const auto a =
+      cache.acquire(low.availability, low.checkpoint_server_faults, low.outages, 20, 1000.0, 1);
+  const auto b =
+      cache.acquire(med.availability, med.checkpoint_server_faults, med.outages, 20, 1000.0, 1);
+  const auto c =
+      cache.acquire(low.availability, low.checkpoint_server_faults, low.outages, 10, 1000.0, 1);
   EXPECT_NE(a.get(), b.get());
   EXPECT_NE(a.get(), c.get());
   EXPECT_EQ(cache.stats().misses, 3u);
@@ -346,19 +349,19 @@ TEST(WorldCache, EvictsLeastRecentlyUsedWithinBudget) {
   // Budget sized to hold roughly one long realization, so a second seed
   // forces the first out.
   const grid::WorldRealization probe = grid::WorldRealization::synthesize(
-      config.availability, config.checkpoint_server_faults, 20, 1e6, 1);
+      config.availability, config.checkpoint_server_faults, config.outages, 20, 1e6, 1);
   grid::WorldCache cache(probe.byte_size() + probe.byte_size() / 2);
 
   const auto first =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e6, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1e6, 1);
   const auto second =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e6, 2);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1e6, 2);
   const grid::WorldCacheStats stats = cache.stats();
   EXPECT_GE(stats.evictions, 1u);
   EXPECT_LE(stats.bytes, cache.budget_bytes());
   // The just-built world is the one kept...
   const auto second_again =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e6, 2);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1e6, 2);
   EXPECT_EQ(second_again.get(), second.get());
   EXPECT_EQ(cache.stats().hits, 1u);
   // ...and the evicted realization stays valid through its shared_ptr.
@@ -372,10 +375,10 @@ TEST(WorldCache, OversizedSingleWorldStaysResident) {
   const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kLow);
   grid::WorldCache cache(1);
   const auto world =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e5, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1e5, 1);
   ASSERT_NE(world, nullptr);
   const auto again =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e5, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1e5, 1);
   EXPECT_EQ(again.get(), world.get());
   EXPECT_EQ(cache.stats().entries, 1u);
 }
@@ -454,14 +457,14 @@ TEST(WorldCacheTinyBudget, ExtensionPastHorizonWhileOverBudget) {
   const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kLow);
   grid::WorldCache cache(1);
   const auto short_world =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e4, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1e4, 1);
   const auto long_world =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e6, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1e6, 1);
   EXPECT_NE(long_world.get(), short_world.get());
   EXPECT_TRUE(long_world->covers(1e6));
   // The longer world replaced the short one under the same key.
   const auto again =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e6, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1e6, 1);
   EXPECT_EQ(again.get(), long_world.get());
   const grid::WorldCacheStats stats = cache.stats();
   EXPECT_EQ(stats.misses, 1u);
@@ -484,7 +487,7 @@ TEST(WorldCacheTinyBudget, ChurnThroughManySeedsStaysWithinOneEntry) {
   std::vector<std::shared_ptr<const grid::WorldRealization>> held;
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     held.push_back(
-        cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e5, seed));
+        cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1e5, seed));
   }
   const grid::WorldCacheStats stats = cache.stats();
   EXPECT_EQ(stats.misses, 6u);
@@ -498,7 +501,7 @@ TEST(WorldCacheTinyBudget, ChurnThroughManySeedsStaysWithinOneEntry) {
   }
   // Re-acquiring an evicted seed is a fresh miss, not a stale alias.
   const auto again =
-      cache.acquire(config.availability, config.checkpoint_server_faults, 20, 1e5, 1);
+      cache.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20, 1e5, 1);
   EXPECT_EQ(cache.stats().misses, 7u);
   EXPECT_EQ(again->machine_transitions, held.front()->machine_transitions);
 }
@@ -589,7 +592,7 @@ TEST(WorldRealization, BatchedSynthesisMatchesNaiveReference) {
   for (int round = 0; round < 2; ++round) {
     SCOPED_TRACE(round);
     const grid::WorldRealization world = grid::WorldRealization::synthesize(
-        config.availability, faults, kMachines, kHorizon, kSeed, scratch);
+        config.availability, faults, grid::OutageModel{}, kMachines, kHorizon, kSeed, scratch);
     EXPECT_EQ(world.machine_transitions, ref_transitions);
     EXPECT_EQ(world.machine_offsets, ref_offsets);
     EXPECT_EQ(world.server_transitions, ref_server);
@@ -597,9 +600,130 @@ TEST(WorldRealization, BatchedSynthesisMatchesNaiveReference) {
 
   // And the scratch-free overload (fresh scratch per call) agrees as well.
   const grid::WorldRealization world = grid::WorldRealization::synthesize(
-      config.availability, faults, kMachines, kHorizon, kSeed);
+      config.availability, faults, grid::OutageModel{}, kMachines, kHorizon, kSeed);
   EXPECT_EQ(world.machine_transitions, ref_transitions);
   EXPECT_EQ(world.server_transitions, ref_server);
+}
+
+// --- correlated-outage recording and replay (PR 8) ---
+
+grid::OutageModel test_outages() {
+  grid::OutageModel outages;
+  outages.enabled = true;
+  outages.mean_interarrival = 30000.0;
+  outages.fraction = 0.3;
+  outages.duration = rng::UniformDist{2000.0, 8000.0};
+  return outages;
+}
+
+TEST(WorldRealization, OutageTimelineShape) {
+  const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kMed);
+  constexpr double kHorizon = 300000.0;
+  const grid::WorldRealization world = grid::WorldRealization::synthesize(
+      config.availability, config.checkpoint_server_faults, test_outages(), 20, kHorizon, 17);
+  // Full strikes plus exactly one dangling past-horizon strike time.
+  ASSERT_GE(world.outage_times.size(), 2u);
+  ASSERT_EQ(world.outage_times.size(), world.outage_durations.size() + 1);
+  EXPECT_EQ(world.machines_per_outage, 6u);  // floor(0.3 * 20)
+  ASSERT_EQ(world.outage_machines.size(),
+            world.outage_durations.size() * world.machines_per_outage);
+  for (std::size_t k = 1; k < world.outage_times.size(); ++k) {
+    EXPECT_LT(world.outage_times[k - 1], world.outage_times[k]);
+  }
+  EXPECT_LE(world.outage_times[world.outage_times.size() - 2], kHorizon);
+  EXPECT_GT(world.outage_times.back(), kHorizon);
+  for (const std::uint32_t victim : world.outage_machines) EXPECT_LT(victim, 20u);
+  for (const double duration : world.outage_durations) EXPECT_GE(duration, 1.0);
+}
+
+TEST(WorldRealization, OutageReplayMatchesLiveProcessTimeline) {
+  constexpr std::uint64_t kSeed = 5150;
+  constexpr double kHorizon = 300000.0;
+  grid::GridConfig config = small_grid(grid::AvailabilityLevel::kLow);
+  config.outages = test_outages();
+
+  // Live: stochastic availability processes + stochastic OutageProcess,
+  // composed through the machines' down-cause counting.
+  des::Simulator live_sim;
+  grid::DesktopGrid live_grid(config, live_sim, kSeed);
+  EdgeRecorder live;
+  live.sim = &live_sim;
+  live_grid.start(grid::TransitionDelegate::to<&EdgeRecorder::on_failure>(live),
+                  grid::TransitionDelegate::to<&EdgeRecorder::on_repair>(live));
+  live_sim.run_until(kHorizon);
+
+  // Replay: both drivers off one synthesized realization.
+  des::Simulator replay_sim;
+  grid::DesktopGrid replay_grid(config, replay_sim, kSeed);
+  const grid::WorldRealization world = grid::WorldRealization::synthesize(
+      config.availability, config.checkpoint_server_faults, config.outages, replay_grid.size(),
+      kHorizon, kSeed);
+  grid::ReplayCursors cursors;
+  grid::RealizedAvailabilityDriver driver(replay_sim, replay_grid, world, cursors);
+  grid::RealizedOutageDriver outage_driver(replay_sim, replay_grid, world);
+  EdgeRecorder replay;
+  replay.sim = &replay_sim;
+  driver.start(grid::TransitionDelegate::to<&EdgeRecorder::on_failure>(replay),
+               grid::TransitionDelegate::to<&EdgeRecorder::on_repair>(replay));
+  outage_driver.start(grid::TransitionDelegate::to<&EdgeRecorder::on_failure>(replay),
+                      grid::TransitionDelegate::to<&EdgeRecorder::on_repair>(replay));
+  replay_sim.run_until(kHorizon);
+
+  ASSERT_GT(live_grid.outage_process().outages(), 2u);  // the outage path actually ran
+  EXPECT_EQ(outage_driver.outages(), live_grid.outage_process().outages());
+  EXPECT_EQ(outage_driver.machines_hit(), live_grid.outage_process().machines_hit());
+  ASSERT_EQ(replay.edges.size(), live.edges.size());
+  for (std::size_t i = 0; i < live.edges.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(std::get<0>(replay.edges[i]), std::get<0>(live.edges[i]));  // bitwise time
+    EXPECT_EQ(std::get<1>(replay.edges[i]), std::get<1>(live.edges[i]));
+    EXPECT_EQ(std::get<2>(replay.edges[i]), std::get<2>(live.edges[i]));
+  }
+  EXPECT_EQ(replay_sim.stats().events_scheduled, live_sim.stats().events_scheduled);
+  EXPECT_EQ(replay_sim.stats().events_fired, live_sim.stats().events_fired);
+  for (std::size_t m = 0; m < live_grid.size(); ++m) {
+    EXPECT_EQ(replay_grid.machine(m).up(), live_grid.machine(m).up());
+  }
+}
+
+TEST(WorldCacheBitIdentity, CoversCorrelatedOutageReplay) {
+  // Satellite 1: an outage-enabled cell is bit-identical cache-on vs
+  // cache-off, closing the world-cache/outage gap.
+  sim::SimulationConfig config =
+      cached_matrix_config(sched::PolicyKind::kRoundRobin, grid::AvailabilityLevel::kMed, 25000.0);
+  config.grid.outages = test_outages();
+
+  const sim::SimulationResult live = sim::Simulation(config).run();
+  ASSERT_GT(live.machine_failures, 0u);
+
+  config.world_cache = std::make_shared<grid::WorldCache>();
+  const sim::SimulationResult cold = sim::Simulation(config).run();
+  const sim::SimulationResult warm = sim::Simulation(config).run();
+  expect_bit_identical(live, cold);
+  expect_bit_identical(live, warm);
+  EXPECT_EQ(config.world_cache->stats().misses, 1u);
+  EXPECT_EQ(config.world_cache->stats().hits, 1u);
+}
+
+TEST(WorldCache, SignatureDistinguishesOutageModels) {
+  const grid::GridConfig config = small_grid(grid::AvailabilityLevel::kLow);
+  grid::WorldCache cache;
+  grid::OutageModel outages = test_outages();
+  const auto plain =
+      cache.acquire(config.availability, config.checkpoint_server_faults, grid::OutageModel{},
+                    20, 1000.0, 1);
+  const auto stressed =
+      cache.acquire(config.availability, config.checkpoint_server_faults, outages, 20, 1000.0, 1);
+  EXPECT_NE(plain.get(), stressed.get());
+  EXPECT_TRUE(plain->outage_times.empty());
+  EXPECT_FALSE(stressed->outage_times.empty());
+  // A different duration distribution is a different world, not an alias.
+  outages.duration = rng::ExponentialDist{4000.0};
+  const auto exponential =
+      cache.acquire(config.availability, config.checkpoint_server_faults, outages, 20, 1000.0, 1);
+  EXPECT_NE(exponential.get(), stressed.get());
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
 }
 
 TEST(RunOptions, WorldCacheEnvOverride) {
