@@ -21,9 +21,9 @@ namespace dg::bench {
 /// One benchmark measurement. Schema (stable across PRs — append-only):
 /// {benchmark, events_per_sec, wall_s, peak_rss_kb, config, seed,
 ///  machines_per_dispatch, transfer_retries, replicas_degraded,
-///  replications_per_sec, threads, allocs_per_replication, cache_hit_rate,
-///  tails: {turnaround_p50, turnaround_p95, turnaround_p99, slowdown_p95,
-///  slowdown_p99}}.
+///  replications_per_sec, threads, allocs_per_replication, procs,
+///  cache_hit_rate, pool_hit_rate, tails: {turnaround_p50, turnaround_p95,
+///  turnaround_p99, slowdown_p95, slowdown_p99}}.
 /// `benchmark`, `wall_s`, and `config` are always emitted; every other field
 /// is omitted when it holds its zero default, so records stay readable and
 /// suite-specific fields don't show up as meaningless zeros elsewhere. The
@@ -52,10 +52,18 @@ struct PerfRecord {
   double replications_per_sec = 0;
   std::uint64_t threads = 0;
   double allocs_per_replication = 0;
+  /// Sharded-runner records (exp/shard.hpp) only; zero elsewhere. Worker
+  /// processes the campaign was sharded across.
+  std::uint64_t procs = 0;
   /// World-realization cache suite (bench/world_cache_throughput.cpp) only;
   /// zero elsewhere. Fraction of world acquisitions served from a resident
   /// realization (grid::WorldCacheStats::hit_rate()).
   double cache_hit_rate = 0;
+  /// Sharded-runner records only; zero elsewhere. Fraction of world
+  /// acquisitions served from the mmap-shared pool, i.e. synthesized by a
+  /// sibling process (grid::WorldCacheStats::pool_hit_rate(), aggregated
+  /// across workers).
+  double pool_hit_rate = 0;
   /// Tail quantiles of the simulated metrics (docs/METRICS.md), pooled over
   /// the benchmark's replications via the merged exp::CellResult sketches.
   /// Deterministic for a given config+seed, unlike the wall-clock fields;
@@ -134,7 +142,9 @@ inline void write_perf_json(std::ostream& os, const std::vector<PerfRecord>& rec
     field("replications_per_sec", r.replications_per_sec);
     field("threads", r.threads);
     field("allocs_per_replication", r.allocs_per_replication);
+    field("procs", r.procs);
     field("cache_hit_rate", r.cache_hit_rate);
+    field("pool_hit_rate", r.pool_hit_rate);
     if (r.turnaround_p50 != 0 || r.turnaround_p95 != 0 || r.turnaround_p99 != 0 ||
         r.slowdown_p95 != 0 || r.slowdown_p99 != 0) {
       os << ",\n    \"tails\": {";

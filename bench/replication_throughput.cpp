@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -29,6 +30,7 @@
 
 #include "exp/paper.hpp"
 #include "exp/runner.hpp"
+#include "exp/shard.hpp"
 #include "sim/simulation.hpp"
 #include "sim/workspace.hpp"
 #include "util/alloc_interposer.hpp"
@@ -101,6 +103,62 @@ PerfRecord timed_sweep(const std::vector<dg::exp::NamedConfig>& cells, std::size
   std::printf("  %-34s %2zu thr  %8.1f reps/s  %10.1f allocs/rep  (%.2f s)\n",
               record.benchmark.c_str(), threads, record.replications_per_sec,
               record.allocs_per_replication, wall);
+  return record;
+}
+
+/// One timed ShardedRunner sweep at `procs` worker processes (each worker
+/// single-threaded), sharing worlds through a fresh mmap pool under
+/// `out_dir`. The pool starts cold per sweep point, so pool_hit_rate
+/// measures cross-process sharing *within* the run: every world is
+/// synthesized by exactly one worker and mapped by the others.
+PerfRecord timed_sharded_sweep(const std::vector<dg::exp::NamedConfig>& cells, std::size_t procs,
+                               std::size_t reps, const std::string& out_dir) {
+  dg::exp::RunOptions options;
+  options.min_replications = reps;
+  options.max_replications = reps;
+  options.threads = 1;
+  // Cost-major hand-out: replication-major grouping would hand each world's
+  // entire cell set to one worker (a replication group is never split), so no
+  // world would ever cross a process boundary and pool_hit_rate would read 0
+  // by construction. Results are bit-identical either way.
+  options.multi_cell_replay = false;
+
+  dg::exp::ShardOptions shard;
+  shard.procs = procs;
+  shard.pool_dir = out_dir + "/replication_throughput.worldpool";
+  std::filesystem::remove_all(shard.pool_dir);
+
+  Stopwatch timer;
+  dg::exp::ShardedRunner runner(options, shard);
+  const auto results = runner.run(cells);
+  const double wall = timer.seconds();
+  std::filesystem::remove_all(shard.pool_dir);
+
+  std::size_t replications = 0;
+  std::uint64_t events = 0;
+  for (const dg::exp::CellResult& cell : results) {
+    replications += cell.replications;
+    events += cell.events_executed;
+  }
+  const dg::grid::WorldCacheStats stats = runner.worker_cache_stats();
+
+  PerfRecord record;
+  record.benchmark = "replication/throughput/sharded";
+  record.config = "fig1 cells x" + std::to_string(cells.size()) + ", bots=" +
+                  std::to_string(cells.front().config.workload.num_bots) + ", reps=" +
+                  std::to_string(reps) + ", mmap pool, cost-major";
+  record.procs = procs;
+  record.threads = 1;
+  record.wall_s = wall;
+  record.replications_per_sec =
+      wall > 0.0 ? static_cast<double>(replications) / wall : 0.0;
+  record.events_per_sec = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+  record.cache_hit_rate = stats.hit_rate();
+  record.pool_hit_rate = stats.pool_hit_rate();
+  record.peak_rss_kb = dg::bench::peak_rss_kb();
+  std::printf("  %-34s %2zu prc  %8.1f reps/s  pool hits %5.1f%%  (%.2f s)\n",
+              record.benchmark.c_str(), procs, record.replications_per_sec,
+              100.0 * record.pool_hit_rate, wall);
   return record;
 }
 
@@ -185,6 +243,22 @@ int main(int argc, char** argv) {
     records.push_back(timed_sweep(cells, threads, reps, /*reuse_workspaces=*/true,
                                   /*multi_cell=*/true, "multicell"));
   }
+
+  // Process-count axis (PR 9): the same campaign sharded across forked
+  // worker processes with an mmap-shared world pool. DGSCHED_PROCS overrides
+  // the top of the ladder; the default reaches 4 even on smaller machines so
+  // the 4-vs-1 scaling row always exists (oversubscribed on fewer cores).
+  std::vector<std::size_t> proc_counts;
+  const std::size_t top_procs = dg::exp::ShardOptions::from_env().procs > 1
+                                    ? dg::exp::ShardOptions::from_env().procs
+                                    : std::max<std::size_t>(4, std::min<std::size_t>(hw, 8));
+  for (std::size_t p = 1; p < top_procs; p *= 2) proc_counts.push_back(p);
+  proc_counts.push_back(top_procs);
+  std::cout << "sharded (multi-process) throughput: procs 1.." << top_procs << "\n";
+  for (const std::size_t procs : proc_counts) {
+    records.push_back(timed_sharded_sweep(cells, procs, reps, out_dir));
+  }
+
   for (PerfRecord& record : steady_state_allocs()) records.push_back(record);
 
   const std::string path = out_dir + "/BENCH_replications.json";

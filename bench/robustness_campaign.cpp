@@ -22,11 +22,23 @@
 // DGSCHED_MULTI_CELL / DGSCHED_WORLD_CACHE — CI runs the smoke grid twice
 // under different shapes and diffs the files byte for byte.
 //
-// Usage: ./robustness_campaign [output_dir]   # default: cwd
+// With DGSCHED_PROCS set, the risk-cliff grid runs through the
+// multi-process ShardedRunner instead of the in-process ExperimentRunner:
+// cells shard across forked workers that share synthesized worlds through
+// an mmap pool, and every completed replication is journaled so a killed
+// campaign resumes from the journal (exp/shard.hpp). Output stays
+// byte-identical to the single-process run — CI's shard-smoke job kills a
+// 2-worker campaign mid-flight, resumes it, and diffs against the
+// 1-process reference. The journal and pool live next to the outputs and
+// are removed on successful completion unless --keep-journal is passed.
+//
+// Usage: ./robustness_campaign [output_dir] [--keep-journal]   # default: cwd
 // Env:   DGSCHED_CAMPAIGN_GRID=smoke|full, DGSCHED_CAMPAIGN_SEEDS=N,
-//        DGSCHED_ADVERSARY=0|1, DGSCHED_BOTS=N, plus the usual runner knobs.
+//        DGSCHED_ADVERSARY=0|1, DGSCHED_BOTS=N, DGSCHED_PROCS=N,
+//        DGSCHED_JOURNAL=path, DGSCHED_POOL=dir, plus the usual runner knobs.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <iostream>
@@ -35,6 +47,7 @@
 
 #include "exp/campaign.hpp"
 #include "exp/runner.hpp"
+#include "exp/shard.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -121,9 +134,23 @@ void write_json(std::ostream& os, const exp::CampaignOptions& campaign,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  std::string out_dir = ".";
+  bool keep_journal = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--keep-journal") {
+      keep_journal = true;
+    } else {
+      out_dir = argv[i];
+    }
+  }
   const exp::RunOptions options = exp::RunOptions::from_env();
   const exp::CampaignOptions campaign = exp::CampaignOptions::from_env();
+  // DGSCHED_PROCS selects the multi-process path; journal and pool default
+  // next to the outputs (override with DGSCHED_JOURNAL / DGSCHED_POOL).
+  const bool sharded = exp::env_size("DGSCHED_PROCS").has_value();
+  exp::ShardOptions shard = exp::ShardOptions::from_env();
+  if (shard.journal_path.empty()) shard.journal_path = out_dir + "/robustness_campaign.journal";
+  if (shard.pool_dir.empty()) shard.pool_dir = out_dir + "/robustness_campaign.worldpool";
 
   exp::CampaignAxes axes = campaign.smoke ? exp::CampaignAxes::smoke() : exp::CampaignAxes{};
   axes.num_bots = exp::env_num_bots().value_or(axes.num_bots);
@@ -146,15 +173,27 @@ int main(int argc, char** argv) {
   const std::vector<exp::CampaignCell> cells = exp::expand_campaign(axes);
   std::cout << "=== Robustness campaign: " << (campaign.smoke ? "smoke" : "full") << " grid, "
             << cells.size() << " cells, adversary "
-            << (campaign.adversary ? "on" : "off") << " ===\n\n";
+            << (campaign.adversary ? "on" : "off");
+  if (sharded) std::cout << ", " << std::max<std::size_t>(1, shard.procs) << " worker procs";
+  std::cout << " ===\n\n";
 
   std::vector<exp::NamedConfig> named;
   named.reserve(cells.size());
   for (const exp::CampaignCell& cell : cells) {
     named.push_back(exp::NamedConfig{cell.label, cell.config});
   }
-  exp::ExperimentRunner runner(options);
-  const std::vector<exp::CellResult> results = runner.run(named);
+  std::vector<exp::CellResult> results;
+  if (sharded) {
+    exp::ShardedRunner runner(options, shard);
+    results = runner.run(named);
+    const grid::WorldCacheStats stats = runner.worker_cache_stats();
+    std::cout << "sharded: " << runner.recovered_replications()
+              << " replications resumed from journal, pool hit rate "
+              << 100.0 * stats.pool_hit_rate() << "%\n";
+  } else {
+    exp::ExperimentRunner runner(options);
+    results = runner.run(named);
+  }
   const std::vector<exp::RiskCliffRow> rows = exp::risk_cliff_rows(cells, results);
 
   util::Table table({"cell", "mean [s]", "p95 [s]", "p99 [s]", "wasted", "degradation"});
@@ -215,5 +254,14 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nwrote " << out_dir << "/robustness_heatmap.csv, robustness_seeds.csv, "
             << "robustness_campaign.json\n";
+
+  // The campaign completed and its outputs are on disk: the journal (and the
+  // world pool it shared) have served their purpose. --keep-journal retains
+  // them, e.g. to rerun with more seeds or inspect the records.
+  if (sharded && !keep_journal) {
+    std::error_code ec;
+    std::filesystem::remove(shard.journal_path, ec);
+    std::filesystem::remove_all(shard.pool_dir, ec);
+  }
   return 0;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-regression gate: diff a fresh BENCH_*.json against the committed baseline.
 
-Records are matched by (benchmark, threads). The compared metric is
+Records are matched by (benchmark, threads, procs). The compared metric is
 replications_per_sec when a record has one, else events_per_sec; records with
 neither (e.g. pure alloc-count rows) only check allocs_per_replication.
 
@@ -40,7 +40,7 @@ def load_records(path):
         sys.exit(f"check_perf_regression: cannot read {path}: {error}")
     if not isinstance(records, list):
         sys.exit(f"check_perf_regression: {path}: expected a JSON array of records")
-    return {(r["benchmark"], r.get("threads", 0)): r for r in records}
+    return {(r["benchmark"], r.get("threads", 0), r.get("procs", 0)): r for r in records}
 
 
 def rate_metric(record):
@@ -55,8 +55,8 @@ def rate_metric(record):
 def calibration_ratio(baseline, fresh, probe):
     if not probe:
         return 1.0, "calibration disabled"
-    base_probe = next((r for (name, _), r in baseline.items() if name == probe), None)
-    fresh_probe = next((r for (name, _), r in fresh.items() if name == probe), None)
+    base_probe = next((r for (name, *_), r in baseline.items() if name == probe), None)
+    fresh_probe = next((r for (name, *_), r in fresh.items() if name == probe), None)
     if base_probe is None or fresh_probe is None:
         return 1.0, f"probe {probe!r} missing on one side; calibration skipped"
     _, base_rate = rate_metric(base_probe)
@@ -86,18 +86,19 @@ def main():
     print(f"calibration: {ratio_note}")
 
     rows, regressions = [], []
-    for key in sorted(set(baseline) | set(fresh), key=lambda k: (k[0], k[1])):
-        name, threads = key
-        label = f"{name}" + (f" @{threads}t" if threads else "")
+    for key in sorted(set(baseline) | set(fresh)):
+        name, threads, procs = key
+        label = (f"{name}" + (f" @{threads}t" if threads else "")
+                 + (f" @{procs}p" if procs else ""))
         if key not in fresh or key not in baseline:
             side = "baseline" if key not in fresh else "fresh"
-            rows.append({"benchmark": name, "threads": threads,
+            rows.append({"benchmark": name, "threads": threads, "procs": procs,
                          "status": f"unmatched ({side} only)"})
             print(f"  SKIP  {label}: only in {side}")
             continue
 
         base, new = baseline[key], fresh[key]
-        row = {"benchmark": name, "threads": threads, "status": "ok"}
+        row = {"benchmark": name, "threads": threads, "procs": procs, "status": "ok"}
         problems = []
 
         metric, base_rate = rate_metric(base)

@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 
+#include "exp/replication_summary.hpp"
 #include "rng/splitmix64.hpp"
 #include "sim/workspace.hpp"
 #include "util/logging.hpp"
@@ -58,84 +59,6 @@ std::optional<std::size_t> env_size(const char* name) {
     bad_env(name, *text, "a non-negative integer in range");
   }
 }
-
-namespace {
-
-/// The per-replication data a CellResult folds in — scalars plus copies of
-/// the tail sketches, so the worker never retains the full SimulationResult
-/// (whose buffers live in the worker's workspace and are reused by the next
-/// run). Sketch counts are exact integers, so folding copies in build order
-/// reproduces the sequential accumulator sequences bit for bit.
-struct ReplicationSummary {
-  double turnaround_mean = 0.0;
-  double waiting_mean = 0.0;
-  double makespan_mean = 0.0;
-  double utilization = 0.0;
-  double decayed_utilization = 0.0;
-  double wasted_fraction = 0.0;
-  double lost_work = 0.0;
-  double transfer_retries = 0.0;
-  double replicas_degraded = 0.0;
-  double server_downtime = 0.0;
-  stats::QuantileSketch turnaround_tail;
-  stats::QuantileSketch slowdown_tail;
-  stats::QuantileSketch completion_gap_tail;
-  std::uint64_t events_executed = 0;
-  bool saturated = false;
-};
-
-ReplicationSummary summarize(const sim::SimulationResult& result) {
-  ReplicationSummary summary;
-  summary.turnaround_mean = result.turnaround.mean();
-  summary.waiting_mean = result.waiting.mean();
-  summary.makespan_mean = result.makespan.mean();
-  summary.utilization = result.utilization;
-  summary.decayed_utilization = result.decayed_utilization;
-  summary.wasted_fraction = result.wasted_fraction();
-  summary.lost_work = result.lost_work;
-  summary.transfer_retries = static_cast<double>(result.faults.transfer_retries);
-  summary.replicas_degraded = static_cast<double>(result.faults.replicas_degraded);
-  summary.server_downtime = result.faults.server_downtime;
-  summary.turnaround_tail = result.turnaround_tail;
-  summary.slowdown_tail = result.slowdown_tail;
-  summary.completion_gap_tail = result.completion_gap_tail;
-  summary.events_executed = result.events_executed;
-  summary.saturated = result.saturated;
-  return summary;
-}
-
-void fold(CellResult& cell, const ReplicationSummary& summary) {
-  cell.turnaround.add(summary.turnaround_mean);
-  cell.waiting.add(summary.waiting_mean);
-  cell.makespan.add(summary.makespan_mean);
-  cell.utilization.add(summary.utilization);
-  cell.decayed_utilization.add(summary.decayed_utilization);
-  cell.wasted_fraction.add(summary.wasted_fraction);
-  cell.lost_work.add(summary.lost_work);
-  cell.transfer_retries.add(summary.transfer_retries);
-  cell.replicas_degraded.add(summary.replicas_degraded);
-  cell.server_downtime.add(summary.server_downtime);
-  cell.turnaround_tail.merge(summary.turnaround_tail);
-  cell.slowdown_tail.merge(summary.slowdown_tail);
-  cell.completion_gap_tail.merge(summary.completion_gap_tail);
-  cell.events_executed += summary.events_executed;
-  ++cell.replications;
-  if (summary.saturated) ++cell.saturated_replications;
-}
-
-/// Rough relative wall-clock cost of one replication of a cell: event count
-/// scales with bags x tasks-per-bag. Only used to order job hand-out
-/// (largest first, so no worker is left holding the one huge cell at the end
-/// of a round); accuracy beyond the ordering does not matter.
-double expected_cost(const sim::SimulationConfig& config) {
-  const double granularity =
-      config.workload.types.empty() ? 1000.0 : config.workload.types.front().granularity;
-  const double tasks_per_bot =
-      granularity > 0.0 ? std::max(1.0, config.workload.bag_size / granularity) : 1.0;
-  return static_cast<double>(config.workload.num_bots) * tasks_per_bot;
-}
-
-}  // namespace
 
 RunOptions RunOptions::from_env(RunOptions defaults) {
   if (auto v = env_size("DGSCHED_MIN_REPS")) defaults.min_replications = *v;

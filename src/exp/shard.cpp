@@ -1,0 +1,542 @@
+#include "exp/shard.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/journal.hpp"
+#include "exp/replication_summary.hpp"
+#include "grid/world_pool.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/workspace.hpp"
+#include "util/binary_io.hpp"
+#include "util/logging.hpp"
+
+namespace dg::exp {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// ---------------------------------------------------------------------------
+// Shard protocol: framed messages over a per-worker SOCK_STREAM socketpair.
+// Same-machine siblings of one build, so payloads are host-endian PODs
+// (util/binary_io.hpp); the frame carries type + payload size.
+//
+//   kAssign     C->W  chunk_id u64 | count u32 | count x (cell u32, rep u32)
+//   kChunkDone  W->C  chunk_id u64 | count u32 |
+//                     count x (cell u32, rep u32, size u32, summary bytes)
+//   kShutdown   C->W  (empty) — worker replies kStats and exits
+//   kStats      W->C  8 x u64 WorldCacheStats counters
+// ---------------------------------------------------------------------------
+
+enum MsgType : std::uint32_t {
+  kAssign = 1,
+  kChunkDone = 2,
+  kShutdown = 3,
+  kStats = 4,
+};
+
+struct MsgHeader {
+  std::uint32_t type = 0;
+  std::uint32_t size = 0;  ///< Payload bytes following the header.
+};
+
+/// Sends a framed message; false on a broken pipe (peer died). MSG_NOSIGNAL
+/// turns SIGPIPE into an error return — the coordinator must not die with a
+/// worker.
+[[nodiscard]] bool send_msg(int fd, std::uint32_t type, const std::uint8_t* payload,
+                            std::size_t size) {
+  MsgHeader header{type, static_cast<std::uint32_t>(size)};
+  const auto send_all = [fd](const void* data, std::size_t len) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    std::size_t sent = 0;
+    while (sent < len) {
+      const ::ssize_t n = ::send(fd, bytes + sent, len - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  return send_all(&header, sizeof(header)) && (size == 0 || send_all(payload, size));
+}
+
+/// Reads exactly `size` bytes; false on EOF (peer gone).
+[[nodiscard]] bool read_exact(int fd, void* data, std::size_t size) {
+  auto* bytes = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ::ssize_t n = ::read(fd, bytes + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+[[nodiscard]] bool read_msg(int fd, MsgHeader& header, std::vector<std::uint8_t>& payload) {
+  if (!read_exact(fd, &header, sizeof(header))) return false;
+  payload.resize(header.size);
+  return header.size == 0 || read_exact(fd, payload.data(), payload.size());
+}
+
+// ---------------------------------------------------------------------------
+// Worker process body. Never returns; never runs the parent's exit handlers
+// (_exit), so the fork leaves the coordinator's stdio/file state untouched.
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void worker_main(int fd, const RunOptions& options,
+                              const std::vector<NamedConfig>& cells, const std::string& pool_dir,
+                              std::size_t kill_after_jobs) {
+  try {
+    std::shared_ptr<grid::WorldCache> world_cache;
+    if (options.world_cache_bytes > 0) {
+      world_cache = std::make_shared<grid::WorldCache>(options.world_cache_bytes);
+      if (!pool_dir.empty()) {
+        world_cache->attach_pool(std::make_shared<grid::WorldPool>(pool_dir));
+      }
+    }
+    std::unique_ptr<sim::SimulationWorkspace> workspace;
+    std::size_t jobs_run = 0;
+
+    MsgHeader header;
+    std::vector<std::uint8_t> payload;
+    std::vector<std::uint8_t> reply;
+    for (;;) {
+      if (!read_msg(fd, header, payload)) std::_Exit(0);  // coordinator gone
+      if (header.type == kShutdown) {
+        const grid::WorldCacheStats stats =
+            world_cache != nullptr ? world_cache->stats() : grid::WorldCacheStats{};
+        std::vector<std::uint8_t> wire;
+        util::put_pod(wire, stats.hits);
+        util::put_pod(wire, stats.misses);
+        util::put_pod(wire, stats.extensions);
+        util::put_pod(wire, stats.pool_hits);
+        util::put_pod(wire, stats.evictions);
+        util::put_pod(wire, static_cast<std::uint64_t>(stats.entries));
+        util::put_pod(wire, static_cast<std::uint64_t>(stats.bytes));
+        util::put_pod(wire, static_cast<std::uint64_t>(stats.peak_bytes));
+        (void)send_msg(fd, kStats, wire.data(), wire.size());
+        std::_Exit(0);
+      }
+      if (header.type != kAssign) {
+        std::fprintf(stderr, "shard worker: unexpected message type %u\n", header.type);
+        std::_Exit(1);
+      }
+
+      util::ByteReader reader(payload.data(), payload.size());
+      const auto chunk_id = reader.pod<std::uint64_t>();
+      const auto count = reader.pod<std::uint32_t>();
+      reply.clear();
+      util::put_pod(reply, chunk_id);
+      util::put_pod(reply, count);
+      std::vector<std::uint8_t> summary_bytes;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto cell = reader.pod<std::uint32_t>();
+        const auto replication = reader.pod<std::uint32_t>();
+
+        sim::SimulationConfig config = cells[cell].config;
+        // Seeds depend only on (base_seed, replication): common random
+        // numbers across cells — identical to the threaded runner.
+        config.seed = rng::mix_seed(options.base_seed, replication);
+        config.world_cache = world_cache;
+        if (options.queue_backend.has_value()) config.queue_backend = options.queue_backend;
+        sim::Simulation simulation(std::move(config));
+        ReplicationSummary summary;
+        if (options.reuse_workspaces) {
+          if (!workspace) workspace = std::make_unique<sim::SimulationWorkspace>();
+          summary = summarize(simulation.run(*workspace));
+        } else {
+          summary = summarize(simulation.run());
+        }
+        ++jobs_run;
+        // Failure-injection hook: die mid-chunk, after a completed job but
+        // before the chunk reply — the coordinator must requeue and the
+        // replacement worker redo the whole chunk.
+        if (kill_after_jobs > 0 && jobs_run >= kill_after_jobs) std::_Exit(9);
+
+        util::put_pod(reply, cell);
+        util::put_pod(reply, replication);
+        summary_bytes.clear();
+        summary.serialize(summary_bytes);
+        util::put_pod(reply, static_cast<std::uint32_t>(summary_bytes.size()));
+        reply.insert(reply.end(), summary_bytes.begin(), summary_bytes.end());
+      }
+      if (!send_msg(fd, kChunkDone, reply.data(), reply.size())) std::_Exit(0);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shard worker: %s\n", e.what());
+    std::_Exit(1);
+  } catch (...) {
+    std::fprintf(stderr, "shard worker: unknown error\n");
+    std::_Exit(1);
+  }
+}
+
+}  // namespace
+
+ShardOptions ShardOptions::from_env(ShardOptions defaults) {
+  if (auto v = env_size("DGSCHED_PROCS")) defaults.procs = *v;
+  if (auto v = env_string("DGSCHED_JOURNAL")) defaults.journal_path = *v;
+  if (auto v = env_string("DGSCHED_POOL")) defaults.pool_dir = *v;
+  if (auto v = env_size("DGSCHED_JOURNAL_FSYNC")) defaults.fsync_journal = *v != 0;
+  if (auto v = env_size("DGSCHED_SHARD_ABORT_AFTER")) defaults.abort_after_appends = *v;
+  if (auto text = env_string("DGSCHED_SHARD_SELF_KILL")) {
+    const std::size_t colon = text->find(':');
+    bool ok = colon != std::string::npos && colon > 0 && colon + 1 < text->size();
+    if (ok) {
+      try {
+        std::size_t used_a = 0;
+        std::size_t used_b = 0;
+        const std::string jobs_text = text->substr(colon + 1);
+        defaults.self_kill_worker = std::stoull(text->substr(0, colon), &used_a);
+        defaults.self_kill_jobs = std::stoull(jobs_text, &used_b);
+        ok = used_a == colon && used_b == jobs_text.size();
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) bad_env("DGSCHED_SHARD_SELF_KILL", *text, "\"<worker>:<jobs>\"");
+  }
+  return defaults;
+}
+
+std::vector<CellResult> ShardedRunner::run(const std::vector<NamedConfig>& cells) {
+  worker_stats_ = grid::WorldCacheStats{};
+  recovered_ = 0;
+
+  std::vector<CellResult> results;
+  results.reserve(cells.size());
+  for (const NamedConfig& cell : cells) {
+    CellResult result;
+    result.label = cell.label;
+    result.config = cell.config;
+    result.turnaround = stats::ReplicationAnalyzer(options_.ci_level,
+                                                   options_.target_relative_error,
+                                                   options_.min_replications);
+    results.push_back(std::move(result));
+  }
+  if (cells.empty()) return results;
+
+  const std::size_t procs = std::max<std::size_t>(1, shard_.procs);
+
+  // Journal: recover the completed prefix of an earlier (killed) run of this
+  // same campaign. The map is (cell, replication) -> summary; replication
+  // indices are unique per cell, so the pair identifies a job across rounds.
+  std::unique_ptr<CampaignJournal> journal;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, const ReplicationSummary*> recovered_map;
+  if (!shard_.journal_path.empty()) {
+    journal = std::make_unique<CampaignJournal>(
+        shard_.journal_path, CampaignJournal::campaign_signature(cells, options_));
+    for (const CampaignJournal::Record& record : journal->recovered()) {
+      recovered_map.emplace(std::make_pair(record.cell, record.replication), &record.summary);
+    }
+  }
+
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    bool alive = false;
+    bool busy = false;
+    std::size_t chunk = kNone;
+    bool spawned_once = false;  ///< Self-kill arms only the first incarnation.
+  };
+  std::vector<Worker> workers(procs);
+  std::size_t respawns = 0;
+  // Generous for flaky deaths, finite for a replication that crashes
+  // deterministically (every respawn re-crashes until this throws).
+  const std::size_t respawn_cap = procs * 8 + 8;
+
+  auto spawn = [&](std::size_t w) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      throw std::runtime_error("ShardedRunner: socketpair failed");
+    }
+    const std::size_t kill_after =
+        (!workers[w].spawned_once && w == shard_.self_kill_worker) ? shard_.self_kill_jobs : 0;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      throw std::runtime_error("ShardedRunner: fork failed");
+    }
+    if (pid == 0) {
+      // Child: drop every coordinator-side descriptor we inherited so
+      // sibling sockets don't stay half-open through us, then serve jobs.
+      ::close(sv[0]);
+      for (const Worker& other : workers) {
+        if (other.fd >= 0) ::close(other.fd);
+      }
+      worker_main(sv[1], options_, cells, shard_.pool_dir, kill_after);
+    }
+    ::close(sv[1]);
+    workers[w].pid = pid;
+    workers[w].fd = sv[0];
+    workers[w].alive = true;
+    workers[w].busy = false;
+    workers[w].chunk = kNone;
+    workers[w].spawned_once = true;
+  };
+
+  struct Job {
+    std::size_t cell = 0;
+    std::size_t replication = 0;
+  };
+
+  std::vector<std::size_t> reps_launched(cells.size(), 0);
+  std::vector<Job> round_jobs;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t r = 0; r < options_.min_replications; ++r) {
+      round_jobs.push_back(Job{c, reps_launched[c]++});
+    }
+  }
+
+  while (!round_jobs.empty()) {
+    std::vector<ReplicationSummary> summaries(round_jobs.size());
+    std::vector<char> done(round_jobs.size(), 0);
+
+    // Hand-out order and chunk boundaries: the same construction as the
+    // threaded runner (multi-cell replay groups by replication = world key,
+    // classic mode by descending expected cost; chunks never split a
+    // replication group), with the process count in the batch default where
+    // the thread count was. The fold below runs in build order either way,
+    // so none of this shapes the results.
+    std::vector<std::size_t> order(round_jobs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (options_.multi_cell_replay) {
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return round_jobs[a].replication < round_jobs[b].replication;
+      });
+    } else {
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return expected_cost(results[round_jobs[a].cell].config) >
+               expected_cost(results[round_jobs[b].cell].config);
+      });
+    }
+
+    const std::size_t batch = options_.batch_size > 0
+                                  ? options_.batch_size
+                                  : std::max<std::size_t>(1, order.size() / (procs * 4));
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    if (options_.multi_cell_replay) {
+      std::size_t begin = 0;
+      for (std::size_t i = 1; i <= order.size(); ++i) {
+        const bool group_boundary =
+            i == order.size() ||
+            round_jobs[order[i]].replication != round_jobs[order[i - 1]].replication;
+        if (group_boundary && i - begin >= batch) {
+          ranges.emplace_back(begin, i);
+          begin = i;
+        }
+      }
+      if (begin < order.size()) ranges.emplace_back(begin, order.size());
+    } else {
+      for (std::size_t begin = 0; begin < order.size(); begin += batch) {
+        ranges.emplace_back(begin, std::min(begin + batch, order.size()));
+      }
+    }
+
+    // Journal pre-fill: jobs already completed by a killed run fold from the
+    // recovered records; only the remainder is dispatched.
+    for (std::size_t i = 0; i < round_jobs.size(); ++i) {
+      const auto it = recovered_map.find(std::make_pair(
+          static_cast<std::uint32_t>(round_jobs[i].cell),
+          static_cast<std::uint32_t>(round_jobs[i].replication)));
+      if (it != recovered_map.end()) {
+        summaries[i] = *it->second;
+        done[i] = 1;
+        ++recovered_;
+      }
+    }
+
+    // Chunks = job lists still to run; a fully recovered range disappears.
+    std::vector<std::vector<std::size_t>> chunks;
+    for (const auto& [range_begin, range_end] : ranges) {
+      std::vector<std::size_t> chunk;
+      for (std::size_t i = range_begin; i < range_end; ++i) {
+        if (!done[order[i]]) chunk.push_back(order[i]);
+      }
+      if (!chunk.empty()) chunks.push_back(std::move(chunk));
+    }
+
+    std::deque<std::size_t> pending(chunks.size());
+    std::iota(pending.begin(), pending.end(), std::size_t{0});
+    std::size_t completed = 0;
+
+    auto handle_death = [&](std::size_t w) {
+      Worker& worker = workers[w];
+      if (worker.pid > 0) {
+        int status = 0;
+        (void)::waitpid(worker.pid, &status, 0);
+      }
+      if (worker.fd >= 0) ::close(worker.fd);
+      worker.fd = -1;
+      worker.pid = -1;
+      worker.alive = false;
+      if (worker.busy && worker.chunk != kNone) pending.push_back(worker.chunk);
+      worker.busy = false;
+      worker.chunk = kNone;
+      if (++respawns > respawn_cap) {
+        throw std::runtime_error(
+            "ShardedRunner: worker respawn limit exceeded (a replication keeps crashing its "
+            "worker; see stderr for the worker's error)");
+      }
+    };
+
+    std::vector<std::uint8_t> wire;
+    std::vector<std::uint8_t> payload;
+    while (completed < chunks.size()) {
+      // Assign pending chunks to idle workers, spawning/respawning as
+      // needed. Workers persist across rounds; only death forces a respawn.
+      for (std::size_t w = 0; w < procs && !pending.empty(); ++w) {
+        if (workers[w].busy) continue;
+        if (!workers[w].alive) spawn(w);
+        const std::size_t chunk_id = pending.front();
+        pending.pop_front();
+        wire.clear();
+        util::put_pod(wire, static_cast<std::uint64_t>(chunk_id));
+        util::put_pod(wire, static_cast<std::uint32_t>(chunks[chunk_id].size()));
+        for (std::size_t index : chunks[chunk_id]) {
+          util::put_pod(wire, static_cast<std::uint32_t>(round_jobs[index].cell));
+          util::put_pod(wire, static_cast<std::uint32_t>(round_jobs[index].replication));
+        }
+        workers[w].busy = true;
+        workers[w].chunk = chunk_id;
+        if (!send_msg(workers[w].fd, kAssign, wire.data(), wire.size())) handle_death(w);
+      }
+
+      std::vector<::pollfd> fds;
+      std::vector<std::size_t> fd_workers;
+      for (std::size_t w = 0; w < procs; ++w) {
+        if (workers[w].alive && workers[w].busy) {
+          fds.push_back(::pollfd{workers[w].fd, POLLIN, 0});
+          fd_workers.push_back(w);
+        }
+      }
+      if (fds.empty()) continue;  // every busy worker died; loop respawns
+      if (::poll(fds.data(), fds.size(), -1) < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error("ShardedRunner: poll failed");
+      }
+
+      for (std::size_t f = 0; f < fds.size(); ++f) {
+        if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        const std::size_t w = fd_workers[f];
+        MsgHeader header;
+        if (!read_msg(workers[w].fd, header, payload) || header.type != kChunkDone) {
+          handle_death(w);
+          continue;
+        }
+        util::ByteReader reader(payload.data(), payload.size());
+        const auto chunk_id = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+        const auto count = reader.pod<std::uint32_t>();
+        if (chunk_id != workers[w].chunk || count != chunks[chunk_id].size()) {
+          throw std::runtime_error("ShardedRunner: protocol mismatch in chunk reply");
+        }
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const auto cell = reader.pod<std::uint32_t>();
+          const auto replication = reader.pod<std::uint32_t>();
+          const auto size = reader.pod<std::uint32_t>();
+          util::ByteReader summary_reader(reader.skip(size), size);
+          const std::size_t index = chunks[chunk_id][i];
+          if (cell != round_jobs[index].cell || replication != round_jobs[index].replication) {
+            throw std::runtime_error("ShardedRunner: job mismatch in chunk reply");
+          }
+          summaries[index] = ReplicationSummary::deserialize(summary_reader);
+          done[index] = 1;
+          if (journal) {
+            journal->append(cell, replication, summaries[index]);
+            // Failure-injection hook: simulate a coordinator kill at an
+            // exact journal record boundary (fsync first so the boundary is
+            // durable and the test deterministic).
+            if (shard_.abort_after_appends > 0 &&
+                journal->appended() >= shard_.abort_after_appends) {
+              journal->sync();
+              std::_Exit(3);
+            }
+          }
+        }
+        if (journal && shard_.fsync_journal) journal->sync();
+        workers[w].busy = false;
+        workers[w].chunk = kNone;
+        ++completed;
+      }
+    }
+
+    // Fold in build order (cell-major, ascending replication): bit-identical
+    // accumulator sequences to the threaded and sequential runners,
+    // independent of which process computed — or which journal record
+    // supplied — each summary.
+    for (std::size_t i = 0; i < round_jobs.size(); ++i) {
+      fold(results[round_jobs[i].cell], summaries[i]);
+    }
+
+    round_jobs.clear();
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      CellResult& cell = results[c];
+      if (cell.saturated()) continue;
+      if (cell.turnaround.precise_enough()) continue;
+      if (reps_launched[c] >= options_.max_replications) continue;
+      round_jobs.push_back(Job{c, reps_launched[c]++});
+    }
+  }
+
+  // Shutdown: collect every worker's cache stats (the cross-process
+  // pool_hit_rate), then reap.
+  std::vector<std::uint8_t> payload;
+  for (std::size_t w = 0; w < procs; ++w) {
+    Worker& worker = workers[w];
+    if (!worker.alive) continue;
+    MsgHeader header;
+    if (send_msg(worker.fd, kShutdown, nullptr, 0) && read_msg(worker.fd, header, payload) &&
+        header.type == kStats && payload.size() == 8 * sizeof(std::uint64_t)) {
+      util::ByteReader reader(payload.data(), payload.size());
+      grid::WorldCacheStats stats;
+      stats.hits = reader.pod<std::uint64_t>();
+      stats.misses = reader.pod<std::uint64_t>();
+      stats.extensions = reader.pod<std::uint64_t>();
+      stats.pool_hits = reader.pod<std::uint64_t>();
+      stats.evictions = reader.pod<std::uint64_t>();
+      stats.entries = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+      stats.bytes = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+      stats.peak_bytes = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+      worker_stats_.merge(stats);
+    }
+    ::close(worker.fd);
+    worker.fd = -1;
+    int status = 0;
+    (void)::waitpid(worker.pid, &status, 0);
+    worker.alive = false;
+  }
+
+  for (const CellResult& cell : results) {
+    util::log_info("cell '", cell.label, "': mean turnaround ", cell.turnaround.stats().mean(),
+                   " (", cell.replications, " reps",
+                   cell.saturated() ? ", SATURATED" : "", ")");
+  }
+  return results;
+}
+
+}  // namespace dg::exp

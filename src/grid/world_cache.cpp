@@ -4,6 +4,7 @@
 #include <bit>
 #include <type_traits>
 
+#include "grid/world_pool.hpp"
 #include "rng/splitmix64.hpp"
 #include "rng/random_stream.hpp"
 
@@ -97,6 +98,7 @@ std::shared_ptr<const WorldRealization> WorldCache::acquire(
   // Per-entry build lock: concurrent workers wanting the same world
   // synthesize it once; workers wanting different worlds don't serialize.
   std::lock_guard build_lock(slot->build);
+  bool was_resident = false;
   {
     std::lock_guard lock(mutex_);
     if (slot->world != nullptr && slot->world->covers(horizon) &&
@@ -104,21 +106,37 @@ std::shared_ptr<const WorldRealization> WorldCache::acquire(
       ++stats_.hits;
       return slot->world;
     }
-    if (slot->world != nullptr) {
-      ++stats_.extensions;
-    } else {
-      ++stats_.misses;
-    }
+    was_resident = slot->world != nullptr;
   }
 
   // One scratch per worker thread: synthesis runs outside the cache mutex
   // (possibly concurrently for different keys), and a warmed scratch lets
   // repeat synthesis draw without allocations.
   static thread_local SynthesisScratch scratch;
-  auto world = std::make_shared<const WorldRealization>(WorldRealization::synthesize(
-      availability, server_faults, outages, num_machines, horizon * kHorizonMargin, seed, scratch));
+  std::shared_ptr<const WorldRealization> world;
+  bool from_pool = false;
+  if (pool_ != nullptr) {
+    // The pool loads a sibling's published world when one covers, else
+    // synthesizes with the same margin this cache would and publishes it.
+    WorldPool::Acquired acquired =
+        pool_->acquire(availability, server_faults, outages, num_machines, horizon,
+                       horizon * kHorizonMargin, seed, key.second, scratch);
+    world = std::move(acquired.world);
+    from_pool = acquired.from_pool;
+  } else {
+    world = std::make_shared<const WorldRealization>(
+        WorldRealization::synthesize(availability, server_faults, outages, num_machines,
+                                     horizon * kHorizonMargin, seed, scratch));
+  }
 
   std::lock_guard lock(mutex_);
+  if (from_pool) {
+    ++stats_.pool_hits;
+  } else if (was_resident) {
+    ++stats_.extensions;
+  } else {
+    ++stats_.misses;
+  }
   auto it = slots_.find(key);
   if (it != slots_.end() && it->second == slot) {
     // Replacing an undersized realization hands back its old bytes first.

@@ -15,6 +15,14 @@
 // a sweep advances. Entries are handed out as shared_ptr, so an evicted
 // realization stays valid for runs still replaying it.
 //
+// With an mmap world pool attached (attach_pool, grid/world_pool.hpp), a
+// memory miss consults the pool's published files before synthesizing and
+// publishes what it builds — the cross-process analogue of this cache, used
+// by the sharded campaign runner so sibling worker processes pay one
+// synthesis per world between them. Pool-served requests are counted as
+// `pool_hits`, a class of their own: they are neither in-memory hits nor
+// syntheses.
+//
 // Thread-safety: acquire() is safe from concurrent runner workers. Lookup,
 // accounting, and eviction are guarded by one mutex; synthesis itself runs
 // outside it (serialized per entry), so workers needing *different* worlds
@@ -31,18 +39,46 @@
 
 namespace dg::grid {
 
+class WorldPool;
+
 struct WorldCacheStats {
   std::uint64_t hits = 0;        ///< Served from a resident realization.
-  std::uint64_t misses = 0;      ///< Synthesized fresh.
+  std::uint64_t misses = 0;      ///< Synthesized fresh (absent in memory and pool).
   std::uint64_t extensions = 0;  ///< Resident but too short; re-synthesized longer.
+  std::uint64_t pool_hits = 0;   ///< Loaded from the mmap pool (a sibling synthesized it).
   std::uint64_t evictions = 0;   ///< Entries dropped to stay within budget.
   std::size_t entries = 0;       ///< Resident entries at sampling time.
   std::size_t bytes = 0;         ///< Resident bytes at sampling time.
   std::size_t peak_bytes = 0;    ///< High-water resident bytes.
 
+  /// Total acquire() calls, however they were served. Pool-served requests
+  /// are their own class — counting them as misses would claim a synthesis
+  /// that never ran; not counting them would make the rates sum past 1.
+  [[nodiscard]] std::uint64_t lookups() const noexcept {
+    return hits + misses + extensions + pool_hits;
+  }
   [[nodiscard]] double hit_rate() const noexcept {
-    const std::uint64_t lookups = hits + misses + extensions;
-    return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups) : 0.0;
+    const std::uint64_t n = lookups();
+    return n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+  /// Fraction of lookups served by another process's published world.
+  [[nodiscard]] double pool_hit_rate() const noexcept {
+    const std::uint64_t n = lookups();
+    return n > 0 ? static_cast<double>(pool_hits) / static_cast<double>(n) : 0.0;
+  }
+
+  /// Aggregates another snapshot (e.g. a worker process's cache) into this
+  /// one. Byte gauges take the max — they describe concurrent residency, not
+  /// a sum over time.
+  void merge(const WorldCacheStats& other) noexcept {
+    hits += other.hits;
+    misses += other.misses;
+    extensions += other.extensions;
+    pool_hits += other.pool_hits;
+    evictions += other.evictions;
+    entries = entries > other.entries ? entries : other.entries;
+    bytes = bytes > other.bytes ? bytes : other.bytes;
+    peak_bytes = peak_bytes > other.peak_bytes ? peak_bytes : other.peak_bytes;
   }
 };
 
@@ -70,8 +106,22 @@ class WorldCache {
       const AvailabilityModel& availability, const CheckpointServerFaultModel& server_faults,
       const OutageModel& outages, std::size_t num_machines, double horizon, std::uint64_t seed);
 
+  /// Installs an mmap-shared world pool (grid/world_pool.hpp) behind the
+  /// in-memory cache: a memory miss consults the pool before synthesizing,
+  /// and a synthesized world is published for sibling processes. Call before
+  /// the cache is shared between threads (the pointer itself is unguarded).
+  void attach_pool(std::shared_ptr<WorldPool> pool) noexcept { pool_ = std::move(pool); }
+  [[nodiscard]] const std::shared_ptr<WorldPool>& pool() const noexcept { return pool_; }
+
   [[nodiscard]] WorldCacheStats stats() const;
   [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_bytes_; }
+
+  /// Model/machine-count signature — the stable hash that keys cache slots
+  /// and pool file names. Exposed for the pool and its tests.
+  [[nodiscard]] static std::uint64_t signature(const AvailabilityModel& availability,
+                                               const CheckpointServerFaultModel& server_faults,
+                                               const OutageModel& outages,
+                                               std::size_t num_machines) noexcept;
 
  private:
   /// (replication seed, model/machine-count signature).
@@ -84,10 +134,6 @@ class WorldCache {
     std::mutex build;  ///< Serializes synthesis for this key only.
   };
 
-  [[nodiscard]] static std::uint64_t signature(const AvailabilityModel& availability,
-                                               const CheckpointServerFaultModel& server_faults,
-                                               const OutageModel& outages,
-                                               std::size_t num_machines) noexcept;
   [[nodiscard]] static bool matches(const WorldRealization& world,
                                     const AvailabilityModel& availability,
                                     const CheckpointServerFaultModel& server_faults,
@@ -97,6 +143,7 @@ class WorldCache {
   void evict_locked(const Key& keep);
 
   mutable std::mutex mutex_;
+  std::shared_ptr<WorldPool> pool_;
   std::size_t budget_bytes_;
   std::map<Key, std::shared_ptr<Slot>> slots_;
   std::uint64_t tick_ = 0;

@@ -1,0 +1,369 @@
+#include "grid/world_pool.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "util/binary_io.hpp"
+
+namespace dg::grid {
+
+namespace {
+
+struct PoolFileHeader {
+  char magic[8];
+  std::uint32_t version = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t signature = 0;
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;  ///< fnv1a64_bytes over the payload.
+};
+static_assert(std::is_trivially_copyable_v<PoolFileHeader>);
+
+constexpr char kMagic[8] = {'D', 'G', 'W', 'P', 'O', 'O', 'L', '\0'};
+
+void put_distribution(std::vector<std::uint8_t>& out, const rng::Distribution& dist) {
+  util::put_pod(out, static_cast<std::uint32_t>(dist.type_index()));
+  dist.visit([&out](const auto& d) {
+    using D = std::decay_t<decltype(d)>;
+    if constexpr (std::is_same_v<D, rng::UniformDist>) {
+      util::put_pod(out, d.lo);
+      util::put_pod(out, d.hi);
+    } else if constexpr (std::is_same_v<D, rng::ExponentialDist>) {
+      util::put_pod(out, d.mean_value);
+    } else if constexpr (std::is_same_v<D, rng::TruncatedNormalDist>) {
+      util::put_pod(out, d.mu);
+      util::put_pod(out, d.sigma);
+      util::put_pod(out, d.lo);
+      util::put_pod(out, d.hi);
+    } else if constexpr (std::is_same_v<D, rng::WeibullDist>) {
+      util::put_pod(out, d.shape);
+      util::put_pod(out, d.scale);
+    } else {
+      static_assert(std::is_same_v<D, rng::ConstantDist>);
+      util::put_pod(out, d.value);
+    }
+  });
+}
+
+[[nodiscard]] rng::Distribution read_distribution(util::ByteReader& reader) {
+  switch (reader.pod<std::uint32_t>()) {
+    case 0: {
+      rng::UniformDist d;
+      d.lo = reader.pod<double>();
+      d.hi = reader.pod<double>();
+      return d;
+    }
+    case 1: {
+      rng::ExponentialDist d;
+      d.mean_value = reader.pod<double>();
+      return d;
+    }
+    case 2: {
+      rng::TruncatedNormalDist d;
+      d.mu = reader.pod<double>();
+      d.sigma = reader.pod<double>();
+      d.lo = reader.pod<double>();
+      d.hi = reader.pod<double>();
+      return d;
+    }
+    case 3: {
+      rng::WeibullDist d;
+      d.shape = reader.pod<double>();
+      d.scale = reader.pod<double>();
+      return d;
+    }
+    case 4: {
+      rng::ConstantDist d;
+      d.value = reader.pod<double>();
+      return d;
+    }
+    default:
+      throw std::runtime_error("WorldPool: unknown distribution tag");
+  }
+}
+
+template <typename T>
+void put_sized_array(std::vector<std::uint8_t>& out, const std::vector<T>& values) {
+  util::put_pod(out, static_cast<std::uint64_t>(values.size()));
+  util::put_array(out, values.data(), values.size());
+}
+
+template <typename T>
+void read_sized_array(util::ByteReader& reader, std::vector<T>& out) {
+  const auto count = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  // Guard the resize against a corrupt count before the checksum-validated
+  // bytes are trusted for their length.
+  if (reader.remaining() < count * sizeof(T)) {
+    throw std::runtime_error("WorldPool: truncated array");
+  }
+  out.resize(count);
+  reader.array(out.data(), count);
+}
+
+[[nodiscard]] std::vector<std::uint8_t> serialize_payload(const WorldRealization& world) {
+  std::vector<std::uint8_t> out;
+  out.reserve(256 + world.byte_size());
+  util::put_pod(out, world.seed);
+  util::put_pod(out, world.horizon);
+  util::put_pod(out, static_cast<std::uint64_t>(world.num_machines));
+  util::put_pod(out, world.machines_per_outage);
+
+  util::put_pod(out, world.availability.time_to_failure.shape);
+  util::put_pod(out, world.availability.time_to_failure.scale);
+  util::put_pod(out, world.availability.time_to_repair.mu);
+  util::put_pod(out, world.availability.time_to_repair.sigma);
+  util::put_pod(out, world.availability.time_to_repair.lo);
+  util::put_pod(out, world.availability.time_to_repair.hi);
+  util::put_pod(out, static_cast<std::uint8_t>(world.availability.failures_enabled));
+
+  util::put_pod(out, static_cast<std::uint8_t>(world.server_faults.enabled));
+  util::put_pod(out, world.server_faults.mtbf);
+  util::put_pod(out, world.server_faults.mttr);
+  util::put_pod(out, static_cast<std::uint8_t>(world.server_faults.abort_transfers));
+  util::put_pod(out, static_cast<std::uint8_t>(world.server_faults.lose_data));
+
+  util::put_pod(out, static_cast<std::uint8_t>(world.outages.enabled));
+  util::put_pod(out, world.outages.mean_interarrival);
+  util::put_pod(out, world.outages.fraction);
+  put_distribution(out, world.outages.duration);
+
+  put_sized_array(out, world.machine_transitions);
+  put_sized_array(out, world.machine_offsets);
+  put_sized_array(out, world.server_transitions);
+  put_sized_array(out, world.outage_times);
+  put_sized_array(out, world.outage_durations);
+  put_sized_array(out, world.outage_machines);
+  return out;
+}
+
+[[nodiscard]] WorldRealization deserialize_payload(util::ByteReader& reader) {
+  WorldRealization world;
+  world.seed = reader.pod<std::uint64_t>();
+  world.horizon = reader.pod<double>();
+  world.num_machines = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  world.machines_per_outage = reader.pod<std::uint32_t>();
+
+  world.availability.time_to_failure.shape = reader.pod<double>();
+  world.availability.time_to_failure.scale = reader.pod<double>();
+  world.availability.time_to_repair.mu = reader.pod<double>();
+  world.availability.time_to_repair.sigma = reader.pod<double>();
+  world.availability.time_to_repair.lo = reader.pod<double>();
+  world.availability.time_to_repair.hi = reader.pod<double>();
+  world.availability.failures_enabled = reader.pod<std::uint8_t>() != 0;
+
+  world.server_faults.enabled = reader.pod<std::uint8_t>() != 0;
+  world.server_faults.mtbf = reader.pod<double>();
+  world.server_faults.mttr = reader.pod<double>();
+  world.server_faults.abort_transfers = reader.pod<std::uint8_t>() != 0;
+  world.server_faults.lose_data = reader.pod<std::uint8_t>() != 0;
+
+  world.outages.enabled = reader.pod<std::uint8_t>() != 0;
+  world.outages.mean_interarrival = reader.pod<double>();
+  world.outages.fraction = reader.pod<double>();
+  world.outages.duration = read_distribution(reader);
+
+  read_sized_array(reader, world.machine_transitions);
+  read_sized_array(reader, world.machine_offsets);
+  read_sized_array(reader, world.server_transitions);
+  read_sized_array(reader, world.outage_times);
+  read_sized_array(reader, world.outage_durations);
+  read_sized_array(reader, world.outage_machines);
+  if (!reader.exhausted()) throw std::runtime_error("WorldPool: trailing bytes");
+  return world;
+}
+
+/// The timeline-relevant model fields — the same set WorldCache::matches()
+/// compares, so pool and in-process cache agree on what "the same world" is.
+[[nodiscard]] bool models_match(const WorldRealization& world,
+                                const AvailabilityModel& availability,
+                                const CheckpointServerFaultModel& server_faults,
+                                const OutageModel& outages, std::size_t num_machines) noexcept {
+  return world.num_machines == num_machines &&
+         world.availability.failures_enabled == availability.failures_enabled &&
+         world.availability.time_to_failure == availability.time_to_failure &&
+         world.availability.time_to_repair == availability.time_to_repair &&
+         world.server_faults.enabled == server_faults.enabled &&
+         world.server_faults.mtbf == server_faults.mtbf &&
+         world.server_faults.mttr == server_faults.mttr &&
+         world.outages.enabled == outages.enabled &&
+         world.outages.mean_interarrival == outages.mean_interarrival &&
+         world.outages.fraction == outages.fraction &&
+         world.outages.duration == outages.duration;
+}
+
+/// RAII mmap of a whole file. `data` is null when the file is missing or
+/// empty.
+struct MappedFile {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+
+  explicit MappedFile(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return;
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* mapped = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ, MAP_PRIVATE,
+                            fd, 0);
+      if (mapped != MAP_FAILED) {
+        data = static_cast<const std::uint8_t*>(mapped);
+        size = static_cast<std::size_t>(st.st_size);
+      }
+    }
+    ::close(fd);  // the mapping outlives the descriptor
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() {
+    if (data != nullptr) ::munmap(const_cast<std::uint8_t*>(data), size);
+  }
+};
+
+/// RAII flock on `path` (created if missing). A crashed holder releases the
+/// lock with its process; the lock file itself is tiny and left in place.
+struct FileLock {
+  int fd = -1;
+
+  explicit FileLock(const std::string& path) {
+    fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) throw std::runtime_error("WorldPool: cannot open lock file " + path);
+    while (::flock(fd, LOCK_EX) != 0) {
+      if (errno != EINTR) {
+        ::close(fd);
+        throw std::runtime_error("WorldPool: flock failed on " + path);
+      }
+    }
+  }
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+  ~FileLock() {
+    if (fd >= 0) {
+      ::flock(fd, LOCK_UN);
+      ::close(fd);
+    }
+  }
+};
+
+void write_all(int fd, const void* data, std::size_t size, const std::string& path) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ::ssize_t n = ::write(fd, bytes + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("WorldPool: write failed on " + path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+WorldPool::WorldPool(std::string directory) : directory_(std::move(directory)) {
+  if (::mkdir(directory_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("WorldPool: cannot create directory " + directory_);
+  }
+}
+
+std::string WorldPool::world_path(std::uint64_t signature, std::uint64_t seed) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "/w%016llx_%016llx.world",
+                static_cast<unsigned long long>(signature), static_cast<unsigned long long>(seed));
+  return directory_ + name;
+}
+
+std::shared_ptr<const WorldRealization> WorldPool::try_load(
+    const AvailabilityModel& availability, const CheckpointServerFaultModel& server_faults,
+    const OutageModel& outages, std::size_t num_machines, double horizon, std::uint64_t seed,
+    std::uint64_t signature) const {
+  const MappedFile file(world_path(signature, seed));
+  if (file.data == nullptr || file.size < sizeof(PoolFileHeader)) return nullptr;
+
+  PoolFileHeader header;
+  std::memcpy(&header, file.data, sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0 ||
+      header.version != kFormatVersion || header.signature != signature ||
+      header.payload_size != file.size - sizeof(PoolFileHeader)) {
+    return nullptr;
+  }
+  const std::uint8_t* payload = file.data + sizeof(PoolFileHeader);
+  if (util::fnv1a64_bytes(payload, header.payload_size) != header.checksum) return nullptr;
+
+  try {
+    util::ByteReader reader(payload, header.payload_size);
+    WorldRealization world = deserialize_payload(reader);
+    if (world.seed != seed || !world.covers(horizon) ||
+        !models_match(world, availability, server_faults, outages, num_machines)) {
+      return nullptr;
+    }
+    return std::make_shared<const WorldRealization>(std::move(world));
+  } catch (const std::runtime_error&) {
+    return nullptr;  // corrupt payload behind a stale checksum: treat as absent
+  }
+}
+
+void WorldPool::publish(const WorldRealization& world, std::uint64_t signature) const {
+  const std::vector<std::uint8_t> payload = serialize_payload(world);
+  PoolFileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.signature = signature;
+  header.payload_size = payload.size();
+  header.checksum = util::fnv1a64_bytes(payload.data(), payload.size());
+
+  const std::string final_path = world_path(signature, world.seed);
+  const std::string temp_path = final_path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw std::runtime_error("WorldPool: cannot create " + temp_path);
+  try {
+    write_all(fd, &header, sizeof(header), temp_path);
+    write_all(fd, payload.data(), payload.size(), temp_path);
+    if (::fsync(fd) != 0) throw std::runtime_error("WorldPool: fsync failed on " + temp_path);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(temp_path.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(temp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(temp_path.c_str());
+    throw std::runtime_error("WorldPool: rename failed for " + final_path);
+  }
+}
+
+WorldPool::Acquired WorldPool::acquire(const AvailabilityModel& availability,
+                                       const CheckpointServerFaultModel& server_faults,
+                                       const OutageModel& outages, std::size_t num_machines,
+                                       double horizon, double synth_horizon, std::uint64_t seed,
+                                       std::uint64_t signature, SynthesisScratch& scratch) {
+  // Fast path: a covering file is already published — no lock taken.
+  if (auto world =
+          try_load(availability, server_faults, outages, num_machines, horizon, seed, signature)) {
+    return Acquired{std::move(world), true};
+  }
+
+  // Build path: serialize builders per world across processes, and re-check
+  // under the lock — a sibling may have published while we waited.
+  const FileLock lock(world_path(signature, seed) + ".lock");
+  if (auto world =
+          try_load(availability, server_faults, outages, num_machines, horizon, seed, signature)) {
+    return Acquired{std::move(world), true};
+  }
+  auto world = std::make_shared<const WorldRealization>(WorldRealization::synthesize(
+      availability, server_faults, outages, num_machines, synth_horizon, seed, scratch));
+  publish(*world, signature);
+  return Acquired{std::move(world), false};
+}
+
+}  // namespace dg::grid

@@ -1,0 +1,106 @@
+// mmap-shared world-realization pool: WorldCache's cross-process sibling.
+//
+// The sharded campaign runner (exp/shard.hpp) forks N worker processes that
+// all replay the same replications' worlds — without coordination each
+// process would re-synthesize every WorldRealization, paying N synthesis
+// costs per world where the threaded runner pays one. The pool makes the
+// synthesized realization a file: the first process to need a world builds
+// it under an exclusive file lock and publishes it atomically (write temp,
+// fsync, rename), and every sibling then loads the published bytes instead
+// of running the RNG chains again.
+//
+// File per world, keyed like WorldCache: `w<signature>_<seed>.world` inside
+// the pool directory, where `signature` is WorldCache::signature() over the
+// models and machine count. Each file is a versioned header (magic, format
+// version, signature, payload size, FNV-1a checksum) followed by a payload
+// of the serialized models and the flat SoA timeline arrays. Doubles are
+// stored bitwise, so a loaded realization is bit-identical to the one the
+// builder synthesized — the determinism contract of the sharded runner
+// reduces to this property plus the fold order.
+//
+// Load is validate-then-copy: the file is mmap'd read-only, the header and
+// checksum are verified against the mapped bytes, and the arrays are
+// bulk-assigned (exact-sized, one memcpy each) into a fresh
+// WorldRealization. The copy is deliberate — WorldRealization owns plain
+// std::vectors, and keeping it that way means every existing consumer
+// (replay drivers, byte_size accounting, to_trace) works unchanged; the
+// expensive part being shared is synthesis (RNG-bound), not the copy
+// (memory-bound, a small fraction of one replication's cost).
+//
+// Horizon extension mirrors WorldCache: a published file whose horizon is
+// too short is treated as absent, and the builder republishes a longer
+// realization over it (atomic rename). Synthesis on the same streams with a
+// longer horizon produces a bitwise-identical prefix, so readers that
+// loaded the shorter file remain consistent.
+//
+// Concurrency: `acquire()` takes `flock(LOCK_EX)` on a per-world `.lock`
+// file only on the build path (fast path is a lock-free mmap read), re-runs
+// try_load under the lock (a sibling may have published while we waited),
+// and only then synthesizes. Crashed builders are harmless: flock dies with
+// the process, and a half-written temp file is never visible under the
+// final name.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "grid/realization.hpp"
+
+namespace dg::grid {
+
+class WorldPool {
+ public:
+  /// Bump when the file layout changes; mismatched files are ignored (and
+  /// rebuilt over) rather than misparsed.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Opens (creating if needed) the pool directory. Throws std::runtime_error
+  /// when the directory cannot be created.
+  explicit WorldPool(std::string directory);
+
+  WorldPool(const WorldPool&) = delete;
+  WorldPool& operator=(const WorldPool&) = delete;
+
+  struct Acquired {
+    std::shared_ptr<const WorldRealization> world;
+    /// True when a sibling's published file served the request; false when
+    /// this process synthesized (and published) the world.
+    bool from_pool = false;
+  };
+
+  /// A realization of (models, machine count, seed) covering at least
+  /// [0, horizon]: loaded from a published file when one covers, else
+  /// synthesized to `synth_horizon` (the caller applies its margin policy),
+  /// published, and returned. `signature` must be
+  /// WorldCache::signature(models..., num_machines) — it keys the file name
+  /// and is embedded in the header. `scratch` is the caller's per-thread
+  /// synthesis scratch.
+  [[nodiscard]] Acquired acquire(const AvailabilityModel& availability,
+                                 const CheckpointServerFaultModel& server_faults,
+                                 const OutageModel& outages, std::size_t num_machines,
+                                 double horizon, double synth_horizon, std::uint64_t seed,
+                                 std::uint64_t signature, SynthesisScratch& scratch);
+
+  /// Loads the published realization for (signature, seed) if one exists,
+  /// parses, passes validation, matches the models, and covers `horizon`.
+  /// Returns nullptr otherwise (corrupt or stale files are treated as
+  /// absent, never an error).
+  [[nodiscard]] std::shared_ptr<const WorldRealization> try_load(
+      const AvailabilityModel& availability, const CheckpointServerFaultModel& server_faults,
+      const OutageModel& outages, std::size_t num_machines, double horizon, std::uint64_t seed,
+      std::uint64_t signature) const;
+
+  /// Serializes `world` and publishes it atomically under (signature, seed),
+  /// replacing any existing file. Throws std::runtime_error on I/O failure.
+  void publish(const WorldRealization& world, std::uint64_t signature) const;
+
+  [[nodiscard]] const std::string& directory() const noexcept { return directory_; }
+
+ private:
+  [[nodiscard]] std::string world_path(std::uint64_t signature, std::uint64_t seed) const;
+
+  std::string directory_;
+};
+
+}  // namespace dg::grid

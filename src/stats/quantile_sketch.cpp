@@ -75,6 +75,46 @@ void QuantileSketch::merge(const QuantileSketch& other) {
   sum_ += other.sum_;
 }
 
+void QuantileSketch::serialize(std::vector<std::uint8_t>& out) const {
+  util::put_pod(out, geometry_.min_value);
+  util::put_pod(out, geometry_.max_value);
+  util::put_pod(out, static_cast<std::uint64_t>(geometry_.buckets_per_decade));
+  util::put_pod(out, static_cast<std::uint64_t>(counts_.size()));
+  util::put_array(out, counts_.data(), counts_.size());
+  util::put_pod(out, count_);
+  util::put_pod(out, underflow_);
+  util::put_pod(out, overflow_);
+  util::put_pod(out, sum_);
+  util::put_pod(out, min_);
+  util::put_pod(out, max_);
+}
+
+QuantileSketch QuantileSketch::deserialize(util::ByteReader& reader) {
+  Geometry geometry;
+  geometry.min_value = reader.pod<double>();
+  geometry.max_value = reader.pod<double>();
+  geometry.buckets_per_decade = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  QuantileSketch sketch = [&geometry] {
+    try {
+      return QuantileSketch(geometry);
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(e.what());  // corrupt input, not caller error
+    }
+  }();
+  const auto num_buckets = static_cast<std::size_t>(reader.pod<std::uint64_t>());
+  if (num_buckets != sketch.counts_.size()) {
+    throw std::runtime_error("QuantileSketch: stored bucket count disagrees with geometry");
+  }
+  reader.array(sketch.counts_.data(), num_buckets);
+  sketch.count_ = reader.pod<std::uint64_t>();
+  sketch.underflow_ = reader.pod<std::uint64_t>();
+  sketch.overflow_ = reader.pod<std::uint64_t>();
+  sketch.sum_ = reader.pod<double>();
+  sketch.min_ = reader.pod<double>();
+  sketch.max_ = reader.pod<double>();
+  return sketch;
+}
+
 void QuantileSketch::reset() noexcept {
   std::fill(counts_.begin(), counts_.end(), std::uint64_t{0});
   count_ = 0;

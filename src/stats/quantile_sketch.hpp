@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/binary_io.hpp"
+
 namespace dg::stats {
 
 /// The three headline tail quantiles of a distribution (docs/METRICS.md).
@@ -100,6 +102,17 @@ class QuantileSketch {
   [[nodiscard]] double sum() const noexcept { return sum_; }
   /// Exact mean of all observations; 0 when empty.
   [[nodiscard]] double mean() const noexcept;
+
+  /// Appends the sketch's full state (geometry, bucket counts, exact
+  /// trackers) to `out`. Counts are integers and the double trackers are
+  /// stored bitwise, so deserialize() reconstructs a sketch whose every
+  /// subsequent merge/quantile is bit-identical to the original's — the
+  /// property the multi-process runner's cross-process fold relies on
+  /// (src/exp/shard.hpp).
+  void serialize(std::vector<std::uint8_t>& out) const;
+  /// Reconstructs a sketch serialized by serialize(). Throws
+  /// std::runtime_error on truncated input or a degenerate stored geometry.
+  [[nodiscard]] static QuantileSketch deserialize(util::ByteReader& reader);
 
   /// The sketch's bucket layout.
   [[nodiscard]] const Geometry& geometry() const noexcept { return geometry_; }

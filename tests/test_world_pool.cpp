@@ -1,0 +1,343 @@
+// mmap-shared world pool (grid/world_pool.hpp): publish/load round trips
+// must be bitwise, corrupt or stale files must read as absent (never an
+// error), horizon extension must republish, and a WorldCache with a pool
+// attached must classify pool-served requests as pool_hits — a class of
+// their own, neither in-memory hits nor syntheses (satellite 1).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "grid/desktop_grid.hpp"
+#include "grid/realization.hpp"
+#include "grid/world_cache.hpp"
+#include "grid/world_pool.hpp"
+
+namespace dg::grid {
+namespace {
+
+/// Fresh pool directory per test, removed on destruction.
+struct PoolDir {
+  explicit PoolDir(const std::string& name)
+      : path((std::filesystem::temp_directory_path() /
+              ("dgsched_pool_test_" + name + "_" + std::to_string(::getpid())))
+                 .string()) {
+    std::filesystem::remove_all(path);
+  }
+  ~PoolDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+GridConfig test_grid(AvailabilityLevel level = AvailabilityLevel::kLow) {
+  GridConfig config = GridConfig::preset(Heterogeneity::kHom, level);
+  config.total_power = 200.0;  // 20 machines at hom_power 10
+  return config;
+}
+
+OutageModel test_outages() {
+  OutageModel outages;
+  outages.enabled = true;
+  outages.mean_interarrival = 30000.0;
+  outages.fraction = 0.3;
+  outages.duration = rng::UniformDist{2000.0, 8000.0};
+  return outages;
+}
+
+void expect_world_bitwise(const WorldRealization& a, const WorldRealization& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.horizon, b.horizon);  // bitwise double
+  EXPECT_EQ(a.num_machines, b.num_machines);
+  EXPECT_EQ(a.machine_transitions, b.machine_transitions);
+  EXPECT_EQ(a.machine_offsets, b.machine_offsets);
+  EXPECT_EQ(a.server_transitions, b.server_transitions);
+  EXPECT_EQ(a.outage_times, b.outage_times);
+  EXPECT_EQ(a.outage_durations, b.outage_durations);
+  EXPECT_EQ(a.outage_machines, b.outage_machines);
+  EXPECT_EQ(a.machines_per_outage, b.machines_per_outage);
+}
+
+/// The single .world file a one-world pool directory holds.
+std::string only_world_file(const std::string& dir) {
+  std::string found;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".world") {
+      EXPECT_TRUE(found.empty()) << "more than one .world file";
+      found = entry.path().string();
+    }
+  }
+  EXPECT_FALSE(found.empty()) << "no .world file in " << dir;
+  return found;
+}
+
+TEST(WorldPool, PublishThenLoadIsBitwise) {
+  PoolDir dir("roundtrip");
+  const GridConfig config = test_grid();
+  CheckpointServerFaultModel faults;
+  faults.enabled = true;
+  faults.mtbf = 8000.0;
+  faults.mttr = 4000.0;
+  const OutageModel outages = test_outages();
+  constexpr double kHorizon = 100000.0;
+  constexpr std::uint64_t kSeed = 4711;
+
+  const WorldRealization world = WorldRealization::synthesize(
+      config.availability, faults, outages, 20, kHorizon, kSeed);
+  const std::uint64_t signature =
+      WorldCache::signature(config.availability, faults, outages, 20);
+
+  WorldPool pool(dir.path);
+  pool.publish(world, signature);
+  const auto loaded =
+      pool.try_load(config.availability, faults, outages, 20, kHorizon, kSeed, signature);
+  ASSERT_NE(loaded, nullptr);
+  expect_world_bitwise(*loaded, world);
+
+  // A horizon past the published coverage reads as absent, not an error.
+  EXPECT_EQ(pool.try_load(config.availability, faults, outages, 20, kHorizon * 2, kSeed,
+                          signature),
+            nullptr);
+  // So does a seed no one published.
+  EXPECT_EQ(pool.try_load(config.availability, faults, outages, 20, kHorizon, kSeed + 1,
+                          signature),
+            nullptr);
+}
+
+TEST(WorldPool, AcquireSynthesizesOnceThenServesSiblings) {
+  PoolDir dir("siblings");
+  const GridConfig config = test_grid();
+  const std::uint64_t signature = WorldCache::signature(
+      config.availability, config.checkpoint_server_faults, config.outages, 20);
+  SynthesisScratch scratch;
+
+  WorldPool first(dir.path);
+  const WorldPool::Acquired built =
+      first.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20,
+                    50000.0, 50000.0 * 1.25, 9, signature, scratch);
+  ASSERT_NE(built.world, nullptr);
+  EXPECT_FALSE(built.from_pool);  // this process synthesized (and published)
+
+  // A sibling process is modeled by a fresh WorldPool over the same
+  // directory: it must load the published bytes instead of synthesizing.
+  WorldPool sibling(dir.path);
+  const WorldPool::Acquired loaded =
+      sibling.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20,
+                      50000.0, 50000.0 * 1.25, 9, signature, scratch);
+  ASSERT_NE(loaded.world, nullptr);
+  EXPECT_TRUE(loaded.from_pool);
+  expect_world_bitwise(*loaded.world, *built.world);
+}
+
+TEST(WorldPool, CorruptFileReadsAsAbsentAndIsRebuilt) {
+  PoolDir dir("corrupt");
+  const GridConfig config = test_grid();
+  const std::uint64_t signature = WorldCache::signature(
+      config.availability, config.checkpoint_server_faults, config.outages, 20);
+  const WorldRealization world = WorldRealization::synthesize(
+      config.availability, config.checkpoint_server_faults, config.outages, 20, 40000.0, 2);
+
+  WorldPool pool(dir.path);
+  pool.publish(world, signature);
+  const std::string file = only_world_file(dir.path);
+
+  // Flip one payload byte: checksum validation must reject the file.
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(std::filesystem::file_size(file)) - 9);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.write(&byte, 1);
+  }
+  EXPECT_EQ(pool.try_load(config.availability, config.checkpoint_server_faults, config.outages,
+                          20, 40000.0, 2, signature),
+            nullptr);
+
+  // acquire() treats the corrupt file as a build request and republishes.
+  SynthesisScratch scratch;
+  const WorldPool::Acquired rebuilt =
+      pool.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20,
+                   40000.0, 40000.0, 2, signature, scratch);
+  ASSERT_NE(rebuilt.world, nullptr);
+  EXPECT_FALSE(rebuilt.from_pool);
+  expect_world_bitwise(*rebuilt.world, world);
+  const auto reloaded = pool.try_load(config.availability, config.checkpoint_server_faults,
+                                      config.outages, 20, 40000.0, 2, signature);
+  ASSERT_NE(reloaded, nullptr);
+  expect_world_bitwise(*reloaded, world);
+
+  // A truncated file (torn write never published under the final name, but
+  // simulate disk damage anyway) also reads as absent.
+  std::filesystem::resize_file(file, std::filesystem::file_size(file) / 2);
+  EXPECT_EQ(pool.try_load(config.availability, config.checkpoint_server_faults, config.outages,
+                          20, 40000.0, 2, signature),
+            nullptr);
+  // As does an empty one.
+  std::filesystem::resize_file(file, 0);
+  EXPECT_EQ(pool.try_load(config.availability, config.checkpoint_server_faults, config.outages,
+                          20, 40000.0, 2, signature),
+            nullptr);
+}
+
+TEST(WorldPool, ModelMismatchReadsAsAbsent) {
+  // Defense in depth: even when a file exists under (signature, seed), its
+  // embedded models must match the request — a stale file from a hash
+  // collision or a format drift is skipped, never replayed.
+  PoolDir dir("mismatch");
+  const GridConfig low = test_grid(AvailabilityLevel::kLow);
+  const GridConfig med = test_grid(AvailabilityLevel::kMed);
+  const std::uint64_t low_signature = WorldCache::signature(
+      low.availability, low.checkpoint_server_faults, low.outages, 20);
+
+  WorldPool pool(dir.path);
+  pool.publish(WorldRealization::synthesize(low.availability, low.checkpoint_server_faults,
+                                            low.outages, 20, 30000.0, 3),
+               low_signature);
+  // Deliberately look the file up under low's signature with med's models.
+  EXPECT_EQ(pool.try_load(med.availability, med.checkpoint_server_faults, med.outages, 20,
+                          30000.0, 3, low_signature),
+            nullptr);
+  // And under the right models it still loads.
+  EXPECT_NE(pool.try_load(low.availability, low.checkpoint_server_faults, low.outages, 20,
+                          30000.0, 3, low_signature),
+            nullptr);
+}
+
+TEST(WorldPool, ShortPublishedHorizonIsRepublishedLonger) {
+  PoolDir dir("extend");
+  const GridConfig config = test_grid();
+  const std::uint64_t signature = WorldCache::signature(
+      config.availability, config.checkpoint_server_faults, config.outages, 20);
+  SynthesisScratch scratch;
+
+  WorldPool pool(dir.path);
+  const WorldPool::Acquired shorter =
+      pool.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20,
+                   10000.0, 10000.0, 5, signature, scratch);
+  EXPECT_FALSE(shorter.from_pool);
+
+  // A longer request finds the published file too short: resynthesize and
+  // republish over it.
+  const WorldPool::Acquired longer =
+      pool.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20,
+                   100000.0, 100000.0, 5, signature, scratch);
+  EXPECT_FALSE(longer.from_pool);
+  EXPECT_TRUE(longer.world->covers(100000.0));
+
+  // Same streams, longer horizon: the shorter world's timeline is a bitwise
+  // prefix (per machine, all but the final dangling transition).
+  for (std::size_t m = 0; m < 20; ++m) {
+    SCOPED_TRACE(m);
+    const std::uint32_t s_begin = shorter.world->machine_offsets[m];
+    const std::uint32_t s_len = shorter.world->machine_offsets[m + 1] - s_begin;
+    const std::uint32_t l_begin = longer.world->machine_offsets[m];
+    ASSERT_GE(longer.world->machine_offsets[m + 1] - l_begin, s_len);
+    for (std::uint32_t i = 0; i + 1 < s_len; ++i) {
+      EXPECT_EQ(longer.world->machine_transitions[l_begin + i],
+                shorter.world->machine_transitions[s_begin + i]);
+    }
+  }
+
+  // The republished file now serves the longer horizon from the pool.
+  WorldPool sibling(dir.path);
+  const WorldPool::Acquired served =
+      sibling.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20,
+                      100000.0, 100000.0, 5, signature, scratch);
+  EXPECT_TRUE(served.from_pool);
+  expect_world_bitwise(*served.world, *longer.world);
+}
+
+TEST(WorldPool, BadDirectoryThrows) {
+  EXPECT_THROW(WorldPool("/proc/definitely_not_writable/pool"), std::runtime_error);
+}
+
+// --- WorldCache integration: pool_hits accounting (satellite 1) ---
+
+TEST(WorldCachePool, PoolServedRequestsCountAsPoolHitsNotMisses) {
+  PoolDir dir("cache_stats");
+  const GridConfig config = test_grid();
+
+  // First cache (process A): synthesizes, publishes, then hits in memory.
+  WorldCache builder;
+  builder.attach_pool(std::make_shared<WorldPool>(dir.path));
+  const auto built = builder.acquire(config.availability, config.checkpoint_server_faults,
+                                     config.outages, 20, 20000.0, 11);
+  const auto resident = builder.acquire(config.availability, config.checkpoint_server_faults,
+                                        config.outages, 20, 20000.0, 11);
+  EXPECT_EQ(resident.get(), built.get());
+  {
+    const WorldCacheStats stats = builder.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.pool_hits, 0u);
+    EXPECT_EQ(stats.lookups(), 2u);
+  }
+
+  // Second cache (process B): the memory miss is served by A's published
+  // file — a pool hit, not a miss (no synthesis ran) and not a memory hit.
+  WorldCache sibling;
+  sibling.attach_pool(std::make_shared<WorldPool>(dir.path));
+  const auto loaded = sibling.acquire(config.availability, config.checkpoint_server_faults,
+                                      config.outages, 20, 20000.0, 11);
+  ASSERT_NE(loaded, nullptr);
+  expect_world_bitwise(*loaded, *built);
+  {
+    const WorldCacheStats stats = sibling.stats();
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.pool_hits, 1u);
+    EXPECT_EQ(stats.lookups(), 1u);
+    EXPECT_DOUBLE_EQ(stats.pool_hit_rate(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.0);
+  }
+  // Once loaded it is resident: the next acquire is a plain memory hit.
+  const auto warm = sibling.acquire(config.availability, config.checkpoint_server_faults,
+                                    config.outages, 20, 20000.0, 11);
+  EXPECT_EQ(warm.get(), loaded.get());
+  EXPECT_EQ(sibling.stats().hits, 1u);
+  EXPECT_EQ(sibling.stats().pool_hits, 1u);
+
+  // merge() aggregates the classes separately (the coordinator's view).
+  WorldCacheStats merged = builder.stats();
+  merged.merge(sibling.stats());
+  EXPECT_EQ(merged.misses, 1u);
+  EXPECT_EQ(merged.hits, 2u);
+  EXPECT_EQ(merged.pool_hits, 1u);
+  EXPECT_EQ(merged.lookups(), 4u);
+  EXPECT_DOUBLE_EQ(merged.pool_hit_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(merged.hit_rate(), 0.5);
+}
+
+TEST(WorldCachePool, RatesNeverSumPastOne) {
+  PoolDir dir("rates");
+  const GridConfig config = test_grid();
+  WorldCache a;
+  a.attach_pool(std::make_shared<WorldPool>(dir.path));
+  // Mix of misses, hits, a pool hit (via a sibling), and an extension.
+  (void)a.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20,
+                  10000.0, 1);
+  (void)a.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20,
+                  10000.0, 1);
+  (void)a.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20,
+                  90000.0, 1);  // past the margin: extension
+  WorldCache b;
+  b.attach_pool(std::make_shared<WorldPool>(dir.path));
+  (void)b.acquire(config.availability, config.checkpoint_server_faults, config.outages, 20,
+                  10000.0, 1);  // pool hit on a's republished world
+
+  WorldCacheStats merged = a.stats();
+  merged.merge(b.stats());
+  EXPECT_EQ(merged.lookups(), 4u);
+  EXPECT_EQ(merged.hits + merged.misses + merged.extensions + merged.pool_hits,
+            merged.lookups());
+  EXPECT_LE(merged.hit_rate() + merged.pool_hit_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace dg::grid
