@@ -32,13 +32,16 @@ inline int run_figure_main(exp::FigureSpec spec, const std::string& csv_name) {
             << options.max_replications << ", CI target: "
             << options.target_relative_error * 100.0 << "%\n"
             << "  runner: queue=" << des::to_string(backend)
+            << ", pipeline=" << (options.pipeline ? "on" : "off")
+            << ", speculate=" << options.speculate
             << ", multi_cell_replay=" << (options.multi_cell_replay ? "on" : "off")
             << ", workspaces=" << (options.reuse_workspaces ? "on" : "off")
             << ", batch=" << options.batch_size << " (0=auto)"
             << ", world_cache=" << (options.world_cache_bytes >> 20) << " MiB\n"
             << "  (env: DGSCHED_BOTS, DGSCHED_MIN_REPS, DGSCHED_MAX_REPS, DGSCHED_TRE,"
             << " DGSCHED_THREADS, DGSCHED_SEED, DGSCHED_WORKSPACES, DGSCHED_BATCH,"
-            << " DGSCHED_WORLD_CACHE, DGSCHED_MULTI_CELL, DGSCHED_QUEUE;"
+            << " DGSCHED_WORLD_CACHE, DGSCHED_MULTI_CELL, DGSCHED_QUEUE,"
+            << " DGSCHED_PIPELINE, DGSCHED_SPECULATE;"
             << " paper fidelity: DGSCHED_TRE=0.025)\n\n";
 
   exp::ExperimentRunner runner(options);

@@ -22,8 +22,9 @@ namespace dg::bench {
 /// {benchmark, events_per_sec, wall_s, peak_rss_kb, config, seed,
 ///  machines_per_dispatch, transfer_retries, replicas_degraded,
 ///  replications_per_sec, threads, allocs_per_replication, procs,
-///  cache_hit_rate, pool_hit_rate, tails: {turnaround_p50, turnaround_p95,
-///  turnaround_p99, slowdown_p95, slowdown_p99}}.
+///  cache_hit_rate, pool_hit_rate, worker_busy_s, worker_stall_s,
+///  spec_launched, spec_committed, spec_discarded, tails: {turnaround_p50,
+///  turnaround_p95, turnaround_p99, slowdown_p95, slowdown_p99}}.
 /// `benchmark`, `wall_s`, and `config` are always emitted; every other field
 /// is omitted when it holds its zero default, so records stay readable and
 /// suite-specific fields don't show up as meaningless zeros elsewhere. The
@@ -64,6 +65,19 @@ struct PerfRecord {
   /// sibling process (grid::WorldCacheStats::pool_hit_rate(), aggregated
   /// across workers).
   double pool_hit_rate = 0;
+  /// Execution-shape accounting (exp::ExecutionStats) for the runner suites;
+  /// zero elsewhere. Summed across lanes (pool workers / worker processes):
+  /// busy is time executing replications, stall is time waiting for
+  /// launchable work — the straggler/barrier penalty the pipelined hand-out
+  /// removes. Wall-clock derived, so not deterministic.
+  double worker_busy_s = 0;
+  double worker_stall_s = 0;
+  /// Speculation economics of the pipelined scheduler (deterministic for a
+  /// given config): replications launched beyond commits, summaries folded,
+  /// and speculative summaries discarded at a precision stop.
+  std::uint64_t spec_launched = 0;
+  std::uint64_t spec_committed = 0;
+  std::uint64_t spec_discarded = 0;
   /// Tail quantiles of the simulated metrics (docs/METRICS.md), pooled over
   /// the benchmark's replications via the merged exp::CellResult sketches.
   /// Deterministic for a given config+seed, unlike the wall-clock fields;
@@ -145,6 +159,11 @@ inline void write_perf_json(std::ostream& os, const std::vector<PerfRecord>& rec
     field("procs", r.procs);
     field("cache_hit_rate", r.cache_hit_rate);
     field("pool_hit_rate", r.pool_hit_rate);
+    field("worker_busy_s", r.worker_busy_s);
+    field("worker_stall_s", r.worker_stall_s);
+    field("spec_launched", r.spec_launched);
+    field("spec_committed", r.spec_committed);
+    field("spec_discarded", r.spec_discarded);
     if (r.turnaround_p50 != 0 || r.turnaround_p95 != 0 || r.turnaround_p99 != 0 ||
         r.slowdown_p95 != 0 || r.slowdown_p99 != 0) {
       os << ",\n    \"tails\": {";

@@ -57,6 +57,14 @@ std::vector<dg::exp::NamedConfig> bench_cells() {
   return dg::exp::figure_cells(spec);
 }
 
+void fill_exec_stats(PerfRecord& record, const dg::exp::ExecutionStats& stats) {
+  record.worker_busy_s = stats.busy_s();
+  record.worker_stall_s = stats.stall_s();
+  record.spec_launched = stats.launched;
+  record.spec_committed = stats.committed;
+  record.spec_discarded = stats.discarded;
+}
+
 /// One timed runner sweep: fixed replication count per cell (no CI loop, so
 /// every path does identical work), returns (replications/s, allocs/rep).
 /// `name` distinguishes the hand-out shape in the record:
@@ -76,7 +84,8 @@ PerfRecord timed_sweep(const std::vector<dg::exp::NamedConfig>& cells, std::size
 
   const std::uint64_t allocs_before = allocs_now();
   Stopwatch timer;
-  const auto results = dg::exp::ExperimentRunner(options).run(cells);
+  dg::exp::ExperimentRunner runner(options);
+  const auto results = runner.run(cells);
   const double wall = timer.seconds();
   const std::uint64_t allocs = allocs_now() - allocs_before;
 
@@ -100,9 +109,75 @@ PerfRecord timed_sweep(const std::vector<dg::exp::NamedConfig>& cells, std::size
   record.allocs_per_replication =
       replications > 0 ? static_cast<double>(allocs) / static_cast<double>(replications) : 0.0;
   record.peak_rss_kb = dg::bench::peak_rss_kb();
+  fill_exec_stats(record, runner.exec_stats());
   std::printf("  %-34s %2zu thr  %8.1f reps/s  %10.1f allocs/rep  (%.2f s)\n",
               record.benchmark.c_str(), threads, record.replications_per_sec,
               record.allocs_per_replication, wall);
+  return record;
+}
+
+/// The multi-round precision loop (min 2, max 4, unreachable CI target, so
+/// every cell runs to the cap and the barrier scheduler takes three rounds):
+/// the shape where barrier-synchronized hand-out pays its straggler tax and
+/// the pipelined scheduler doesn't. Threaded when `procs` == 0, sharded
+/// (each worker single-threaded) otherwise; results are bit-identical across
+/// all four combinations — only the wall clock moves.
+PerfRecord timed_rounds(const std::vector<dg::exp::NamedConfig>& cells, std::size_t threads,
+                        std::size_t procs, bool pipeline, const std::string& out_dir) {
+  dg::exp::RunOptions options;
+  options.min_replications = 2;
+  options.max_replications = 4;
+  options.target_relative_error = 1e-9;  // unreachable: identical work per shape
+  options.threads = procs == 0 ? threads : 1;
+  options.pipeline = pipeline;
+
+  std::size_t replications = 0;
+  std::uint64_t events = 0;
+  PerfRecord record;
+  Stopwatch timer;
+  if (procs == 0) {
+    dg::exp::ExperimentRunner runner(options);
+    const auto results = runner.run(cells);
+    record.wall_s = timer.seconds();
+    for (const dg::exp::CellResult& cell : results) {
+      replications += cell.replications;
+      events += cell.events_executed;
+    }
+    fill_exec_stats(record, runner.exec_stats());
+    record.benchmark = std::string("replication/rounds/") + (pipeline ? "pipelined" : "barrier");
+    record.threads = threads;
+  } else {
+    dg::exp::ShardOptions shard;
+    shard.procs = procs;
+    shard.pool_dir = out_dir + "/replication_throughput.worldpool";
+    std::filesystem::remove_all(shard.pool_dir);
+    dg::exp::ShardedRunner runner(options, shard);
+    const auto results = runner.run(cells);
+    record.wall_s = timer.seconds();
+    std::filesystem::remove_all(shard.pool_dir);
+    for (const dg::exp::CellResult& cell : results) {
+      replications += cell.replications;
+      events += cell.events_executed;
+    }
+    fill_exec_stats(record, runner.exec_stats());
+    record.benchmark =
+        std::string("replication/campaign/") + (pipeline ? "pipelined" : "barrier");
+    record.threads = 1;
+    record.procs = procs;
+    record.pool_hit_rate = runner.worker_cache_stats().pool_hit_rate();
+  }
+  record.config = "fig1 cells x" + std::to_string(cells.size()) + ", bots=" +
+                  std::to_string(cells.front().config.workload.num_bots) +
+                  ", reps=2..4 (uncapped tre)";
+  record.replications_per_sec =
+      record.wall_s > 0.0 ? static_cast<double>(replications) / record.wall_s : 0.0;
+  record.events_per_sec =
+      record.wall_s > 0.0 ? static_cast<double>(events) / record.wall_s : 0.0;
+  record.peak_rss_kb = dg::bench::peak_rss_kb();
+  std::printf("  %-34s %2zu %s  %8.1f reps/s  busy %5.1fs stall %5.1fs  (%.2f s)\n",
+              record.benchmark.c_str(), procs == 0 ? threads : procs,
+              procs == 0 ? "thr" : "prc", record.replications_per_sec, record.worker_busy_s,
+              record.worker_stall_s, record.wall_s);
   return record;
 }
 
@@ -156,6 +231,7 @@ PerfRecord timed_sharded_sweep(const std::vector<dg::exp::NamedConfig>& cells, s
   record.cache_hit_rate = stats.hit_rate();
   record.pool_hit_rate = stats.pool_hit_rate();
   record.peak_rss_kb = dg::bench::peak_rss_kb();
+  fill_exec_stats(record, runner.exec_stats());
   std::printf("  %-34s %2zu prc  %8.1f reps/s  pool hits %5.1f%%  (%.2f s)\n",
               record.benchmark.c_str(), procs, record.replications_per_sec,
               100.0 * record.pool_hit_rate, wall);
@@ -257,6 +333,18 @@ int main(int argc, char** argv) {
   std::cout << "sharded (multi-process) throughput: procs 1.." << top_procs << "\n";
   for (const std::size_t procs : proc_counts) {
     records.push_back(timed_sharded_sweep(cells, procs, reps, out_dir));
+  }
+
+  // Pipelined-vs-barrier axis (PR 10): the multi-round precision loop where
+  // the barrier scheduler drains at every round boundary. Threaded at the
+  // top thread count, sharded across the process ladder; CI asserts the
+  // pipelined 4-process campaign is at least as fast as the barrier one.
+  std::cout << "pipelined vs barrier (multi-round precision loop):\n";
+  records.push_back(timed_rounds(cells, top, 0, /*pipeline=*/false, out_dir));
+  records.push_back(timed_rounds(cells, top, 0, /*pipeline=*/true, out_dir));
+  for (const std::size_t procs : proc_counts) {
+    records.push_back(timed_rounds(cells, 1, procs, /*pipeline=*/false, out_dir));
+    records.push_back(timed_rounds(cells, 1, procs, /*pipeline=*/true, out_dir));
   }
 
   for (PerfRecord& record : steady_state_allocs()) records.push_back(record);

@@ -183,9 +183,11 @@ int main(int argc, char** argv) {
     named.push_back(exp::NamedConfig{cell.label, cell.config});
   }
   std::vector<exp::CellResult> results;
+  exp::ExecutionStats exec;
   if (sharded) {
     exp::ShardedRunner runner(options, shard);
     results = runner.run(named);
+    exec = runner.exec_stats();
     const grid::WorldCacheStats stats = runner.worker_cache_stats();
     std::cout << "sharded: " << runner.recovered_replications()
               << " replications resumed from journal, pool hit rate "
@@ -193,7 +195,21 @@ int main(int argc, char** argv) {
   } else {
     exp::ExperimentRunner runner(options);
     results = runner.run(named);
+    exec = runner.exec_stats();
   }
+  // Execution-shape banner (stdout is not part of the byte-diffed artifacts;
+  // wall-clock numbers legitimately differ between bit-identical runs).
+  std::printf(
+      "execution: %zu lanes, wall %.1fs, busy %.1fs, stall %.1fs (%.0f%% utilized)\n"
+      "speculation: %llu launched, %llu committed, %llu discarded, %llu recovered\n",
+      exec.lanes.size(), exec.wall_s, exec.busy_s(), exec.stall_s(),
+      exec.wall_s > 0.0 && !exec.lanes.empty()
+          ? 100.0 * exec.busy_s() / (exec.wall_s * static_cast<double>(exec.lanes.size()))
+          : 0.0,
+      static_cast<unsigned long long>(exec.launched),
+      static_cast<unsigned long long>(exec.committed),
+      static_cast<unsigned long long>(exec.discarded),
+      static_cast<unsigned long long>(exec.recovered));
   const std::vector<exp::RiskCliffRow> rows = exp::risk_cliff_rows(cells, results);
 
   util::Table table({"cell", "mean [s]", "p95 [s]", "p99 [s]", "wasted", "degradation"});

@@ -13,8 +13,13 @@ A fresh record regresses when its calibrated rate drops more than --tolerance
 below baseline, or its allocs/replication rises more than the tolerance band
 (plus a small absolute slack for allocator noise) above baseline.
 
-Unmatched records on either side are reported but never fail the gate, so
-benchmarks can be added or retired without touching this script.
+Unmatched records never fail the gate, so benchmarks can be added or retired
+without touching this script — but they are reported explicitly: a fresh
+record with no baseline counterpart prints as "NEW ... no baseline" (a newly
+added benchmark whose first accepted run becomes its baseline), and a
+baseline record with no fresh counterpart prints as "GONE ... retired" (a
+benchmark the suite no longer emits — usually a cue to regenerate the
+baseline file). Both statuses land in the --report JSON.
 
 Exit status: 0 = no regressions, 1 = at least one regression, 2 = bad input.
 
@@ -90,11 +95,17 @@ def main():
         name, threads, procs = key
         label = (f"{name}" + (f" @{threads}t" if threads else "")
                  + (f" @{procs}p" if procs else ""))
-        if key not in fresh or key not in baseline:
-            side = "baseline" if key not in fresh else "fresh"
+        if key not in baseline:
             rows.append({"benchmark": name, "threads": threads, "procs": procs,
-                         "status": f"unmatched ({side} only)"})
-            print(f"  SKIP  {label}: only in {side}")
+                         "status": "new (no baseline)"})
+            print(f"  NEW   {label}: no baseline (newly added benchmark; "
+                  "not gated until a baseline is committed)")
+            continue
+        if key not in fresh:
+            rows.append({"benchmark": name, "threads": threads, "procs": procs,
+                         "status": "retired (baseline only)"})
+            print(f"  GONE  {label}: baseline record has no fresh counterpart "
+                  "(retired benchmark? consider regenerating the baseline)")
             continue
 
         base, new = baseline[key], fresh[key]

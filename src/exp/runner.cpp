@@ -1,15 +1,18 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <future>
 #include <memory>
-#include <numeric>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "exp/pipeline.hpp"
 #include "exp/replication_summary.hpp"
 #include "rng/splitmix64.hpp"
 #include "sim/workspace.hpp"
@@ -70,6 +73,8 @@ RunOptions RunOptions::from_env(RunOptions defaults) {
   if (auto v = env_size("DGSCHED_BATCH")) defaults.batch_size = *v;
   if (auto v = env_size("DGSCHED_WORLD_CACHE")) defaults.world_cache_bytes = *v;
   if (auto v = env_size("DGSCHED_MULTI_CELL")) defaults.multi_cell_replay = *v != 0;
+  if (auto v = env_size("DGSCHED_PIPELINE")) defaults.pipeline = *v != 0;
+  if (auto v = env_size("DGSCHED_SPECULATE")) defaults.speculate = *v;
   if (auto text = env_string("DGSCHED_QUEUE")) {
     const auto backend = des::parse_queue_backend(*text);
     if (!backend.has_value()) bad_env("DGSCHED_QUEUE", *text, "\"heap4\" or \"calendar\"");
@@ -96,6 +101,9 @@ std::vector<CellResult> ExperimentRunner::run(const std::vector<NamedConfig>& ce
     results.push_back(std::move(result));
   }
 
+  exec_stats_ = ExecutionStats{};
+  if (cells.empty()) return results;
+
   // Workspaces before the pool: jobs reference them, and the pool's
   // destructor (which drains any still-queued jobs on an exceptional unwind)
   // must run first.
@@ -103,15 +111,10 @@ std::vector<CellResult> ExperimentRunner::run(const std::vector<NamedConfig>& ce
   util::ThreadPool pool(options_.threads);
   workspaces.resize(pool.size());
 
-  struct Job {
-    std::size_t cell = 0;
-    std::size_t replication = 0;
-  };
-
   // Runs one replication on the calling pool worker, through that worker's
   // lazily-created workspace (or fresh construction when reuse is off / the
   // caller is not a pool thread), and writes its summary into `slot`.
-  auto run_one = [&](const Job& job, ReplicationSummary& slot) {
+  auto run_one = [&](const PipelineJob& job, ReplicationSummary& slot) {
     sim::SimulationConfig config = results[job.cell].config;
     // Seeds depend only on (base_seed, replication): common random numbers
     // across cells that differ only in scheduling policy.
@@ -135,110 +138,89 @@ std::vector<CellResult> ExperimentRunner::run(const std::vector<NamedConfig>& ce
                                 : summarize(simulation.run());
   };
 
-  std::vector<std::size_t> reps_launched(cells.size(), 0);
+  // Barrier-free execution (exp/pipeline.hpp): PipelineState owns the ready
+  // queue, the per-cell reorder/commit buffers, the precision decisions, and
+  // the speculation window. pool.size() long-lived worker loops pull jobs
+  // and deliver summaries under one mutex; the fold itself happens inside
+  // deliver() in canonical per-cell order, so accumulator sequences are
+  // bitwise-equal to the historical round-barrier fold no matter which
+  // worker finishes when. With options_.pipeline off the state only grants
+  // new jobs once the queue drains and nothing is in flight — the historical
+  // round shape, kept for A/B comparison.
+  PipelineState state(options_, results, nullptr);
+  state.start();
 
-  // Round 0: the minimum replications for every cell. Later rounds: one more
-  // replication for each cell still imprecise, unsaturated, and under the
-  // cap. Jobs are built cell-major / ascending replication — the fold order.
-  std::vector<Job> round_jobs;
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    for (std::size_t r = 0; r < options_.min_replications; ++r) {
-      round_jobs.push_back(Job{c, reps_launched[c]++});
-    }
-  }
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  std::exception_ptr error;
+  std::vector<WorkerLaneStats> lanes(pool.size());
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto seconds_since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
 
-  while (!round_jobs.empty()) {
-    // Summary slots are preallocated so workers write without touching any
-    // shared container.
-    std::vector<ReplicationSummary> summaries(round_jobs.size());
-
-    // Hand-out order. Multi-cell replay groups the round's jobs by
-    // replication index — the world-cache key — so one worker walks a
-    // realized world across every cell that shares it while the realization
-    // (and the workspace it replays through) is cache-hot, instead of
-    // touching each world once per cell. The sort is stable, so cells keep
-    // build order within a group and groups ascend by replication. The
-    // classic mode orders by descending expected cost so the big cells start
-    // first and the small ones backfill; ties keep build order (stable).
-    // Either way the fold below runs in build order after the barrier, so
-    // results are bit-identical across hand-out modes and chunk shapes.
-    std::vector<std::size_t> order(round_jobs.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    if (options_.multi_cell_replay) {
-      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return round_jobs[a].replication < round_jobs[b].replication;
-      });
-    } else {
-      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return expected_cost(results[round_jobs[a].cell].config) >
-               expected_cost(results[round_jobs[b].cell].config);
-      });
-    }
-
-    const std::size_t batch =
-        options_.batch_size > 0
-            ? options_.batch_size
-            : std::max<std::size_t>(1, order.size() / (pool.size() * 4));
-    // Chunk boundaries: fixed-size slices of `order`, except that multi-cell
-    // replay never splits a replication group across workers — a group is one
-    // world walked in one pass.
-    std::vector<std::pair<std::size_t, std::size_t>> chunks;
-    if (options_.multi_cell_replay) {
-      std::size_t begin = 0;
-      for (std::size_t i = 1; i <= order.size(); ++i) {
-        const bool group_boundary =
-            i == order.size() ||
-            round_jobs[order[i]].replication != round_jobs[order[i - 1]].replication;
-        if (group_boundary && i - begin >= batch) {
-          chunks.emplace_back(begin, i);
-          begin = i;
+  auto worker_loop = [&] {
+    const std::size_t lane = util::ThreadPool::current_worker_index();
+    WorkerLaneStats local;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      while (!error && !state.finished() && !state.has_ready()) {
+        const auto wait_start = std::chrono::steady_clock::now();
+        ready_cv.wait(lock);
+        local.stall_s += seconds_since(wait_start);
+      }
+      if (error || state.finished()) break;
+      // Pipelined hand-out takes one scheduling unit at a time (a whole
+      // replication group under multi-cell replay) — workers return for more
+      // the moment they finish, so there is nothing to balance. The barrier
+      // shape keeps the historical round batching.
+      std::size_t target = 1;
+      if (options_.batch_size > 0) {
+        target = options_.batch_size;
+      } else if (!options_.pipeline) {
+        target = std::max<std::size_t>(1, state.round_size() / (pool.size() * 4));
+      }
+      std::vector<PipelineJob> chunk = state.pop_chunk(target, options_.multi_cell_replay);
+      if (chunk.empty()) continue;
+      lock.unlock();
+      std::exception_ptr failure;
+      for (const PipelineJob& job : chunk) {
+        ReplicationSummary summary;
+        try {
+          const auto job_start = std::chrono::steady_clock::now();
+          run_one(job, summary);
+          local.busy_s += seconds_since(job_start);
+          ++local.jobs;
+        } catch (...) {
+          failure = std::current_exception();
+          break;
         }
+        lock.lock();
+        state.deliver(job.cell, job.replication, std::move(summary));
+        if (state.has_ready() || state.finished()) ready_cv.notify_all();
+        lock.unlock();
       }
-      if (begin < order.size()) chunks.emplace_back(begin, order.size());
-    } else {
-      for (std::size_t begin = 0; begin < order.size(); begin += batch) {
-        chunks.emplace_back(begin, std::min(begin + batch, order.size()));
-      }
-    }
-
-    std::vector<std::future<void>> futures;
-    futures.reserve(chunks.size());
-    for (const auto& [chunk_begin, chunk_end] : chunks) {
-      std::vector<std::size_t> chunk(order.begin() + static_cast<std::ptrdiff_t>(chunk_begin),
-                                     order.begin() + static_cast<std::ptrdiff_t>(chunk_end));
-      futures.push_back(pool.submit([&, chunk = std::move(chunk)] {
-        for (std::size_t index : chunk) run_one(round_jobs[index], summaries[index]);
-      }));
-    }
-
-    // Round barrier. Drain every future even on failure — jobs reference
-    // this frame's summaries, so nothing may still be running when we leave.
-    std::exception_ptr error;
-    for (std::future<void>& future : futures) {
-      try {
-        future.get();
-      } catch (...) {
-        if (!error) error = std::current_exception();
+      lock.lock();
+      if (failure) {
+        if (!error) error = failure;
+        ready_cv.notify_all();
+        break;
       }
     }
-    if (error) std::rethrow_exception(error);
+    lanes[lane] = local;  // lock is held on every break path
+  };
 
-    // Fold in build order (cell-major, ascending replication): bit-identical
-    // accumulator sequences to the historical sequential fold.
-    for (std::size_t i = 0; i < round_jobs.size(); ++i) {
-      fold(results[round_jobs[i].cell], summaries[i]);
-    }
+  std::vector<std::future<void>> futures;
+  futures.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) futures.push_back(pool.submit(worker_loop));
+  for (std::future<void>& future : futures) future.get();
+  if (error) std::rethrow_exception(error);
 
-    round_jobs.clear();
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      CellResult& cell = results[c];
-      // Saturated cells never converge (censored means); stop at minimum.
-      if (cell.saturated()) continue;
-      if (cell.turnaround.precise_enough()) continue;
-      if (reps_launched[c] >= options_.max_replications) continue;
-      round_jobs.push_back(Job{c, reps_launched[c]++});
-    }
-  }
+  exec_stats_.lanes = std::move(lanes);
+  exec_stats_.wall_s = seconds_since(wall_start);
+  exec_stats_.launched = state.launched();
+  exec_stats_.committed = state.committed();
+  exec_stats_.discarded = state.discarded();
 
   for (const CellResult& cell : results) {
     util::log_info("cell '", cell.label, "': mean turnaround ", cell.turnaround.stats().mean(),

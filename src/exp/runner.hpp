@@ -3,8 +3,9 @@
 // Each cell (one simulation configuration) is replicated with independent
 // seeds until its 95% CI on mean turnaround reaches the target relative error
 // (the paper's 2.5%) or the replication cap. Replications of all cells run
-// concurrently on a thread pool; every simulation is fully independent, so
-// the only shared state is the result collection (guarded per future).
+// concurrently on a thread pool; every simulation is fully independent, and
+// summaries fold through the PipelineState ordered commit (pipeline.hpp), so
+// results are bit-identical for any thread count or completion order.
 #pragma once
 
 #include <cstdint>
@@ -56,10 +57,22 @@ struct RunOptions {
   /// own setting (usually the DGSCHED_QUEUE CMake/env default). Backends are
   /// bit-identical (see des/queue_policy.hpp).
   std::optional<des::QueueBackend> queue_backend;
+  /// Barrier-free execution (see exp/pipeline.hpp): jobs are handed out
+  /// continuously and each summary folds the moment its per-cell
+  /// predecessors have committed, so workers never drain-and-wait at a
+  /// round boundary. Off = the historical barrier-synchronized rounds.
+  /// Results, artifacts, and journal bytes are bit-identical either way.
+  bool pipeline = true;
+  /// Replications launched beyond each cell's justified precision frontier
+  /// (pipelined mode only; 0 disables). Common-random-numbers seeding makes
+  /// replication (cell, k) deterministic regardless of execution shape, so
+  /// summaries for cells that prove precise first are simply discarded —
+  /// speculation trades wasted work for never idling at a precision check.
+  std::size_t speculate = 1;
 
   /// Reads DGSCHED_{MIN_REPS,MAX_REPS,TRE,THREADS,SEED,WORKSPACES,BATCH,
-  /// WORLD_CACHE,MULTI_CELL,QUEUE} overrides. Malformed values raise
-  /// std::invalid_argument naming the offending variable.
+  /// WORLD_CACHE,MULTI_CELL,QUEUE,PIPELINE,SPECULATE} overrides. Malformed
+  /// values raise std::invalid_argument naming the offending variable.
   [[nodiscard]] static RunOptions from_env(RunOptions defaults);
   [[nodiscard]] static RunOptions from_env() { return from_env(RunOptions{}); }
 };
@@ -80,6 +93,42 @@ struct RunOptions {
 struct NamedConfig {
   std::string label;
   sim::SimulationConfig config;  // seed is overwritten per replication
+};
+
+/// Wall-clock accounting for one execution lane (a pool worker thread, or a
+/// sharded worker process). busy_s is time spent executing replications;
+/// stall_s is time spent waiting for launchable work (the straggler/barrier
+/// penalty the pipelined scheduler removes). For sharded workers busy_s is
+/// self-reported and stall_s is derived as wall - busy (it includes protocol
+/// overhead, not just idleness).
+struct WorkerLaneStats {
+  double busy_s = 0.0;
+  double stall_s = 0.0;
+  std::uint64_t jobs = 0;
+};
+
+/// Execution-shape observability for one run(): how the campaign actually
+/// executed (lane utilization, speculation economics), as opposed to what it
+/// computed. Filled by both runners; threaded into perf_json and the
+/// robustness-campaign banner.
+struct ExecutionStats {
+  std::vector<WorkerLaneStats> lanes;
+  double wall_s = 0.0;
+  std::uint64_t launched = 0;   ///< replications handed to the ready queue
+  std::uint64_t committed = 0;  ///< summaries folded into cell accumulators
+  std::uint64_t discarded = 0;  ///< speculative summaries dropped unfolded
+  std::uint64_t recovered = 0;  ///< replications replayed from the journal
+
+  [[nodiscard]] double busy_s() const noexcept {
+    double total = 0.0;
+    for (const WorkerLaneStats& lane : lanes) total += lane.busy_s;
+    return total;
+  }
+  [[nodiscard]] double stall_s() const noexcept {
+    double total = 0.0;
+    for (const WorkerLaneStats& lane : lanes) total += lane.stall_s;
+    return total;
+  }
 };
 
 struct CellResult {
@@ -120,14 +169,15 @@ struct CellResult {
 };
 
 /// Thread-safety: run() is internally parallel (replications fan out over a
-/// util::ThreadPool of options().threads workers, batched into jobs that
-/// each run several replications through their worker's private
-/// SimulationWorkspace) but the runner itself is not re-entrant — one run()
-/// at a time per instance. Workers share nothing: each writes its summaries
-/// into preallocated per-round slots, and the fold into the per-cell
-/// accumulators happens after the round barrier, in cell order / ascending
-/// replication order — the exact accumulator sequences of a sequential run,
-/// regardless of worker completion order, batch shape, or thread count.
+/// util::ThreadPool of options().threads workers, each running jobs through
+/// its private SimulationWorkspace) but the runner itself is not re-entrant
+/// — one run() at a time per instance. Scheduling is barrier-free (see
+/// exp/pipeline.hpp): workers pull jobs from a shared PipelineState and
+/// deliver summaries into its per-cell reorder buffers under one mutex; each
+/// summary folds the moment its per-cell predecessors have committed, in
+/// cell order / ascending replication order — the exact accumulator
+/// sequences of a sequential run, regardless of worker completion order,
+/// speculation window, batch shape, or thread count.
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(RunOptions options)
@@ -151,9 +201,13 @@ class ExperimentRunner {
     return world_cache_;
   }
 
+  /// Execution-shape accounting for the most recent run().
+  [[nodiscard]] const ExecutionStats& exec_stats() const noexcept { return exec_stats_; }
+
  private:
   RunOptions options_;
   std::shared_ptr<grid::WorldCache> world_cache_;
+  ExecutionStats exec_stats_;
 };
 
 }  // namespace dg::exp

@@ -8,11 +8,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <exception>
-#include <map>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
@@ -21,29 +21,37 @@
 #include <vector>
 
 #include "exp/journal.hpp"
+#include "exp/pipeline.hpp"
 #include "exp/replication_summary.hpp"
 #include "grid/world_pool.hpp"
 #include "rng/splitmix64.hpp"
 #include "sim/workspace.hpp"
 #include "util/binary_io.hpp"
 #include "util/logging.hpp"
+#include "util/shm_ring.hpp"
 
 namespace dg::exp {
 
 namespace {
 
-constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-
 // ---------------------------------------------------------------------------
-// Shard protocol: framed messages over a per-worker SOCK_STREAM socketpair.
-// Same-machine siblings of one build, so payloads are host-endian PODs
-// (util/binary_io.hpp); the frame carries type + payload size.
+// Shard protocol: framed control messages over a per-worker SOCK_STREAM
+// socketpair; bulk summary payloads through a per-worker shared-memory ring
+// (util/shm_ring.hpp) created before fork. Same-machine siblings of one
+// build, so payloads are host-endian PODs (util/binary_io.hpp); the frame
+// carries type + payload size.
 //
-//   kAssign     C->W  chunk_id u64 | count u32 | count x (cell u32, rep u32)
-//   kChunkDone  W->C  chunk_id u64 | count u32 |
-//                     count x (cell u32, rep u32, size u32, summary bytes)
+//   kAssign     C->W  chunk_id u64 | count u32
+//                     | count x (cell u32, rep u32, slot u32)
+//                     slot = ShmRing::kNoSlot means "reply inline".
+//   kChunkDone  W->C  chunk_id u64 | count u32
+//                     | count x (cell u32, rep u32, size u32 [, size bytes])
+//                     size == 0 means the summary is in the assigned ring
+//                     slot; size > 0 carries it inline (no slot was
+//                     assigned, or the summary outgrew the slot).
 //   kShutdown   C->W  (empty) — worker replies kStats and exits
-//   kStats      W->C  8 x u64 WorldCacheStats counters
+//   kStats      W->C  8 x u64 WorldCacheStats counters, busy_ns u64,
+//                     jobs u64
 // ---------------------------------------------------------------------------
 
 enum MsgType : std::uint32_t {
@@ -52,6 +60,11 @@ enum MsgType : std::uint32_t {
   kShutdown = 3,
   kStats = 4,
 };
+
+constexpr std::size_t kStatsWords = 10;
+/// Upper bound on adaptive chunk size (jobs per kAssign); the ring is sized
+/// so two chunks of this size plus a whole replication group always fit.
+constexpr std::size_t kChunkCap = 32;
 
 struct MsgHeader {
   std::uint32_t type = 0;
@@ -102,6 +115,17 @@ struct MsgHeader {
   return header.size == 0 || read_exact(fd, payload.data(), payload.size());
 }
 
+/// Ring-slot payload capacity: the wire size of a default summary (the
+/// sketch geometry is fixed, so real summaries serialize to the same size)
+/// plus slack. A summary that still outgrows the slot falls back to inline
+/// transport — correctness never depends on this bound.
+[[nodiscard]] std::size_t ring_payload_capacity() {
+  ReplicationSummary probe;
+  std::vector<std::uint8_t> bytes;
+  probe.serialize(bytes);
+  return bytes.size() + 1024;
+}
+
 // ---------------------------------------------------------------------------
 // Worker process body. Never returns; never runs the parent's exit handlers
 // (_exit), so the fork leaves the coordinator's stdio/file state untouched.
@@ -109,7 +133,7 @@ struct MsgHeader {
 
 [[noreturn]] void worker_main(int fd, const RunOptions& options,
                               const std::vector<NamedConfig>& cells, const std::string& pool_dir,
-                              std::size_t kill_after_jobs) {
+                              std::size_t kill_after_jobs, util::ShmRing* ring) {
   try {
     std::shared_ptr<grid::WorldCache> world_cache;
     if (options.world_cache_bytes > 0) {
@@ -120,10 +144,12 @@ struct MsgHeader {
     }
     std::unique_ptr<sim::SimulationWorkspace> workspace;
     std::size_t jobs_run = 0;
+    std::uint64_t busy_ns = 0;
 
     MsgHeader header;
     std::vector<std::uint8_t> payload;
     std::vector<std::uint8_t> reply;
+    std::vector<std::uint8_t> summary_bytes;
     for (;;) {
       if (!read_msg(fd, header, payload)) std::_Exit(0);  // coordinator gone
       if (header.type == kShutdown) {
@@ -138,6 +164,8 @@ struct MsgHeader {
         util::put_pod(wire, static_cast<std::uint64_t>(stats.entries));
         util::put_pod(wire, static_cast<std::uint64_t>(stats.bytes));
         util::put_pod(wire, static_cast<std::uint64_t>(stats.peak_bytes));
+        util::put_pod(wire, busy_ns);
+        util::put_pod(wire, static_cast<std::uint64_t>(jobs_run));
         (void)send_msg(fd, kStats, wire.data(), wire.size());
         std::_Exit(0);
       }
@@ -152,10 +180,10 @@ struct MsgHeader {
       reply.clear();
       util::put_pod(reply, chunk_id);
       util::put_pod(reply, count);
-      std::vector<std::uint8_t> summary_bytes;
       for (std::uint32_t i = 0; i < count; ++i) {
         const auto cell = reader.pod<std::uint32_t>();
         const auto replication = reader.pod<std::uint32_t>();
+        const auto slot = reader.pod<std::uint32_t>();
 
         sim::SimulationConfig config = cells[cell].config;
         // Seeds depend only on (base_seed, replication): common random
@@ -165,12 +193,16 @@ struct MsgHeader {
         if (options.queue_backend.has_value()) config.queue_backend = options.queue_backend;
         sim::Simulation simulation(std::move(config));
         ReplicationSummary summary;
+        const auto job_start = std::chrono::steady_clock::now();
         if (options.reuse_workspaces) {
           if (!workspace) workspace = std::make_unique<sim::SimulationWorkspace>();
           summary = summarize(simulation.run(*workspace));
         } else {
           summary = summarize(simulation.run());
         }
+        busy_ns += static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                                  std::chrono::steady_clock::now() - job_start)
+                                                  .count());
         ++jobs_run;
         // Failure-injection hook: die mid-chunk, after a completed job but
         // before the chunk reply — the coordinator must requeue and the
@@ -181,8 +213,14 @@ struct MsgHeader {
         util::put_pod(reply, replication);
         summary_bytes.clear();
         summary.serialize(summary_bytes);
-        util::put_pod(reply, static_cast<std::uint32_t>(summary_bytes.size()));
-        reply.insert(reply.end(), summary_bytes.begin(), summary_bytes.end());
+        if (slot != util::ShmRing::kNoSlot && ring != nullptr &&
+            summary_bytes.size() <= ring->payload_capacity()) {
+          ring->write(slot, summary_bytes.data(), summary_bytes.size());
+          util::put_pod(reply, std::uint32_t{0});
+        } else {
+          util::put_pod(reply, static_cast<std::uint32_t>(summary_bytes.size()));
+          reply.insert(reply.end(), summary_bytes.begin(), summary_bytes.end());
+        }
       }
       if (!send_msg(fd, kChunkDone, reply.data(), reply.size())) std::_Exit(0);
     }
@@ -226,6 +264,7 @@ ShardOptions ShardOptions::from_env(ShardOptions defaults) {
 std::vector<CellResult> ShardedRunner::run(const std::vector<NamedConfig>& cells) {
   worker_stats_ = grid::WorldCacheStats{};
   recovered_ = 0;
+  exec_stats_ = ExecutionStats{};
 
   std::vector<CellResult> results;
   results.reserve(cells.size());
@@ -241,35 +280,77 @@ std::vector<CellResult> ShardedRunner::run(const std::vector<NamedConfig>& cells
   if (cells.empty()) return results;
 
   const std::size_t procs = std::max<std::size_t>(1, shard_.procs);
+  const auto wall_start = std::chrono::steady_clock::now();
 
   // Journal: recover the completed prefix of an earlier (killed) run of this
-  // same campaign. The map is (cell, replication) -> summary; replication
-  // indices are unique per cell, so the pair identifies a job across rounds.
+  // same campaign. Journal records are written in the canonical order
+  // (exp/pipeline.hpp), so the recovered prefix is always a canonical prefix
+  // and feeding it back in file order cascades commits eagerly.
   std::unique_ptr<CampaignJournal> journal;
-  std::map<std::pair<std::uint32_t, std::uint32_t>, const ReplicationSummary*> recovered_map;
   if (!shard_.journal_path.empty()) {
     journal = std::make_unique<CampaignJournal>(
         shard_.journal_path, CampaignJournal::campaign_signature(cells, options_));
-    for (const CampaignJournal::Record& record : journal->recovered()) {
-      recovered_map.emplace(std::make_pair(record.cell, record.replication), &record.summary);
-    }
   }
 
+  PipelineState state(options_, results, journal.get());
+  if (shard_.abort_after_appends > 0) {
+    // Failure-injection hook: simulate a coordinator kill at an exact
+    // journal record boundary (fsync first so the boundary is durable and
+    // the test deterministic).
+    state.after_append = [this, &journal] {
+      if (journal->appended() >= shard_.abort_after_appends) {
+        journal->sync();
+        std::_Exit(3);
+      }
+    };
+  }
+  if (journal) {
+    for (const CampaignJournal::Record& record : journal->recovered()) {
+      state.mark_recovered(record.cell, record.replication);
+    }
+  }
+  state.start();
+  if (journal) {
+    for (const CampaignJournal::Record& record : journal->recovered()) {
+      state.deliver_recovered(record.cell, record.replication,
+                              ReplicationSummary(record.summary));
+    }
+  }
+  recovered_ = state.recovered();
+
+  struct Chunk {
+    std::uint64_t id = 0;
+    std::vector<PipelineJob> jobs;
+    std::vector<std::uint32_t> slots;  ///< Assigned ring slot per job (or kNoSlot).
+  };
   struct Worker {
     pid_t pid = -1;
     int fd = -1;
     bool alive = false;
-    bool busy = false;
-    std::size_t chunk = kNone;
-    bool spawned_once = false;  ///< Self-kill arms only the first incarnation.
+    std::deque<Chunk> outstanding;  ///< Assigned chunks, in send order (FIFO replies).
+    bool spawned_once = false;      ///< Self-kill arms only the first incarnation.
   };
   std::vector<Worker> workers(procs);
+  // Per-worker shared-memory rings (created lazily at first spawn — always
+  // before that worker's fork, so every incarnation inherits the mapping)
+  // and their coordinator-side free-slot lists. Sized for two max-size
+  // chunks plus a whole replication group; an exhausted free list just
+  // degrades that job to inline socket transport.
+  const std::size_t ring_slots = 2 * (kChunkCap + cells.size());
+  const std::size_t ring_capacity = ring_payload_capacity();
+  std::vector<std::unique_ptr<util::ShmRing>> rings(procs);
+  std::vector<std::vector<std::uint32_t>> free_slots(procs);
   std::size_t respawns = 0;
   // Generous for flaky deaths, finite for a replication that crashes
   // deterministically (every respawn re-crashes until this throws).
   const std::size_t respawn_cap = procs * 8 + 8;
 
   auto spawn = [&](std::size_t w) {
+    if (!rings[w]) {
+      rings[w] = std::make_unique<util::ShmRing>(ring_slots, ring_capacity);
+      free_slots[w].resize(ring_slots);
+      std::iota(free_slots[w].begin(), free_slots[w].end(), std::uint32_t{0});
+    }
     int sv[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
       throw std::runtime_error("ShardedRunner: socketpair failed");
@@ -289,229 +370,203 @@ std::vector<CellResult> ShardedRunner::run(const std::vector<NamedConfig>& cells
       for (const Worker& other : workers) {
         if (other.fd >= 0) ::close(other.fd);
       }
-      worker_main(sv[1], options_, cells, shard_.pool_dir, kill_after);
+      worker_main(sv[1], options_, cells, shard_.pool_dir, kill_after, rings[w].get());
     }
     ::close(sv[1]);
     workers[w].pid = pid;
     workers[w].fd = sv[0];
     workers[w].alive = true;
-    workers[w].busy = false;
-    workers[w].chunk = kNone;
     workers[w].spawned_once = true;
   };
 
-  struct Job {
-    std::size_t cell = 0;
-    std::size_t replication = 0;
+  auto reclaim_slots = [&](std::size_t w, const Chunk& chunk) {
+    for (const std::uint32_t slot : chunk.slots) {
+      if (slot == util::ShmRing::kNoSlot) continue;
+      rings[w]->release(slot);
+      free_slots[w].push_back(slot);
+    }
   };
 
-  std::vector<std::size_t> reps_launched(cells.size(), 0);
-  std::vector<Job> round_jobs;
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    for (std::size_t r = 0; r < options_.min_replications; ++r) {
-      round_jobs.push_back(Job{c, reps_launched[c]++});
+  auto handle_death = [&](std::size_t w) {
+    Worker& worker = workers[w];
+    if (worker.pid > 0) {
+      int status = 0;
+      (void)::waitpid(worker.pid, &status, 0);
     }
-  }
-
-  while (!round_jobs.empty()) {
-    std::vector<ReplicationSummary> summaries(round_jobs.size());
-    std::vector<char> done(round_jobs.size(), 0);
-
-    // Hand-out order and chunk boundaries: the same construction as the
-    // threaded runner (multi-cell replay groups by replication = world key,
-    // classic mode by descending expected cost; chunks never split a
-    // replication group), with the process count in the batch default where
-    // the thread count was. The fold below runs in build order either way,
-    // so none of this shapes the results.
-    std::vector<std::size_t> order(round_jobs.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    if (options_.multi_cell_replay) {
-      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return round_jobs[a].replication < round_jobs[b].replication;
-      });
-    } else {
-      std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return expected_cost(results[round_jobs[a].cell].config) >
-               expected_cost(results[round_jobs[b].cell].config);
-      });
+    if (worker.fd >= 0) ::close(worker.fd);
+    worker.fd = -1;
+    worker.pid = -1;
+    worker.alive = false;
+    for (const Chunk& chunk : worker.outstanding) {
+      state.requeue(chunk.jobs);
+      reclaim_slots(w, chunk);
     }
-
-    const std::size_t batch = options_.batch_size > 0
-                                  ? options_.batch_size
-                                  : std::max<std::size_t>(1, order.size() / (procs * 4));
-    std::vector<std::pair<std::size_t, std::size_t>> ranges;
-    if (options_.multi_cell_replay) {
-      std::size_t begin = 0;
-      for (std::size_t i = 1; i <= order.size(); ++i) {
-        const bool group_boundary =
-            i == order.size() ||
-            round_jobs[order[i]].replication != round_jobs[order[i - 1]].replication;
-        if (group_boundary && i - begin >= batch) {
-          ranges.emplace_back(begin, i);
-          begin = i;
-        }
-      }
-      if (begin < order.size()) ranges.emplace_back(begin, order.size());
-    } else {
-      for (std::size_t begin = 0; begin < order.size(); begin += batch) {
-        ranges.emplace_back(begin, std::min(begin + batch, order.size()));
-      }
+    worker.outstanding.clear();
+    if (++respawns > respawn_cap) {
+      throw std::runtime_error(
+          "ShardedRunner: worker respawn limit exceeded (a replication keeps crashing its "
+          "worker; see stderr for the worker's error)");
     }
+  };
 
-    // Journal pre-fill: jobs already completed by a killed run fold from the
-    // recovered records; only the remainder is dispatched.
-    for (std::size_t i = 0; i < round_jobs.size(); ++i) {
-      const auto it = recovered_map.find(std::make_pair(
-          static_cast<std::uint32_t>(round_jobs[i].cell),
-          static_cast<std::uint32_t>(round_jobs[i].replication)));
-      if (it != recovered_map.end()) {
-        summaries[i] = *it->second;
-        done[i] = 1;
-        ++recovered_;
-      }
+  // Chunk size: fixed when requested; in barrier mode the historical
+  // round-proportional batch; pipelined, proportional to remaining work so
+  // chunks shrink toward the campaign drain and the last stragglers are
+  // single replications (no worker holds a queue of jobs another could run).
+  const auto chunk_target = [&]() -> std::size_t {
+    if (options_.batch_size > 0) return options_.batch_size;
+    if (!options_.pipeline) {
+      return std::max<std::size_t>(1, state.round_size() / (procs * 4));
     }
+    return std::min(kChunkCap,
+                    std::max<std::size_t>(1, state.remaining_estimate() / (procs * 4)));
+  };
+  // Pipelined workers are double-buffered: the next chunk is already queued
+  // on the socket while the current one runs, so finishing a chunk never
+  // leaves a worker idle waiting on coordinator latency. Barrier mode keeps
+  // the historical one-chunk-at-a-time shape.
+  const std::size_t max_outstanding = options_.pipeline ? 2 : 1;
+  std::uint64_t next_chunk_id = 0;
 
-    // Chunks = job lists still to run; a fully recovered range disappears.
-    std::vector<std::vector<std::size_t>> chunks;
-    for (const auto& [range_begin, range_end] : ranges) {
-      std::vector<std::size_t> chunk;
-      for (std::size_t i = range_begin; i < range_end; ++i) {
-        if (!done[order[i]]) chunk.push_back(order[i]);
-      }
-      if (!chunk.empty()) chunks.push_back(std::move(chunk));
+  std::vector<std::uint8_t> wire;
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> summary_bytes;
+
+  const auto any_outstanding = [&]() {
+    for (const Worker& worker : workers) {
+      if (!worker.outstanding.empty()) return true;
     }
+    return false;
+  };
 
-    std::deque<std::size_t> pending(chunks.size());
-    std::iota(pending.begin(), pending.end(), std::size_t{0});
-    std::size_t completed = 0;
-
-    auto handle_death = [&](std::size_t w) {
-      Worker& worker = workers[w];
-      if (worker.pid > 0) {
-        int status = 0;
-        (void)::waitpid(worker.pid, &status, 0);
-      }
-      if (worker.fd >= 0) ::close(worker.fd);
-      worker.fd = -1;
-      worker.pid = -1;
-      worker.alive = false;
-      if (worker.busy && worker.chunk != kNone) pending.push_back(worker.chunk);
-      worker.busy = false;
-      worker.chunk = kNone;
-      if (++respawns > respawn_cap) {
-        throw std::runtime_error(
-            "ShardedRunner: worker respawn limit exceeded (a replication keeps crashing its "
-            "worker; see stderr for the worker's error)");
-      }
-    };
-
-    std::vector<std::uint8_t> wire;
-    std::vector<std::uint8_t> payload;
-    while (completed < chunks.size()) {
-      // Assign pending chunks to idle workers, spawning/respawning as
-      // needed. Workers persist across rounds; only death forces a respawn.
-      for (std::size_t w = 0; w < procs && !pending.empty(); ++w) {
-        if (workers[w].busy) continue;
+  // Assign ready jobs to workers with spare chunk capacity.
+  const auto assign_ready = [&]() {
+    for (std::size_t w = 0; w < procs; ++w) {
+      while (!state.finished() && workers[w].outstanding.size() < max_outstanding &&
+             state.has_ready()) {
         if (!workers[w].alive) spawn(w);
-        const std::size_t chunk_id = pending.front();
-        pending.pop_front();
+        Chunk chunk;
+        chunk.id = next_chunk_id++;
+        chunk.jobs = state.pop_chunk(chunk_target(), options_.multi_cell_replay);
+        if (chunk.jobs.empty()) break;
+        chunk.slots.reserve(chunk.jobs.size());
         wire.clear();
-        util::put_pod(wire, static_cast<std::uint64_t>(chunk_id));
-        util::put_pod(wire, static_cast<std::uint32_t>(chunks[chunk_id].size()));
-        for (std::size_t index : chunks[chunk_id]) {
-          util::put_pod(wire, static_cast<std::uint32_t>(round_jobs[index].cell));
-          util::put_pod(wire, static_cast<std::uint32_t>(round_jobs[index].replication));
+        util::put_pod(wire, chunk.id);
+        util::put_pod(wire, static_cast<std::uint32_t>(chunk.jobs.size()));
+        for (const PipelineJob& job : chunk.jobs) {
+          std::uint32_t slot = util::ShmRing::kNoSlot;
+          if (!free_slots[w].empty()) {
+            slot = free_slots[w].back();
+            free_slots[w].pop_back();
+          }
+          chunk.slots.push_back(slot);
+          util::put_pod(wire, static_cast<std::uint32_t>(job.cell));
+          util::put_pod(wire, static_cast<std::uint32_t>(job.replication));
+          util::put_pod(wire, slot);
         }
-        workers[w].busy = true;
-        workers[w].chunk = chunk_id;
-        if (!send_msg(workers[w].fd, kAssign, wire.data(), wire.size())) handle_death(w);
-      }
-
-      std::vector<::pollfd> fds;
-      std::vector<std::size_t> fd_workers;
-      for (std::size_t w = 0; w < procs; ++w) {
-        if (workers[w].alive && workers[w].busy) {
-          fds.push_back(::pollfd{workers[w].fd, POLLIN, 0});
-          fd_workers.push_back(w);
-        }
-      }
-      if (fds.empty()) continue;  // every busy worker died; loop respawns
-      if (::poll(fds.data(), fds.size(), -1) < 0) {
-        if (errno == EINTR) continue;
-        throw std::runtime_error("ShardedRunner: poll failed");
-      }
-
-      for (std::size_t f = 0; f < fds.size(); ++f) {
-        if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-        const std::size_t w = fd_workers[f];
-        MsgHeader header;
-        if (!read_msg(workers[w].fd, header, payload) || header.type != kChunkDone) {
+        const int fd = workers[w].fd;
+        workers[w].outstanding.push_back(std::move(chunk));
+        if (!send_msg(fd, kAssign, wire.data(), wire.size())) {
           handle_death(w);
-          continue;
+          break;
         }
-        util::ByteReader reader(payload.data(), payload.size());
-        const auto chunk_id = static_cast<std::size_t>(reader.pod<std::uint64_t>());
-        const auto count = reader.pod<std::uint32_t>();
-        if (chunk_id != workers[w].chunk || count != chunks[chunk_id].size()) {
-          throw std::runtime_error("ShardedRunner: protocol mismatch in chunk reply");
-        }
-        for (std::uint32_t i = 0; i < count; ++i) {
-          const auto cell = reader.pod<std::uint32_t>();
-          const auto replication = reader.pod<std::uint32_t>();
-          const auto size = reader.pod<std::uint32_t>();
-          util::ByteReader summary_reader(reader.skip(size), size);
-          const std::size_t index = chunks[chunk_id][i];
-          if (cell != round_jobs[index].cell || replication != round_jobs[index].replication) {
-            throw std::runtime_error("ShardedRunner: job mismatch in chunk reply");
-          }
-          summaries[index] = ReplicationSummary::deserialize(summary_reader);
-          done[index] = 1;
-          if (journal) {
-            journal->append(cell, replication, summaries[index]);
-            // Failure-injection hook: simulate a coordinator kill at an
-            // exact journal record boundary (fsync first so the boundary is
-            // durable and the test deterministic).
-            if (shard_.abort_after_appends > 0 &&
-                journal->appended() >= shard_.abort_after_appends) {
-              journal->sync();
-              std::_Exit(3);
-            }
-          }
-        }
-        if (journal && shard_.fsync_journal) journal->sync();
-        workers[w].busy = false;
-        workers[w].chunk = kNone;
-        ++completed;
       }
     }
+  };
 
-    // Fold in build order (cell-major, ascending replication): bit-identical
-    // accumulator sequences to the threaded and sequential runners,
-    // independent of which process computed — or which journal record
-    // supplied — each summary.
-    for (std::size_t i = 0; i < round_jobs.size(); ++i) {
-      fold(results[round_jobs[i].cell], summaries[i]);
+  // Receive one worker's chunk reply and feed it through the ordered commit
+  // (which journals, decides, and extends the launch window as summaries
+  // become foldable).
+  const auto receive_reply = [&](std::size_t w) {
+    Worker& worker = workers[w];
+    MsgHeader header;
+    if (!read_msg(worker.fd, header, payload) || header.type != kChunkDone) {
+      handle_death(w);
+      return;
     }
+    if (worker.outstanding.empty()) {
+      throw std::runtime_error("ShardedRunner: unexpected chunk reply");
+    }
+    Chunk chunk = std::move(worker.outstanding.front());
+    worker.outstanding.pop_front();
+    util::ByteReader reader(payload.data(), payload.size());
+    const auto chunk_id = reader.pod<std::uint64_t>();
+    const auto count = reader.pod<std::uint32_t>();
+    if (chunk_id != chunk.id || count != chunk.jobs.size()) {
+      throw std::runtime_error("ShardedRunner: protocol mismatch in chunk reply");
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto cell = reader.pod<std::uint32_t>();
+      const auto replication = reader.pod<std::uint32_t>();
+      const auto size = reader.pod<std::uint32_t>();
+      if (cell != chunk.jobs[i].cell || replication != chunk.jobs[i].replication) {
+        throw std::runtime_error("ShardedRunner: job mismatch in chunk reply");
+      }
+      ReplicationSummary summary;
+      if (size == 0) {
+        // Summary travelled through the assigned shared-memory slot;
+        // validate-then-copy (a torn slot throws, never folds).
+        const std::uint32_t slot = chunk.slots[i];
+        if (slot == util::ShmRing::kNoSlot) {
+          throw std::runtime_error("ShardedRunner: ring reply without an assigned slot");
+        }
+        rings[w]->read(slot, summary_bytes);
+        util::ByteReader summary_reader(summary_bytes.data(), summary_bytes.size());
+        summary = ReplicationSummary::deserialize(summary_reader);
+      } else {
+        util::ByteReader summary_reader(reader.skip(size), size);
+        summary = ReplicationSummary::deserialize(summary_reader);
+      }
+      if (chunk.slots[i] != util::ShmRing::kNoSlot) {
+        rings[w]->release(chunk.slots[i]);
+        free_slots[w].push_back(chunk.slots[i]);
+      }
+      state.deliver(cell, replication, std::move(summary));
+    }
+    if (journal && shard_.fsync_journal) journal->sync();
+  };
 
-    round_jobs.clear();
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      CellResult& cell = results[c];
-      if (cell.saturated()) continue;
-      if (cell.turnaround.precise_enough()) continue;
-      if (reps_launched[c] >= options_.max_replications) continue;
-      round_jobs.push_back(Job{c, reps_launched[c]++});
+  while (!state.finished() || any_outstanding()) {
+    assign_ready();
+
+    std::vector<::pollfd> fds;
+    std::vector<std::size_t> fd_workers;
+    for (std::size_t w = 0; w < procs; ++w) {
+      if (workers[w].alive && !workers[w].outstanding.empty()) {
+        fds.push_back(::pollfd{workers[w].fd, POLLIN, 0});
+        fd_workers.push_back(w);
+      }
+    }
+    if (fds.empty()) {
+      if (state.finished()) break;
+      if (!state.has_ready()) {
+        // Unstopped cells always have a job queued or in flight; neither
+        // here means the pipeline state is corrupt, not merely slow.
+        throw std::runtime_error("ShardedRunner: stalled with no ready or in-flight jobs");
+      }
+      continue;  // every busy worker died; the next pass respawns
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("ShardedRunner: poll failed");
+    }
+    for (std::size_t f = 0; f < fds.size(); ++f) {
+      if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      receive_reply(fd_workers[f]);
     }
   }
 
   // Shutdown: collect every worker's cache stats (the cross-process
-  // pool_hit_rate), then reap.
-  std::vector<std::uint8_t> payload;
+  // pool_hit_rate) and execution-lane accounting, then reap. A lane whose
+  // worker was respawned reports only the surviving incarnation (a killed
+  // worker's counters die with it).
+  exec_stats_.lanes.assign(procs, WorkerLaneStats{});
   for (std::size_t w = 0; w < procs; ++w) {
     Worker& worker = workers[w];
     if (!worker.alive) continue;
     MsgHeader header;
     if (send_msg(worker.fd, kShutdown, nullptr, 0) && read_msg(worker.fd, header, payload) &&
-        header.type == kStats && payload.size() == 8 * sizeof(std::uint64_t)) {
+        header.type == kStats && payload.size() == kStatsWords * sizeof(std::uint64_t)) {
       util::ByteReader reader(payload.data(), payload.size());
       grid::WorldCacheStats stats;
       stats.hits = reader.pod<std::uint64_t>();
@@ -523,6 +578,8 @@ std::vector<CellResult> ShardedRunner::run(const std::vector<NamedConfig>& cells
       stats.bytes = static_cast<std::size_t>(reader.pod<std::uint64_t>());
       stats.peak_bytes = static_cast<std::size_t>(reader.pod<std::uint64_t>());
       worker_stats_.merge(stats);
+      exec_stats_.lanes[w].busy_s = static_cast<double>(reader.pod<std::uint64_t>()) * 1e-9;
+      exec_stats_.lanes[w].jobs = reader.pod<std::uint64_t>();
     }
     ::close(worker.fd);
     worker.fd = -1;
@@ -530,6 +587,16 @@ std::vector<CellResult> ShardedRunner::run(const std::vector<NamedConfig>& cells
     (void)::waitpid(worker.pid, &status, 0);
     worker.alive = false;
   }
+
+  exec_stats_.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  for (WorkerLaneStats& lane : exec_stats_.lanes) {
+    lane.stall_s = std::max(0.0, exec_stats_.wall_s - lane.busy_s);
+  }
+  exec_stats_.launched = state.launched();
+  exec_stats_.committed = state.committed();
+  exec_stats_.discarded = state.discarded();
+  exec_stats_.recovered = state.recovered();
 
   for (const CellResult& cell : results) {
     util::log_info("cell '", cell.label, "': mean turnaround ", cell.turnaround.stats().mean(),

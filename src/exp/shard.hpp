@@ -1,16 +1,27 @@
 // Multi-process sharded campaign execution.
 //
-// ShardedRunner is ExperimentRunner's process-level sibling: it expands the
-// same rounds of (cell, replication) jobs, but instead of fanning them out
-// over an in-process thread pool it forks N worker processes and hands out
-// replication-group-aligned chunks over per-worker UNIX socket pairs. Each
-// worker runs its jobs sequentially through a private SimulationWorkspace
-// and a private WorldCache, reduces every replication to a
-// ReplicationSummary, and ships the summaries back; the coordinator folds
-// them after the round barrier in build order — the exact fold sequence of
-// the threaded runner — so the merged CellResults are bit-identical to a
-// single-process run for ANY worker count, chunk shape, worker-death
-// schedule, or kill/resume point.
+// ShardedRunner is ExperimentRunner's process-level sibling: it draws the
+// same (cell, replication) jobs from the shared PipelineState
+// (exp/pipeline.hpp), but instead of fanning them out over an in-process
+// thread pool it forks N worker processes and hands out replication-group-
+// aligned chunks over per-worker UNIX socket pairs. Each worker runs its
+// jobs sequentially through a private SimulationWorkspace and a private
+// WorldCache, reduces every replication to a ReplicationSummary, and ships
+// the summaries back; the coordinator feeds them through the pipeline's
+// ordered per-cell commit — the exact fold sequence of the threaded runner —
+// so the merged CellResults are bit-identical to a single-process run for
+// ANY worker count, chunk shape, speculation window, worker-death schedule,
+// or kill/resume point. With RunOptions::pipeline on (the default), chunks
+// are double-buffered per worker (a new chunk is assigned while the previous
+// one runs) and chunk sizes shrink toward the campaign drain so the final
+// stragglers are single replications; pipeline off reproduces the historical
+// barrier rounds.
+//
+// Result transport: summaries carry multiple 768-bucket u64 quantile
+// sketches — tens of KB each — so they travel through a per-worker
+// shared-memory ring (util/shm_ring.hpp, created before fork) and the
+// socketpair carries only small control messages; a summary that outgrows
+// its slot falls back to inline bytes on the socket.
 //
 // Why processes at all: address-space isolation (one crashed replication
 // loses a chunk, not the campaign — the coordinator re-queues it and forks
@@ -102,11 +113,17 @@ class ShardedRunner {
   /// Replications served from the journal instead of dispatched, last run().
   [[nodiscard]] std::uint64_t recovered_replications() const noexcept { return recovered_; }
 
+  /// Execution-shape accounting for the most recent run(): one lane per
+  /// worker process (busy self-reported over the socket; stall derived as
+  /// wall - busy), plus the pipeline's speculation counters.
+  [[nodiscard]] const ExecutionStats& exec_stats() const noexcept { return exec_stats_; }
+
  private:
   RunOptions options_;
   ShardOptions shard_;
   grid::WorldCacheStats worker_stats_{};
   std::uint64_t recovered_ = 0;
+  ExecutionStats exec_stats_;
 };
 
 }  // namespace dg::exp

@@ -1,0 +1,69 @@
+#include "util/shm_ring.hpp"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "util/binary_io.hpp"
+
+namespace dg::util {
+
+namespace {
+constexpr std::size_t kSlotAlign = 64;  // keep slot headers on their own cache lines
+}  // namespace
+
+ShmRing::ShmRing(std::size_t slots, std::size_t payload_capacity)
+    : slots_(slots),
+      capacity_(payload_capacity),
+      stride_(sizeof(SlotHeader) + ((payload_capacity + kSlotAlign - 1) / kSlotAlign) * kSlotAlign) {
+  if (slots_ == 0) throw std::invalid_argument("ShmRing: need at least one slot");
+  void* mapped = ::mmap(nullptr, slots_ * stride_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mapped == MAP_FAILED) throw std::runtime_error("ShmRing: mmap failed");
+  base_ = static_cast<std::uint8_t*>(mapped);
+  std::memset(base_, 0, slots_ * stride_);
+}
+
+ShmRing::~ShmRing() {
+  if (base_ != nullptr) ::munmap(base_, slots_ * stride_);
+}
+
+std::uint8_t* ShmRing::slot_base(std::size_t slot) const noexcept {
+  return base_ + slot * stride_;
+}
+
+void ShmRing::write(std::size_t slot, const std::uint8_t* data, std::size_t size) {
+  if (slot >= slots_) throw std::out_of_range("ShmRing: slot out of range");
+  if (size > capacity_) throw std::length_error("ShmRing: payload exceeds slot capacity");
+  std::uint8_t* base = slot_base(slot);
+  std::memcpy(base + sizeof(SlotHeader), data, size);
+  SlotHeader header;
+  header.size = size;
+  header.checksum = fnv1a64_bytes(data, size);
+  std::memcpy(base, &header, sizeof(header));
+}
+
+void ShmRing::read(std::size_t slot, std::vector<std::uint8_t>& out) const {
+  if (slot >= slots_) throw std::out_of_range("ShmRing: slot out of range");
+  const std::uint8_t* base = slot_base(slot);
+  SlotHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (header.size == 0 || header.size > capacity_) {
+    throw std::runtime_error("ShmRing: slot " + std::to_string(slot) + " has invalid size " +
+                             std::to_string(header.size));
+  }
+  const std::uint8_t* payload = base + sizeof(SlotHeader);
+  if (fnv1a64_bytes(payload, header.size) != header.checksum) {
+    throw std::runtime_error("ShmRing: slot " + std::to_string(slot) + " checksum mismatch");
+  }
+  out.assign(payload, payload + header.size);
+}
+
+void ShmRing::release(std::size_t slot) noexcept {
+  if (slot >= slots_) return;
+  std::memset(slot_base(slot), 0, sizeof(SlotHeader));
+}
+
+}  // namespace dg::util

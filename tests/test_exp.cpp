@@ -377,6 +377,126 @@ TEST(ExperimentRunner, MultiCellReplayBitIdenticalAcrossShapes) {
   }
 }
 
+TEST(ExperimentRunner, PipelinedAndBarrierShapesAreBitIdentical) {
+  // The barrier-free scheduler's core contract (PR 10): pipelined hand-out
+  // with any speculation window must be cell-for-cell bit-identical to the
+  // historical barrier rounds — including the adaptive round structure
+  // (max > min with a reachable precision target, so cells stop at
+  // different replication counts and speculative summaries get discarded).
+  sim::SimulationConfig volatile_config = tiny_config(sched::PolicyKind::kRoundRobin, 6);
+  volatile_config.grid =
+      grid::GridConfig::preset(grid::Heterogeneity::kHet, grid::AvailabilityLevel::kLow);
+  volatile_config.workload = sim::make_paper_workload(volatile_config.grid, 25000.0,
+                                                      workload::Intensity::kLow, 6);
+  sim::SimulationConfig stable_config = volatile_config;
+  stable_config.policy = sched::PolicyKind::kFcfsShare;
+  sim::SimulationConfig third_config = volatile_config;
+  third_config.policy = sched::PolicyKind::kLongIdle;
+  const std::vector<NamedConfig> cells = {
+      {"rr", volatile_config}, {"fcfs", stable_config}, {"li", third_config}};
+
+  struct Variant {
+    bool pipeline;
+    std::size_t speculate;
+    std::size_t threads;
+    std::size_t batch;
+    bool multi_cell;
+  };
+  const Variant variants[] = {
+      {false, 0, 1, 0, true},   // barrier reference, single worker
+      {false, 0, 4, 0, true},   // barrier, parallel
+      {true, 0, 3, 0, true},    // pipelined, no speculation
+      {true, 1, 3, 0, true},    // default shape
+      {true, 4, 3, 0, true},    // deep speculation: discards must be silent
+      {true, 4, 1, 1, false},   // speculation + cost-major singleton chunks
+      {true, 4, 4, 3, true},    // speculation + batching + parallelism
+  };
+
+  std::vector<std::vector<CellResult>> runs;
+  for (const Variant& variant : variants) {
+    RunOptions options;
+    options.min_replications = 2;
+    options.max_replications = 4;
+    options.target_relative_error = 0.08;
+    options.pipeline = variant.pipeline;
+    options.speculate = variant.speculate;
+    options.threads = variant.threads;
+    options.batch_size = variant.batch;
+    options.multi_cell_replay = variant.multi_cell;
+    runs.push_back(ExperimentRunner(options).run(cells));
+  }
+
+  const std::vector<CellResult>& reference = runs.front();
+  for (std::size_t v = 1; v < runs.size(); ++v) {
+    ASSERT_EQ(runs[v].size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      const CellResult& got = runs[v][i];
+      const CellResult& want = reference[i];
+      EXPECT_EQ(got.replications, want.replications) << "variant " << v << " cell " << i;
+      EXPECT_EQ(got.turnaround.stats().mean(), want.turnaround.stats().mean())
+          << "variant " << v << " cell " << i;
+      EXPECT_EQ(got.turnaround.stats().variance(), want.turnaround.stats().variance())
+          << "variant " << v << " cell " << i;
+      EXPECT_EQ(got.waiting.mean(), want.waiting.mean()) << "variant " << v << " cell " << i;
+      EXPECT_EQ(got.events_executed, want.events_executed) << "variant " << v << " cell " << i;
+      for (double q : {0.5, 0.95, 0.99}) {
+        EXPECT_EQ(got.turnaround_tail.quantile(q), want.turnaround_tail.quantile(q))
+            << "variant " << v << " cell " << i << " q " << q;
+        EXPECT_EQ(got.slowdown_tail.quantile(q), want.slowdown_tail.quantile(q))
+            << "variant " << v << " cell " << i << " q " << q;
+      }
+      EXPECT_EQ(got.turnaround_tail.sum(), want.turnaround_tail.sum())
+          << "variant " << v << " cell " << i;
+    }
+  }
+}
+
+TEST(ExperimentRunner, ExecStatsAccountForEveryReplication) {
+  RunOptions options;
+  options.min_replications = 3;
+  options.max_replications = 3;
+  options.threads = 2;
+  ExperimentRunner runner(options);
+  const auto results = runner.run({{"a", tiny_config(sched::PolicyKind::kFcfsShare)},
+                                   {"b", tiny_config(sched::PolicyKind::kRoundRobin)}});
+  const ExecutionStats& exec = runner.exec_stats();
+  ASSERT_EQ(exec.lanes.size(), 2u);
+  EXPECT_EQ(exec.committed, 6u);  // 2 cells x 3 replications, all folded
+  EXPECT_GE(exec.launched, exec.committed);
+  EXPECT_EQ(exec.launched, exec.committed + exec.discarded);
+  EXPECT_EQ(exec.recovered, 0u);
+  std::uint64_t lane_jobs = 0;
+  for (const WorkerLaneStats& lane : exec.lanes) lane_jobs += lane.jobs;
+  EXPECT_EQ(lane_jobs, exec.launched);  // every launched job ran on some lane
+  EXPECT_GT(exec.wall_s, 0.0);
+  EXPECT_GT(exec.busy_s(), 0.0);
+  (void)results;
+}
+
+TEST(RunOptions, PipelineAndSpeculateEnvOverrides) {
+  EXPECT_TRUE(RunOptions::from_env().pipeline);     // default on
+  EXPECT_EQ(RunOptions::from_env().speculate, 1u);  // default window
+  ::setenv("DGSCHED_PIPELINE", "0", 1);
+  ::setenv("DGSCHED_SPECULATE", "4", 1);
+  const RunOptions options = RunOptions::from_env();
+  EXPECT_FALSE(options.pipeline);
+  EXPECT_EQ(options.speculate, 4u);
+  ::setenv("DGSCHED_PIPELINE", "1", 1);
+  ::setenv("DGSCHED_SPECULATE", "0", 1);
+  EXPECT_TRUE(RunOptions::from_env().pipeline);
+  EXPECT_EQ(RunOptions::from_env().speculate, 0u);
+  ::unsetenv("DGSCHED_PIPELINE");
+  ::unsetenv("DGSCHED_SPECULATE");
+}
+
+TEST(RunOptions, MalformedPipelineEnvFailsWithClearMessage) {
+  expect_env_rejected("DGSCHED_PIPELINE", "yes");
+  expect_env_rejected("DGSCHED_PIPELINE", "on");
+  expect_env_rejected("DGSCHED_SPECULATE", "-1");
+  expect_env_rejected("DGSCHED_SPECULATE", "2.5");
+  expect_env_rejected("DGSCHED_SPECULATE", "deep");
+}
+
 TEST(ExperimentRunner, RunnerQueueBackendOverrideMatchesDefault) {
   // Forcing the calendar backend through RunOptions must leave every cell
   // metric bit-identical — the backend only changes queue-maintenance cost.

@@ -259,6 +259,163 @@ TEST(ShardedRunner, ResumeFromEveryJournalRecordBoundaryIsByteIdentical) {
   }
 }
 
+TEST(ShardedRunner, JournalBytesIdenticalAcrossExecutionShapes) {
+  // The canonical journal order contract (PR 10): the journal is written in
+  // cell-major / ascending-replication canonical order regardless of how the
+  // campaign actually executed, so the file is byte-identical across
+  // barrier/pipelined scheduling, any speculation window, any worker count,
+  // and any chunk shape — and a journal written by one shape can resume a
+  // run under any other.
+  ShardDir dir("shapes");
+  const std::vector<NamedConfig> cells = tiny_cells();
+  RunOptions base = tiny_options();
+  base.min_replications = 2;
+  base.max_replications = 4;
+  base.target_relative_error = 1e-4;  // unreachable: multi-round structure
+
+  const std::vector<CellResult> reference = ExperimentRunner(base).run(cells);
+  std::vector<std::uint8_t> reference_journal;
+
+  struct Variant {
+    const char* name;
+    bool pipeline;
+    std::size_t speculate;
+    std::size_t procs;
+    std::size_t batch;
+    bool multi_cell;
+  };
+  const Variant variants[] = {
+      {"p1_default", true, 1, 1, 0, true},
+      {"p1_barrier", false, 0, 1, 0, true},
+      {"p2_spec0", true, 0, 2, 0, true},
+      {"p2_spec4", true, 4, 2, 0, true},
+      {"p2_costmajor", true, 4, 2, 1, false},
+      {"p4_barrier", false, 0, 4, 0, true},
+  };
+  for (const Variant& variant : variants) {
+    SCOPED_TRACE(variant.name);
+    RunOptions options = base;
+    options.pipeline = variant.pipeline;
+    options.speculate = variant.speculate;
+    options.batch_size = variant.batch;
+    options.multi_cell_replay = variant.multi_cell;
+    ShardOptions shard;
+    shard.procs = variant.procs;
+    shard.journal_path = dir.file((std::string(variant.name) + ".journal").c_str());
+    ShardedRunner runner(options, shard);
+    expect_cells_bitwise(runner.run(cells), reference);
+    const std::vector<std::uint8_t> journal = file_bytes(shard.journal_path);
+    EXPECT_FALSE(journal.empty());
+    if (reference_journal.empty()) {
+      reference_journal = journal;
+    } else {
+      EXPECT_EQ(journal, reference_journal);
+    }
+  }
+
+  // Cross-shape resume: the deep-speculation pipelined journal, truncated to
+  // a mid-campaign record boundary, resumed by a barrier-mode run — the
+  // recovered prefix folds in, the remainder is dispatched barrier-style,
+  // and both the results and the final journal bytes still match.
+  std::vector<std::size_t> boundaries{16};
+  while (boundaries.back() < reference_journal.size()) {
+    std::uint32_t payload_size = 0;
+    std::memcpy(&payload_size, reference_journal.data() + boundaries.back(),
+                sizeof payload_size);
+    boundaries.push_back(boundaries.back() + 24 + payload_size);
+  }
+  ASSERT_GE(boundaries.size(), 4u);
+  const std::size_t cut = boundaries[boundaries.size() / 2];
+  ShardOptions resume;
+  resume.procs = 2;
+  resume.journal_path = dir.file("cross_shape_resume.journal");
+  {
+    std::ofstream out(resume.journal_path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(reference_journal.data()),
+              static_cast<std::streamoff>(cut));
+  }
+  RunOptions barrier = base;
+  barrier.pipeline = false;
+  barrier.speculate = 0;
+  ShardedRunner resumed(barrier, resume);
+  expect_cells_bitwise(resumed.run(cells), reference);
+  EXPECT_EQ(resumed.recovered_replications(), boundaries.size() / 2);  // records before the cut
+  EXPECT_EQ(file_bytes(resume.journal_path), reference_journal);
+}
+
+TEST(ShardedRunner, SpeculativeResumeFromEveryBoundaryIsByteIdentical) {
+  // Kill/resume through the journal mid-pipeline with a deep speculation
+  // window: speculative in-flight work at the kill point must neither leak
+  // into the resumed fold nor change the canonical journal bytes.
+  ShardDir dir("spec_resume");
+  const std::vector<NamedConfig> cells = tiny_cells();
+  RunOptions options = tiny_options();
+  options.batch_size = 1;
+  options.speculate = 4;
+  // A reachable precision target past min, so cells can stop early while the
+  // deep speculation window has already launched (and run) extra
+  // replications — the discard path is live at every kill point.
+  options.min_replications = 2;
+  options.max_replications = 6;
+  options.target_relative_error = 0.15;
+
+  ShardOptions shard;
+  shard.procs = 1;
+  shard.journal_path = dir.file("reference.journal");
+  shard.pool_dir = dir.file("pool");
+  ShardedRunner runner(options, shard);
+  const std::vector<CellResult> reference = runner.run(cells);
+  const std::vector<std::uint8_t> reference_journal = file_bytes(shard.journal_path);
+
+  std::vector<std::size_t> boundaries{16};
+  while (boundaries.back() < reference_journal.size()) {
+    std::uint32_t payload_size = 0;
+    std::memcpy(&payload_size, reference_journal.data() + boundaries.back(),
+                sizeof payload_size);
+    boundaries.push_back(boundaries.back() + 24 + payload_size);
+  }
+  ASSERT_EQ(boundaries.back(), reference_journal.size());
+  ASSERT_GE(boundaries.size(), 5u);  // header + >= 2 cells x 2 replications
+
+  for (std::size_t k = 0; k < boundaries.size(); ++k) {
+    SCOPED_TRACE(k);
+    ShardOptions resume = shard;
+    resume.procs = 2;  // resume under a different worker count too
+    resume.journal_path = dir.file("resume.journal");
+    {
+      std::ofstream out(resume.journal_path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(reference_journal.data()),
+                static_cast<std::streamoff>(boundaries[k]));
+    }
+    ShardedRunner resumed(options, resume);
+    expect_cells_bitwise(resumed.run(cells), reference);
+    EXPECT_EQ(resumed.recovered_replications(), k);
+    EXPECT_EQ(file_bytes(resume.journal_path), reference_journal);
+  }
+}
+
+TEST(ShardedRunner, ExecStatsReportWorkerLanes) {
+  const std::vector<NamedConfig> cells = tiny_cells();
+  const RunOptions options = tiny_options();
+  ShardOptions shard;
+  shard.procs = 2;
+  ShardedRunner runner(options, shard);
+  (void)runner.run(cells);
+  const ExecutionStats& exec = runner.exec_stats();
+  ASSERT_EQ(exec.lanes.size(), 2u);
+  EXPECT_EQ(exec.committed, 6u);  // 2 cells x 3 replications
+  EXPECT_EQ(exec.launched, exec.committed + exec.discarded);
+  EXPECT_GT(exec.wall_s, 0.0);
+  EXPECT_GT(exec.busy_s(), 0.0);
+  std::uint64_t lane_jobs = 0;
+  for (const WorkerLaneStats& lane : exec.lanes) lane_jobs += lane.jobs;
+  EXPECT_EQ(lane_jobs, exec.launched);
+  for (const WorkerLaneStats& lane : exec.lanes) {
+    EXPECT_GE(lane.stall_s, 0.0);
+    EXPECT_LE(lane.busy_s, exec.wall_s);
+  }
+}
+
 TEST(ShardOptions, FromEnvParsesAndValidates) {
   ASSERT_EQ(setenv("DGSCHED_PROCS", "3", 1), 0);
   ASSERT_EQ(setenv("DGSCHED_JOURNAL", "/tmp/c.journal", 1), 0);

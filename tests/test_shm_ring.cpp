@@ -1,0 +1,123 @@
+// Shared-memory transfer ring (util/shm_ring.hpp): slot round trips, the
+// validate-then-copy discipline (torn/stale/oversized payloads throw instead
+// of folding), and cross-fork visibility — the property the sharded runner's
+// result transport is built on.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/shm_ring.hpp"
+
+namespace dg::util {
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t size, std::uint8_t seed) {
+  std::vector<std::uint8_t> bytes(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(seed + i * 7);
+  }
+  return bytes;
+}
+
+TEST(ShmRing, WriteReadRoundTripsEverySlot) {
+  ShmRing ring(8, 256);
+  EXPECT_EQ(ring.slots(), 8u);
+  EXPECT_EQ(ring.payload_capacity(), 256u);
+  for (std::size_t slot = 0; slot < ring.slots(); ++slot) {
+    const std::vector<std::uint8_t> payload =
+        pattern_bytes(1 + slot * 31, static_cast<std::uint8_t>(slot));
+    ring.write(slot, payload.data(), payload.size());
+    std::vector<std::uint8_t> out;
+    ring.read(slot, out);
+    EXPECT_EQ(out, payload);
+  }
+}
+
+TEST(ShmRing, RewriteOverwritesAndReadsBack) {
+  ShmRing ring(2, 64);
+  const std::vector<std::uint8_t> first = pattern_bytes(64, 1);
+  const std::vector<std::uint8_t> second = pattern_bytes(13, 2);
+  ring.write(0, first.data(), first.size());
+  ring.write(0, second.data(), second.size());
+  std::vector<std::uint8_t> out;
+  ring.read(0, out);
+  EXPECT_EQ(out, second);
+}
+
+TEST(ShmRing, ReleasedSlotFailsValidationInsteadOfReturningStaleBytes) {
+  ShmRing ring(2, 64);
+  const std::vector<std::uint8_t> payload = pattern_bytes(32, 9);
+  ring.write(1, payload.data(), payload.size());
+  ring.release(1);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(ring.read(1, out), std::runtime_error);
+}
+
+TEST(ShmRing, NeverWrittenSlotThrows) {
+  ShmRing ring(4, 64);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(ring.read(3, out), std::runtime_error);
+}
+
+TEST(ShmRing, OversizedPayloadThrowsLengthError) {
+  ShmRing ring(1, 16);
+  const std::vector<std::uint8_t> payload = pattern_bytes(17, 0);
+  EXPECT_THROW(ring.write(0, payload.data(), payload.size()), std::length_error);
+}
+
+TEST(ShmRing, OutOfRangeSlotThrows) {
+  ShmRing ring(2, 16);
+  const std::vector<std::uint8_t> payload = pattern_bytes(4, 0);
+  EXPECT_THROW(ring.write(2, payload.data(), payload.size()), std::out_of_range);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW(ring.read(2, out), std::out_of_range);
+}
+
+TEST(ShmRing, PayloadAtExactCapacityRoundTrips) {
+  ShmRing ring(1, 48);
+  const std::vector<std::uint8_t> payload = pattern_bytes(48, 5);
+  ring.write(0, payload.data(), payload.size());
+  std::vector<std::uint8_t> out;
+  ring.read(0, out);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(ShmRing, ChildWritesParentReadsAcrossFork) {
+  // The sharded-runner shape: ring created before fork, child writes a slot,
+  // signals completion through a pipe (the happens-before edge), parent
+  // validates and reads. Checksums computed in one process must verify in
+  // the other.
+  ShmRing ring(4, 128);
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    const std::vector<std::uint8_t> payload = pattern_bytes(77, 42);
+    ring.write(2, payload.data(), payload.size());
+    const char done = 'x';
+    (void)!::write(pipe_fds[1], &done, 1);
+    ::close(pipe_fds[1]);
+    ::_exit(0);
+  }
+  ::close(pipe_fds[1]);
+  char done = 0;
+  ASSERT_EQ(::read(pipe_fds[0], &done, 1), 1);
+  ::close(pipe_fds[0]);
+  std::vector<std::uint8_t> out;
+  ring.read(2, out);
+  EXPECT_EQ(out, pattern_bytes(77, 42));
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace dg::util
